@@ -1,0 +1,1 @@
+bin/figures.ml: Corpus Demo Help List Metrics Printf Screen Session String

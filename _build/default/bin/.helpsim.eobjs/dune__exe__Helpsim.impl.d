@@ -1,0 +1,1 @@
+bin/helpsim.ml: Arg Cmd Cmdliner Help Hplace Hwin List Metrics Printf Rc Session String Term

@@ -1,0 +1,1 @@
+examples/browser_session.ml: Cbr Corpus Help Htext Hwin List Printf Session String

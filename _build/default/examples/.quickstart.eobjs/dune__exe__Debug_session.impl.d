@@ -1,0 +1,1 @@
+examples/debug_session.ml: Corpus Demo List Metrics Printf Session String Vfs

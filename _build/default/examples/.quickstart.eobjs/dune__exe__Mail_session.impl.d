@@ -1,0 +1,1 @@
+examples/mail_session.ml: Corpus Help Htext Hwin Printf Rc Session Vfs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corpus Help Htext Hwin Printf Rc Session

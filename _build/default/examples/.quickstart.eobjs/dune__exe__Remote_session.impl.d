@@ -1,0 +1,1 @@
+examples/remote_session.ml: Corpus Cpu Demo List Metrics Printf Session String Vfs

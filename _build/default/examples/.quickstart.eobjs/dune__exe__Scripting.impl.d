@@ -1,0 +1,1 @@
+examples/scripting.ml: Corpus Help Htext Hwin Printf Rc Session Vfs

@@ -1,0 +1,64 @@
+(* The C browser: turning a compiler into a browser with shell scripts.
+   decl fetches a declaration "from whatever file in which it resides"
+   with three button clicks; uses lists every semantic reference where
+   grep would list every occurrence of the letter.
+
+   Run with:  dune exec examples/browser_session.exe *)
+
+let () =
+  let t = Session.boot () in
+  let help = t.Session.help in
+  let cbr = Session.win t "/help/cbr/stf" in
+
+  (* Open exec.c and point at the global n inside Xdie2. *)
+  (match Help.open_file help ~dir:"/" (Corpus.src_dir ^ "/exec.c") with
+  | Some _ -> ()
+  | None -> failwith "open exec.c");
+  let exec_win = Session.win t (Corpus.src_dir ^ "/exec.c") in
+  Session.point_at t exec_win "(uchar*)n)" ~off:8;
+
+  (* Click 1-2-3: point (done), then decl in the browser tool. *)
+  Session.exec_word t cbr "decl";
+  let decl_win = Session.last_window t in
+  print_endline "== decl of n (three button clicks) ==";
+  Printf.printf "tag:  %s\n" (Hwin.tag_text decl_win);
+  print_string (Htext.string (Hwin.body decl_win));
+
+  (* uses: sweep both words, every reference across *.c. *)
+  Session.point_at t exec_win "(uchar*)n)" ~off:8;
+  Session.exec_sweep t cbr "uses *.c";
+  let uses_win = Session.last_window t in
+  print_endline "\n== uses of n across *.c ==";
+  Printf.printf "tag:  %s\n" (Hwin.tag_text uses_win);
+  print_string (Htext.string (Hwin.body uses_win));
+
+  (* what grep would have given instead *)
+  let grep_lines =
+    Cbr.grep_count t.Session.ns ~cwd:Corpus.src_dir Corpus.c_files "n"
+  in
+  let uses_lines =
+    List.length
+      (List.filter (fun l -> l <> "")
+         (String.split_on_char '\n' (Htext.string (Hwin.body uses_win))))
+  in
+  Printf.printf
+    "\nuses returned %d semantic references; grep n *.c matches %d lines\n"
+    uses_lines grep_lines;
+
+  (* src: show the source of a tool command by pointing at its name *)
+  Session.point_at t (Session.win t "/help/cbr/stf") "decl";
+  Session.exec_word t cbr "src";
+  let src_win = Session.last_window t in
+  print_endline "\n== src of the decl script itself ==";
+  print_string (Htext.string (Hwin.body src_win));
+
+  (* and decl works on typedefs too: point at Page in page.c *)
+  (match Help.open_file help ~dir:"/" (Corpus.src_dir ^ "/page.c") with
+  | Some _ -> ()
+  | None -> failwith "open page.c");
+  let page_win = Session.win t (Corpus.src_dir ^ "/page.c") in
+  Session.point_at t page_win "Page *p;";
+  Session.exec_word t cbr "decl";
+  let decl2 = Session.last_window t in
+  print_endline "\n== decl of the typedef Page ==";
+  print_string (Htext.string (Hwin.body decl2))

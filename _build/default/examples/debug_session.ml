@@ -1,0 +1,36 @@
+(* The paper's worked example, replayed end to end: fixing the bug Sean
+   reported by mail, entirely with the mouse (figures 4-12).
+
+   Run with:  dune exec examples/debug_session.exe *)
+
+let rule = String.make 78 '='
+
+let () =
+  let o = Demo.run () in
+  List.iter
+    (fun (s : Demo.step) ->
+      Printf.printf "%s\n%s   [clicks %d, keys %d, commands %d, actionable tokens on screen %d]\n%s\n"
+        rule s.s_label s.s_counts.Metrics.clicks s.s_counts.Metrics.keys
+        s.s_counts.Metrics.execs s.s_connectivity rule;
+      print_string s.s_dump;
+      print_newline ())
+    o.Demo.steps;
+  let total =
+    List.fold_left
+      (fun acc (s : Demo.step) -> Metrics.add acc s.s_counts)
+      Metrics.zero o.Demo.steps
+  in
+  Printf.printf "%s\nwhole session: %d clicks, %d keystrokes, %d commands\n"
+    rule total.Metrics.clicks total.Metrics.keys total.Metrics.execs;
+  Printf.printf
+    "\"Through this entire demo I haven't yet touched the keyboard.\"  keys = %d\n"
+    total.Metrics.keys;
+  let t = o.Demo.session in
+  let disk = Vfs.read_file t.Session.ns (Corpus.src_dir ^ "/exec.c") in
+  let has s hay =
+    let n = String.length s and m = String.length hay in
+    let rec f i = i + n <= m && (String.sub hay i n = s || f (i + 1)) in
+    f 0
+  in
+  Printf.printf "the offending line is gone from exec.c on disk: %b\n"
+    (not (has "\tn = 0;" disk))

@@ -1,0 +1,46 @@
+(* The mail tool: reading, viewing, deleting and rereading mail, all
+   through windows on plain files — "none of the tool programs has any
+   code to interact directly with the keyboard or mouse".
+
+   Run with:  dune exec examples/mail_session.exe *)
+
+let () =
+  let t = Session.boot () in
+
+  (* Execute headers in the mail tool (one middle click). *)
+  let mail_stf = Session.win t "/help/mail/stf" in
+  Session.exec_word t mail_stf "headers";
+  let headers = Session.win t Corpus.mbox_path in
+  print_endline "== headers window ==";
+  print_string (Htext.string (Hwin.body headers));
+
+  (* Point at howard's line, view the message. *)
+  Session.point_at t headers "6 howard";
+  Session.exec_word t mail_stf "messages";
+  let msg = Session.last_window t in
+  print_endline "\n== howard's message ==";
+  print_string (Htext.string (Hwin.body msg));
+
+  (* Delete message 6 and watch the headers window refresh in place
+     (the delete script rewrites the window body over /mnt/help). *)
+  Session.point_at t headers "6 howard";
+  Session.exec_word t mail_stf "delete";
+  print_endline "\n== headers after deleting howard's message ==";
+  print_string (Htext.string (Hwin.body headers));
+
+  (* reread re-runs the listing against the mbox. *)
+  Session.point_at t headers "2 sean";
+  Session.exec_word t mail_stf "reread";
+  print_endline "\n== headers after reread ==";
+  print_string (Htext.string (Hwin.body headers));
+
+  (* send: answer Sean (this is the moment the paper stops — "to answer
+     his mail I'd have to type something").  We type something. *)
+  let new_win = Help.new_window t.Session.help ~name:"/tmp/reply" () in
+  ignore new_win;
+  let r = Rc.run t.Session.sh ~stdin:"the bug is fixed, thanks!\n"
+      "mailtool send sean" in
+  print_endline "\n== sending a reply ==";
+  print_string r.Rc.r_out;
+  Printf.printf "queued mail:\n%s"
+    (try Vfs.read_file t.Session.ns "/mail/queue" with Vfs.Error _ -> "(none)\n")

@@ -1,0 +1,49 @@
+(* Quickstart: boot a help session, open a file, edit it with mouse
+   and keyboard events, write it back, and look at the screen.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A full session: namespace with the corpus, shell with every tool,
+     /mnt/help mounted over the protocol, tools loaded. *)
+  let t = Session.boot () in
+  let help = t.Session.help in
+
+  print_endline "== the boot screen (paper, figure 4) ==";
+  print_string (Session.dump t);
+
+  (* Open a file by the Open built-in, exactly as a middle click does. *)
+  let profile_path = Corpus.home ^ "/lib/profile" in
+  (match Help.open_file help ~dir:"/" profile_path with
+  | Some _ -> Printf.printf "\nOpened %s\n" profile_path
+  | None -> failwith "could not open the profile");
+  let w = Session.win t profile_path in
+
+  (* Point at the word "fortune" and sweep it, then type over it. *)
+  Session.sweep t w "fortune";
+  Session.type_text t "news";
+  Printf.printf "replaced 'fortune' with 'news'; window dirty: %b\n"
+    (Hwin.dirty w);
+
+  (* The tag now carries Put! — click it to write the file out. *)
+  Session.exec_tag_word t w "Put!";
+  Printf.printf "after Put!, dirty: %b\n" (Hwin.dirty w);
+
+  (* Execute an external command in the window's directory context;
+     output lands in the Errors window. *)
+  Help.execute help w "grep -n news profile";
+  let errors = Help.errors_window help in
+  print_endline "\n== Errors window after 'grep -n news profile' ==";
+  print_string (Htext.string (Hwin.body errors));
+
+  (* And the programmatic interface: every window is a set of files. *)
+  let id = Hwin.id w in
+  let r =
+    Rc.run t.Session.sh
+      (Printf.sprintf "grep -n news /mnt/help/%d/body | sed 1q" id)
+  in
+  print_endline "== the same text through /mnt/help (over 9P) ==";
+  print_string r.Rc.r_out;
+
+  print_endline "\n== final screen ==";
+  print_string (Session.dump t)

@@ -1,0 +1,46 @@
+(* Running the applications on a CPU server while help stays on the
+   terminal — the paper's sketch: "help could run on the terminal and
+   make an invisible call to the CPU server, sending requests to run
+   applications to the remote shell-like process."
+
+   The session below is the same bug hunt as debug_session, but every
+   external command (the mail tools, adb, the C browser, mk) executes
+   on a second machine whose view of the terminal's files — including
+   the /mnt/help service — is imported over a 9P link.  The user cannot
+   tell the difference; the link counters can.
+
+   Run with:  dune exec examples/remote_session.exe *)
+
+let () =
+  let o = Demo.run ~keep_screens:false ~remote:true () in
+  let t = o.Demo.session in
+  let total =
+    List.fold_left
+      (fun acc (s : Demo.step) -> Metrics.add acc s.s_counts)
+      Metrics.zero o.Demo.steps
+  in
+  Printf.printf "the whole worked example, applications on the CPU server:\n";
+  Printf.printf "  clicks %d, keystrokes %d, commands %d\n" total.Metrics.clicks
+    total.Metrics.keys total.Metrics.execs;
+  let disk = Vfs.read_file t.Session.ns (Corpus.src_dir ^ "/exec.c") in
+  let has s hay =
+    let n = String.length s and m = String.length hay in
+    let rec f i = i + n <= m && (String.sub hay i n = s || f (i + 1)) in
+    f 0
+  in
+  Printf.printf "  bug fixed on the terminal's disk: %b\n"
+    (not (has "\tn = 0;" disk));
+  match t.Session.cpu with
+  | None -> print_endline "no CPU server?!"
+  | Some c ->
+      print_endline "\n9P traffic over the terminal link, by message kind:";
+      let stats = Cpu.link_stats c in
+      List.iter (fun (k, v) -> Printf.printf "  %-8s %6d\n" k v) stats;
+      Printf.printf "  %-8s %6d\n" "TOTAL"
+        (List.fold_left (fun a (_, v) -> a + v) 0 stats);
+      print_endline
+        "\nevery one of those was a walk/open/read/write/clunk a remote\n\
+         application performed against the terminal's namespace — the\n\
+         user interface included.  \"help's structure as a Plan 9 file\n\
+         server makes the implementation of this sort of multiplexing\n\
+         straightforward.\""

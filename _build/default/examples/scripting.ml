@@ -1,0 +1,74 @@
+(* Building a windowed application with no user-interface code at all:
+   a handful of shell-script lines against /mnt/help.
+
+   The paper's point: "We would not need to write any user interface
+   software."  This example writes a tiny 'todo' application — a window
+   that lists items, plus scripts to add and clear them — entirely as
+   rc scripts over the file interface, then drives it.
+
+   Run with:  dune exec examples/scripting.exe *)
+
+let () =
+  let t = Session.boot () in
+  let ns = t.Session.ns in
+  let sh = t.Session.sh in
+
+  (* The application: three shell scripts in a tool directory. *)
+  Vfs.mkdir_p ns "/help/todo";
+  Vfs.write_file ns "/help/todo/stf" "show add done\n";
+
+  (* show: create (or refresh) the todo window from a plain file *)
+  Vfs.write_file ns "/help/todo/show"
+    "x=`{cat /mnt/help/new/ctl}\n\
+     echo tag /lib/todo' /help/todo Close!' > /mnt/help/$x/ctl\n\
+     cat /lib/todo > /mnt/help/$x/bodyapp\n";
+
+  (* add: append the currently selected text as a new item, then
+     refresh every window showing the list via the index file *)
+  Vfs.write_file ns "/help/todo/add"
+    "eval `{help/parse -l}\n\
+     echo $text >> /lib/todo\n\
+     for(w in `{grep /lib/todo /mnt/help/index | sed s/\\t.*//}) \
+     cat /lib/todo > /mnt/help/$w/body\n";
+
+  (* done: clear the list *)
+  Vfs.write_file ns "/help/todo/done"
+    "echo > /lib/todo\n\
+     for(w in `{grep /lib/todo /mnt/help/index | sed s/\\t.*//}) \
+     cat /lib/todo > /mnt/help/$w/body\n";
+
+  Vfs.write_file ns "/lib/todo" "fix the placement heuristic\n";
+
+  (* Open the tool and run it, with mouse clicks only. *)
+  (match Help.open_file t.Session.help ~dir:"/" "/help/todo/stf" with
+  | Some _ -> ()
+  | None -> failwith "open todo tool");
+  let tool = Session.win t "/help/todo/stf" in
+  Session.exec_word t tool "show";
+  let todo_win = Session.win t "/lib/todo" in
+  print_endline "== the todo window ==";
+  print_string (Htext.string (Hwin.body todo_win));
+
+  (* Select a line of text anywhere and add it as an item: here, a line
+     of the profile. *)
+  (match Help.open_file t.Session.help ~dir:"/" (Corpus.home ^ "/lib/profile") with
+  | Some _ -> ()
+  | None -> failwith "open profile");
+  let profile = Session.win t (Corpus.home ^ "/lib/profile") in
+  Session.point_at t profile "fortune";
+  Session.exec_word t tool "add";
+  print_endline "\n== after adding the selected line ==";
+  print_string (Htext.string (Hwin.body todo_win));
+
+  (* The window refresh went through the index file: prove it by reading
+     the index ourselves. *)
+  let r = Rc.run sh "cat /mnt/help/index" in
+  print_endline "\n== /mnt/help/index ==";
+  print_string r.Rc.r_out;
+
+  (* Clear. *)
+  Session.exec_word t tool "done";
+  print_endline "\n== after done ==";
+  print_string (Htext.string (Hwin.body todo_win));
+
+  Printf.printf "\ntotal user-interface code written for this app: 0 lines\n"

@@ -1,0 +1,1 @@
+lib/cbr/c_lexer.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/cbr/c_symbols.ml: Array C_lexer Hashtbl List Option

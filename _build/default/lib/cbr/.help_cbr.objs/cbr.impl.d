@@ -1,0 +1,1 @@
+lib/cbr/cbr.ml: Buffer C_lexer C_symbols Hashtbl List Printf Rc String Vfs

@@ -1,0 +1,1 @@
+lib/cbr/cbr.mli: C_symbols Rc Vfs

@@ -1,0 +1,555 @@
+(* Symbol resolution over C token streams: "a compiler with no code
+   generator — it parses the program and manages the symbol table".
+
+   The parser recognizes declarations structurally (specifiers +
+   declarators, struct/union/enum bodies, typedefs, function definitions
+   with parameter scopes, block scopes) and records every identifier
+   occurrence, resolved against the scope stack at that point.  It is
+   deliberately lenient inside expressions: there it only needs to see
+   identifiers, not to build an AST. *)
+
+type kind =
+  | Kvar
+  | Kfunc
+  | Ktypedef
+  | Kparam
+  | Kenum_const
+  | Kstruct_tag
+  | Kfield
+
+let kind_name = function
+  | Kvar -> "var"
+  | Kfunc -> "func"
+  | Ktypedef -> "typedef"
+  | Kparam -> "param"
+  | Kenum_const -> "enum"
+  | Kstruct_tag -> "tag"
+  | Kfield -> "field"
+
+type decl = {
+  d_id : int;
+  d_name : string;
+  d_kind : kind;
+  d_pos : C_lexer.pos;
+  d_global : bool;
+}
+
+type occurrence = {
+  o_name : string;
+  o_pos : C_lexer.pos;
+  o_decl : int option;  (* resolved decl id; None for externals *)
+  o_is_decl : bool;
+}
+
+type program = {
+  p_decls : decl list;
+  p_occs : occurrence list;
+  p_errors : (string * C_lexer.pos) list;
+}
+
+type state = {
+  toks : C_lexer.spanned array;
+  mutable at : int;
+  mutable scopes : (string, decl) Hashtbl.t list;
+  tags : (string, decl) Hashtbl.t;
+  typedefs : (string, unit) Hashtbl.t;
+  mutable decls : decl list;
+  mutable occs : occurrence list;
+  mutable errors : (string * C_lexer.pos) list;
+  mutable next_id : int;
+}
+
+let peek st = st.toks.(st.at).C_lexer.tok
+let peek2 st =
+  if st.at + 1 < Array.length st.toks then st.toks.(st.at + 1).C_lexer.tok
+  else C_lexer.Eof
+let pos st = st.toks.(st.at).C_lexer.pos
+let advance st = if st.at < Array.length st.toks - 1 then st.at <- st.at + 1
+
+let error st msg = st.errors <- (msg, pos st) :: st.errors
+
+let push_scope st = st.scopes <- Hashtbl.create 16 :: st.scopes
+let pop_scope st =
+  match st.scopes with
+  | _ :: (_ :: _ as rest) -> st.scopes <- rest
+  | _ -> ()
+
+let declare st name kind p =
+  (* Fields and tags live in their own namespaces, not the value scope:
+     they are never "global symbols" for cross-reference grouping. *)
+  let global =
+    (match st.scopes with [ _ ] -> true | _ -> false)
+    && kind <> Kfield && kind <> Kstruct_tag
+  in
+  (* Headers are re-included across translation units: a global
+     declaration at the same source position is the same declaration. *)
+  let existing =
+    if global then
+      match st.scopes with
+      | scope :: _ -> (
+          match Hashtbl.find_opt scope name with
+          | Some d when d.d_pos = p -> Some d
+          | _ -> None)
+      | [] -> None
+    else None
+  in
+  match existing with
+  | Some d ->
+      st.occs <-
+        { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = true }
+        :: st.occs;
+      d
+  | None ->
+      let d =
+        {
+          d_id = st.next_id;
+          d_name = name;
+          d_kind = kind;
+          d_pos = p;
+          d_global = global;
+        }
+      in
+      st.next_id <- st.next_id + 1;
+      st.decls <- d :: st.decls;
+      (match st.scopes with
+      | scope :: _ when kind <> Kstruct_tag && kind <> Kfield ->
+          Hashtbl.replace scope name d
+      | _ -> ());
+      if kind = Kstruct_tag then Hashtbl.replace st.tags name d;
+      if kind = Ktypedef then Hashtbl.replace st.typedefs name ();
+      st.occs <-
+        { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = true }
+        :: st.occs;
+      d
+
+let resolve st name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some d -> Some d
+        | None -> go rest)
+  in
+  go st.scopes
+
+let record_use st name p =
+  let d = resolve st name in
+  st.occs <-
+    {
+      o_name = name;
+      o_pos = p;
+      o_decl = Option.map (fun d -> d.d_id) d;
+      o_is_decl = false;
+    }
+    :: st.occs
+
+let record_tag_use st name p =
+  match Hashtbl.find_opt st.tags name with
+  | Some d ->
+      st.occs <-
+        { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = false }
+        :: st.occs
+  | None ->
+      st.occs <-
+        { o_name = name; o_pos = p; o_decl = None; o_is_decl = false }
+        :: st.occs
+
+let is_typedef st name = Hashtbl.mem st.typedefs name
+
+let type_keywords =
+  [ "void"; "char"; "short"; "int"; "long"; "float"; "double"; "signed";
+    "unsigned"; "struct"; "union"; "enum"; "const"; "volatile" ]
+
+let storage_keywords = [ "typedef"; "extern"; "static"; "auto"; "register" ]
+
+(* Does a declaration begin at the current token? *)
+let starts_decl st =
+  match peek st with
+  | C_lexer.Keyword k -> List.mem k type_keywords || List.mem k storage_keywords
+  | C_lexer.Ident name ->
+      is_typedef st name
+      && (match peek2 st with
+         | C_lexer.Ident _ -> true
+         | C_lexer.Punct "*" -> true
+         | _ -> false)
+  | _ -> false
+
+(* Scan an expression region, recording identifier uses, until one of
+   [stops] appears at paren/bracket/brace depth 0.  Leaves the stop
+   token current. *)
+let scan_expr st stops =
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match peek st with
+    | C_lexer.Eof -> continue := false
+    | C_lexer.Punct p when !depth = 0 && List.mem p stops -> continue := false
+    | C_lexer.Punct ("(" | "[" | "{") ->
+        incr depth;
+        advance st
+    | C_lexer.Punct (")" | "]" | "}") ->
+        if !depth = 0 then continue := false
+        else begin
+          decr depth;
+          advance st
+        end
+    | C_lexer.Ident name ->
+        (* Not a member name after '.' or '->'. *)
+        let prev =
+          if st.at > 0 then Some st.toks.(st.at - 1).C_lexer.tok else None
+        in
+        (match prev with
+        | Some (C_lexer.Punct ".") | Some (C_lexer.Punct "->") -> ()
+        | _ -> record_use st name (pos st));
+        advance st
+    | C_lexer.Keyword ("struct" | "union" | "enum") ->
+        (* cast or sizeof(struct X) *)
+        advance st;
+        (match peek st with
+        | C_lexer.Ident tag ->
+            record_tag_use st tag (pos st);
+            advance st
+        | _ -> ())
+    | _ -> advance st)
+  done
+
+let rec parse_struct_body st =
+  (* current token is '{' *)
+  advance st;
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Punct "}" ->
+        advance st;
+        continue := false
+    | C_lexer.Eof -> continue := false
+    | _ -> parse_declaration st ~context:`Field
+  done
+
+and parse_enum_body st =
+  advance st;
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Punct "}" ->
+        advance st;
+        continue := false
+    | C_lexer.Eof -> continue := false
+    | C_lexer.Ident name ->
+        let p = pos st in
+        advance st;
+        ignore (declare st name Kenum_const p);
+        (match peek st with
+        | C_lexer.Punct "=" ->
+            advance st;
+            scan_expr st [ ","; "}" ]
+        | _ -> ());
+        (match peek st with C_lexer.Punct "," -> advance st | _ -> ())
+    | _ -> advance st
+  done
+
+(* Parse specifiers; returns [is_typedef_decl]. *)
+and parse_specifiers st =
+  let is_typedef_decl = ref false in
+  let saw_type = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Keyword "typedef" ->
+        is_typedef_decl := true;
+        advance st
+    | C_lexer.Keyword k when List.mem k storage_keywords -> advance st
+    | C_lexer.Keyword ("const" | "volatile") -> advance st
+    | C_lexer.Keyword (("struct" | "union") as _su) ->
+        advance st;
+        saw_type := true;
+        (match peek st with
+        | C_lexer.Ident tag ->
+            let p = pos st in
+            advance st;
+            if peek st = C_lexer.Punct "{" then begin
+              ignore (declare st tag Kstruct_tag p);
+              parse_struct_body st
+            end
+            else record_tag_use st tag p
+        | C_lexer.Punct "{" -> parse_struct_body st
+        | _ -> ())
+    | C_lexer.Keyword "enum" ->
+        advance st;
+        saw_type := true;
+        (match peek st with
+        | C_lexer.Ident tag ->
+            let p = pos st in
+            advance st;
+            if peek st = C_lexer.Punct "{" then begin
+              ignore (declare st tag Kstruct_tag p);
+              parse_enum_body st
+            end
+            else record_tag_use st tag p
+        | C_lexer.Punct "{" -> parse_enum_body st
+        | _ -> ())
+    | C_lexer.Keyword k when List.mem k type_keywords ->
+        saw_type := true;
+        advance st
+    | C_lexer.Ident name when (not !saw_type) && is_typedef st name ->
+        record_use st name (pos st);
+        saw_type := true;
+        advance st
+    | _ -> continue := false
+  done;
+  !is_typedef_decl
+
+(* Parse one declarator: pointers, name, arrays, parameter list.
+   Returns (name, pos, is_function, params) — params are the recorded
+   (name, pos) pairs for re-declaration in a following body. *)
+and parse_declarator st =
+  let rec skip_stars () =
+    match peek st with
+    | C_lexer.Punct "*" | C_lexer.Keyword ("const" | "volatile") ->
+        advance st;
+        skip_stars ()
+    | _ -> ()
+  in
+  skip_stars ();
+  let name_info = ref None in
+  (match peek st with
+  | C_lexer.Ident name ->
+      name_info := Some (name, pos st);
+      advance st
+  | C_lexer.Punct "(" ->
+      (* function pointer: ( * name ) *)
+      advance st;
+      skip_stars ();
+      (match peek st with
+      | C_lexer.Ident name ->
+          name_info := Some (name, pos st);
+          advance st
+      | _ -> ());
+      (match peek st with C_lexer.Punct ")" -> advance st | _ -> ())
+  | _ -> ());
+  let is_function = ref false in
+  let params = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Punct "[" ->
+        advance st;
+        scan_expr st [ "]" ];
+        (match peek st with C_lexer.Punct "]" -> advance st | _ -> ())
+    | C_lexer.Punct "(" ->
+        is_function := true;
+        advance st;
+        params := parse_params st
+    | _ -> continue := false
+  done;
+  (!name_info, !is_function, !params)
+
+(* Parameter list: 'void', '...' or comma-separated declarations.
+   Parameters are declared into a throwaway scope here; the caller
+   re-declares them in the body scope for definitions. *)
+and parse_params st =
+  let params = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Punct ")" ->
+        advance st;
+        continue := false
+    | C_lexer.Eof -> continue := false
+    | C_lexer.Punct "," -> advance st
+    | C_lexer.Punct "..." -> advance st
+    | C_lexer.Keyword "void" when peek2 st = C_lexer.Punct ")" ->
+        advance st
+    | _ ->
+        let before = st.at in
+        ignore (parse_specifiers st);
+        let name_info, _is_fn, _ = parse_declarator st in
+        (match name_info with
+        | Some (name, p) -> params := (name, p) :: !params
+        | None -> ());
+        (* guarantee progress on malformed parameter lists *)
+        if st.at = before then begin
+          error st "unexpected token in parameter list";
+          advance st
+        end
+  done;
+  List.rev !params
+
+and parse_declaration st ~context =
+  let is_typedef_decl = parse_specifiers st in
+  (* A bare 'struct X { ... };' has no declarators. *)
+  if peek st = C_lexer.Punct ";" then advance st
+  else begin
+    let continue = ref true in
+    while !continue do
+      let name_info, is_function, params = parse_declarator st in
+      (match name_info with
+      | Some (name, p) ->
+          let kind =
+            if is_typedef_decl then Ktypedef
+            else if context = `Field then Kfield
+            else if is_function then Kfunc
+            else Kvar
+          in
+          let _d = declare st name kind p in
+          (* Function definition: body follows. *)
+          if is_function && peek st = C_lexer.Punct "{" && context = `Top
+          then begin
+            push_scope st;
+            List.iter (fun (pn, pp) -> ignore (declare st pn Kparam pp)) params;
+            parse_block st;
+            pop_scope st;
+            continue := false
+          end
+          else begin
+            (* initializer *)
+            (match peek st with
+            | C_lexer.Punct "=" ->
+                advance st;
+                scan_expr st [ ","; ";" ]
+            | _ -> ());
+            match peek st with
+            | C_lexer.Punct "," -> advance st
+            | C_lexer.Punct ";" ->
+                advance st;
+                continue := false
+            | _ ->
+                error st "expected , or ; in declaration";
+                advance st;
+                continue := false
+          end
+      | None -> (
+          match peek st with
+          | C_lexer.Punct ";" ->
+              advance st;
+              continue := false
+          | C_lexer.Punct "," -> advance st
+          | _ ->
+              error st "expected declarator";
+              advance st;
+              continue := false))
+    done
+  end
+
+(* current token is '{' *)
+and parse_block st =
+  advance st;
+  push_scope st;
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | C_lexer.Punct "}" ->
+        advance st;
+        continue := false
+    | C_lexer.Eof -> continue := false
+    | _ -> parse_statement st
+  done;
+  pop_scope st
+
+and parse_statement st =
+  match peek st with
+  | C_lexer.Punct "{" -> parse_block st
+  | C_lexer.Punct ";" -> advance st
+  | C_lexer.Keyword ("if" | "while" | "switch" | "for") ->
+      advance st;
+      (match peek st with
+      | C_lexer.Punct "(" ->
+          advance st;
+          scan_expr st [ ")" ];
+          (match peek st with C_lexer.Punct ")" -> advance st | _ -> ())
+      | _ -> ());
+      parse_statement st;
+      (* possible else after if-statement *)
+      if peek st = C_lexer.Keyword "else" then begin
+        advance st;
+        parse_statement st
+      end
+  | C_lexer.Keyword "do" ->
+      advance st;
+      parse_statement st;
+      if peek st = C_lexer.Keyword "while" then begin
+        advance st;
+        (match peek st with
+        | C_lexer.Punct "(" ->
+            advance st;
+            scan_expr st [ ")" ];
+            (match peek st with C_lexer.Punct ")" -> advance st | _ -> ())
+        | _ -> ());
+        match peek st with C_lexer.Punct ";" -> advance st | _ -> ()
+      end
+  | C_lexer.Keyword "else" ->
+      advance st;
+      parse_statement st
+  | C_lexer.Keyword "return" ->
+      advance st;
+      scan_expr st [ ";" ];
+      (match peek st with C_lexer.Punct ";" -> advance st | _ -> ())
+  | C_lexer.Keyword ("break" | "continue") ->
+      advance st;
+      (match peek st with C_lexer.Punct ";" -> advance st | _ -> ())
+  | C_lexer.Keyword "goto" ->
+      advance st;
+      (match peek st with C_lexer.Ident _ -> advance st | _ -> ());
+      (match peek st with C_lexer.Punct ";" -> advance st | _ -> ())
+  | C_lexer.Keyword "case" ->
+      advance st;
+      scan_expr st [ ":" ];
+      (match peek st with C_lexer.Punct ":" -> advance st | _ -> ())
+  | C_lexer.Keyword "default" ->
+      advance st;
+      (match peek st with C_lexer.Punct ":" -> advance st | _ -> ())
+  | C_lexer.Ident _ when peek2 st = C_lexer.Punct ":" ->
+      (* label *)
+      advance st;
+      advance st
+  | _ when starts_decl st -> parse_declaration st ~context:`Local
+  | _ ->
+      scan_expr st [ ";" ];
+      (match peek st with C_lexer.Punct ";" -> advance st | _ -> ())
+
+let create_state () =
+  {
+    toks = [||];
+    at = 0;
+    scopes = [ Hashtbl.create 64 ];
+    tags = Hashtbl.create 32;
+    typedefs = Hashtbl.create 32;
+    decls = [];
+    occs = [];
+    errors = [];
+    next_id = 0;
+  }
+
+(* Parse one translation unit's tokens into shared global state
+   (cross-file resolution: all of *.c sees the same globals, as the
+   linker would arrange). *)
+let parse_unit st toks =
+  let st' = { st with toks = Array.of_list toks; at = 0 } in
+  (* keep only the global scope between units *)
+  let rec globals = function [ g ] -> [ g ] | _ :: r -> globals r | [] -> [] in
+  st'.scopes <- globals st.scopes;
+  let continue = ref true in
+  while !continue do
+    match peek st' with
+    | C_lexer.Eof -> continue := false
+    | C_lexer.Punct ";" -> advance st'
+    | _ ->
+        let before = st'.at in
+        parse_declaration st' ~context:`Top;
+        if st'.at = before then begin
+          error st' "cannot make progress";
+          advance st'
+        end
+  done;
+  (* propagate accumulated results back *)
+  st.decls <- st'.decls;
+  st.occs <- st'.occs;
+  st.errors <- st'.errors;
+  st.next_id <- st'.next_id
+
+let finish st =
+  {
+    p_decls = List.rev st.decls;
+    p_occs = List.rev st.occs;
+    p_errors = List.rev st.errors;
+  }

@@ -1,0 +1,310 @@
+type program = C_symbols.program
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessor-lite                                                   *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Parse an #include line; returns (name, system?) or None. *)
+let include_of line =
+  let t = String.trim line in
+  if not (starts_with "#include" t) then None
+  else
+    let rest = String.trim (String.sub t 8 (String.length t - 8)) in
+    let n = String.length rest in
+    if n >= 2 && rest.[0] = '"' then
+      match String.index_from_opt rest 1 '"' with
+      | Some stop -> Some (String.sub rest 1 (stop - 1), false)
+      | None -> None
+    else if n >= 2 && rest.[0] = '<' then
+      match String.index_from_opt rest 1 '>' with
+      | Some stop -> Some (String.sub rest 1 (stop - 1), true)
+      | None -> None
+    else None
+
+let preprocess ns ~dir path =
+  let out = Buffer.create 4096 in
+  let included = Hashtbl.create 8 in
+  let marker line file = Printf.sprintf "# %d \"%s\"\n" line file in
+  let rec expand ~dir ~display path =
+    let abs =
+      if starts_with "/" path then Vfs.normalize path
+      else Vfs.normalize (dir ^ "/" ^ path)
+    in
+    match Vfs.read_file ns abs with
+    | exception Vfs.Error _ ->
+        Buffer.add_string out
+          (Printf.sprintf "/* missing include: %s */\n" display)
+    | content ->
+        Hashtbl.replace included abs ();
+        Buffer.add_string out (marker 1 display);
+        let lines = String.split_on_char '\n' content in
+        List.iteri
+          (fun i line ->
+            match include_of line with
+            | Some (name, system) ->
+                let idir, idisplay =
+                  if system then ("/sys/include", name)
+                  else
+                    ( Vfs.dirname abs,
+                      if starts_with "/" name then name else "./" ^ name )
+                in
+                let iabs =
+                  if starts_with "/" name then Vfs.normalize name
+                  else Vfs.normalize (idir ^ "/" ^ name)
+                in
+                if not (Hashtbl.mem included iabs) then
+                  expand ~dir:idir ~display:idisplay name;
+                Buffer.add_string out (marker (i + 2) display)
+            | None ->
+                Buffer.add_string out line;
+                Buffer.add_char out '\n')
+          lines
+  in
+  let display =
+    if starts_with "/" path then path else path
+  in
+  expand ~dir ~display path;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+
+let analyze ns ~cwd files =
+  let st = C_symbols.create_state () in
+  List.iter
+    (fun file ->
+      let text = preprocess ns ~dir:cwd file in
+      let toks = C_lexer.tokenize ~file text in
+      C_symbols.parse_unit st toks)
+    files;
+  C_symbols.finish st
+
+let file_eq a b =
+  let strip s = if starts_with "./" s then String.sub s 2 (String.length s - 2) else s in
+  strip a = strip b || Vfs.basename a = Vfs.basename b
+
+let find_occurrence (p : program) ~file ~line ~name =
+  List.find_opt
+    (fun (o : C_symbols.occurrence) ->
+      o.o_name = name && o.o_pos.line = line && file_eq o.o_pos.file file)
+    p.C_symbols.p_occs
+
+let decl_by_id (p : program) id =
+  List.find_opt (fun (d : C_symbols.decl) -> d.d_id = id) p.C_symbols.p_decls
+
+let decl_of p ~file ~line ~name =
+  match find_occurrence p ~file ~line ~name with
+  | None -> None
+  | Some occ -> (
+      match occ.o_decl with
+      | None -> None
+      | Some id -> (
+          match decl_by_id p id with
+          | None -> None
+          | Some d ->
+              Some (d.d_pos.file, d.d_pos.line, C_symbols.kind_name d.d_kind)))
+
+let uses_of p ~file ~line ~name =
+  match find_occurrence p ~file ~line ~name with
+  | None -> []
+  | Some occ -> (
+      match occ.o_decl with
+      | None -> []
+      | Some id -> (
+          match decl_by_id p id with
+          | None -> []
+          | Some d ->
+              (* For a global, collect references to any same-named global
+                 declaration (extern in a header and the definition are the
+                 same object); for locals, exactly this decl. *)
+              let target_ids =
+                if d.d_global then
+                  List.filter_map
+                    (fun (d' : C_symbols.decl) ->
+                      if d'.d_global && d'.d_name = d.d_name then Some d'.d_id
+                      else None)
+                    p.C_symbols.p_decls
+                else [ id ]
+              in
+              List.filter_map
+                (fun (o : C_symbols.occurrence) ->
+                  match o.o_decl with
+                  | Some oid when List.mem oid target_ids ->
+                      Some (o.o_pos.file, o.o_pos.line)
+                  | _ -> None)
+                p.C_symbols.p_occs
+              |> List.sort_uniq compare))
+
+let grep_count ns ~cwd files pattern =
+  List.fold_left
+    (fun acc file ->
+      let abs =
+        if starts_with "/" file then file else Vfs.normalize (cwd ^ "/" ^ file)
+      in
+      match Vfs.read_file ns abs with
+      | exception Vfs.Error _ -> acc
+      | content ->
+          let hits = ref 0 in
+          List.iter
+            (fun line ->
+              let nl = String.length line and np = String.length pattern in
+              let rec find i =
+                i + np <= nl && (String.sub line i np = pattern || find (i + 1))
+              in
+              if np > 0 && find 0 then incr hits)
+            (String.split_on_char '\n' content);
+          acc + !hits)
+    0 files
+
+(* ------------------------------------------------------------------ *)
+(* Native tools                                                        *)
+
+let cpp_native proc args =
+  let files =
+    List.filter (fun a -> not (starts_with "-" a)) (List.tl args)
+  in
+  match files with
+  | [] ->
+      Buffer.add_string (Rc.proc_err proc) "cpp: no input files\n";
+      1
+  | files ->
+      List.iter
+        (fun f ->
+          Buffer.add_string (Rc.proc_out proc)
+            (preprocess (Rc.proc_ns proc) ~dir:(Rc.proc_cwd proc) f))
+        files;
+      0
+
+(* rcc -w -g -i<ident> -n<line> -s<file> [-u]: the compiler without a
+   code generator.  Reads preprocessed C on stdin; prints the
+   declaration coordinate of <ident> at <file>:<line> (or all its
+   references with -u). *)
+let rcc_native proc args =
+  let ident = ref "" and line = ref 0 and file = ref "" and uses = ref false in
+  List.iter
+    (fun a ->
+      if starts_with "-i" a then ident := String.sub a 2 (String.length a - 2)
+      else if starts_with "-n" a then
+        line := (try int_of_string (String.sub a 2 (String.length a - 2)) with _ -> 0)
+      else if starts_with "-s" a then file := String.sub a 2 (String.length a - 2)
+      else if a = "-u" then uses := true)
+    (List.tl args);
+  if !ident = "" then begin
+    Buffer.add_string (Rc.proc_err proc) "rcc: no identifier (-i)\n";
+    1
+  end
+  else begin
+    let st = C_symbols.create_state () in
+    let toks = C_lexer.tokenize ~file:"<stdin>" (Rc.proc_stdin proc) in
+    C_symbols.parse_unit st toks;
+    let p = C_symbols.finish st in
+    (* If no position was given, use the identifier's first occurrence. *)
+    let file, line =
+      if !line > 0 && !file <> "" then (!file, !line)
+      else
+        match
+          List.find_opt
+            (fun (o : C_symbols.occurrence) -> o.o_name = !ident)
+            p.C_symbols.p_occs
+        with
+        | Some o -> (o.o_pos.file, o.o_pos.line)
+        | None -> (!file, !line)
+    in
+    if !uses then begin
+      match uses_of p ~file ~line ~name:!ident with
+      | [] ->
+          Buffer.add_string (Rc.proc_err proc)
+            (Printf.sprintf "rcc: %s: no references found\n" !ident);
+          1
+      | refs ->
+          List.iter
+            (fun (f, l) ->
+              Buffer.add_string (Rc.proc_out proc)
+                (Printf.sprintf "%s:%d\n" f l))
+            refs;
+          0
+    end
+    else begin
+      match decl_of p ~file ~line ~name:!ident with
+      | Some (f, l, kind) ->
+          Buffer.add_string (Rc.proc_out proc)
+            (Printf.sprintf "%s:%d	/* declaration of %s (%s) */\n" f l !ident kind);
+          0
+      | None ->
+          Buffer.add_string (Rc.proc_err proc)
+            (Printf.sprintf "rcc: %s: declaration not found\n" !ident);
+          1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tool scripts                                                        *)
+
+let stf = "Open mk src decl uses *.c\n"
+
+(* decl: three button clicks fetch the declaration of whatever C object
+   the user points at, "from whatever file in which it resides".  The
+   script runs in the directory of the window holding the selection
+   (the context rule), so coordinates come out relative to it and can
+   themselves be Opened. *)
+let decl_script =
+  "eval `{help/parse -c}\n\
+   x=`{cat /mnt/help/new/ctl}\n\
+   echo tag $dir/' decl '$id' Close!' > /mnt/help/$x/ctl\n\
+   cd $dir\n\
+   f=`{basename $file}\n\
+   cpp $cppflags $f | rcc -w -g -i$id -n$line -s$f | sed 1q > /mnt/help/$x/bodyapp\n\
+   echo select 0 0 > /mnt/help/$x/ctl\n"
+
+(* uses: the file arguments ("*.c") are re-evaluated in the selection's
+   directory, which is where the pattern is meant to glob. *)
+let uses_script =
+  "eval `{help/parse -c}\n\
+   x=`{cat /mnt/help/new/ctl}\n\
+   echo tag $dir/' uses '$id' Close!' > /mnt/help/$x/ctl\n\
+   cd $dir\n\
+   f=`{basename $file}\n\
+   eval cpp $cppflags $* | rcc -u -i$id -n$line -s$f > /mnt/help/$x/bodyapp\n"
+
+(* mk: compile in the directory of the selection, not of the tool. *)
+let mk_script =
+  "eval `{help/parse}\n\
+   cd $dir\n\
+   /bin/mk $*\n"
+
+(* src: show the source of a command found on $path. *)
+let src_script =
+  "eval `{help/parse -w}\n\
+   x=`{cat /mnt/help/new/ctl}\n\
+   echo tag src' '$id' Close!' > /mnt/help/$x/ctl\n\
+   cat `{whereis $id} > /mnt/help/$x/bodyapp\n"
+
+let whereis_native proc args =
+  match List.tl args with
+  | [ name ] -> (
+      match Rc.resolve (Rc.proc_shell proc) ~cwd:(Rc.proc_cwd proc) name with
+      | Some path ->
+          Buffer.add_string (Rc.proc_out proc) (path ^ "\n");
+          0
+      | None ->
+          Buffer.add_string (Rc.proc_err proc)
+            (Printf.sprintf "whereis: %s: not found\n" name);
+          1)
+  | _ ->
+      Buffer.add_string (Rc.proc_err proc) "usage: whereis name\n";
+      1
+
+let install sh =
+  Rc.register sh "/bin/cpp" cpp_native;
+  Rc.register sh "/bin/rcc" rcc_native;
+  Rc.register sh "/bin/whereis" whereis_native;
+  let ns = Rc.ns sh in
+  Vfs.mkdir_p ns "/help/cbr";
+  Vfs.write_file ns "/help/cbr/stf" stf;
+  Vfs.write_file ns "/help/cbr/decl" decl_script;
+  Vfs.write_file ns "/help/cbr/uses" uses_script;
+  Vfs.write_file ns "/help/cbr/src" src_script;
+  Vfs.write_file ns "/help/cbr/mk" mk_script

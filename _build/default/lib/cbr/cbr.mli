@@ -1,0 +1,42 @@
+(** The C browser: cpp-lite, symbol analysis, and the [/help/cbr] tools.
+
+    The paper turns "a compiler into a browser" by stripping the code
+    generator and wiring the front end to [help] with shell scripts; the
+    result answers {e decl} (where is the declaration of the identifier
+    the user points at?) and {e uses} (every reference to it) precisely,
+    where [grep n *.c] would return "every occurrence of the letter n".
+
+    This module provides: the preprocessor ({!preprocess}), whole-program
+    analysis ({!analyze}), the two queries, the native tools [/bin/cpp]
+    and [/bin/rcc], and the [/help/cbr] tool scripts. *)
+
+type program = C_symbols.program
+
+(** [preprocess ns ~dir path] splices ["..."]-includes (relative to the
+    including file) and [<...>]-includes (from [/sys/include]), emitting
+    [# line "file"] markers; each header is included once. *)
+val preprocess : Vfs.t -> dir:string -> string -> string
+
+(** Analyze source files as one program (shared globals, as the linker
+    would arrange). *)
+val analyze : Vfs.t -> cwd:string -> string list -> program
+
+(** The declaration position of the identifier [name] occurring at
+    [file]:[line].  File names compare modulo a leading [./]. *)
+val decl_of : program -> file:string -> line:int -> name:string ->
+  (string * int * string) option
+(** result: (file, line, kind) *)
+
+(** Every reference (declaration and uses) of the identifier [name]
+    occurring at [file]:[line], as (file, line) sorted pairs. *)
+val uses_of : program -> file:string -> line:int -> name:string ->
+  (string * int) list
+
+(** Count plain text-match lines, what [grep] would report (experiment
+    E4 compares this against {!uses_of}). *)
+val grep_count : Vfs.t -> cwd:string -> string list -> string -> int
+
+(** Register [/bin/cpp] and [/bin/rcc] natives and write the
+    [/help/cbr] tool scripts ([stf], [decl], [uses], [src], [mk] is
+    provided by the shell's coreutils). *)
+val install : Rc.t -> unit

@@ -1,0 +1,1 @@
+lib/core/hcol.ml: Frame Htext Hwin List

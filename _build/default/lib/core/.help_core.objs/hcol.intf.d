@@ -1,0 +1,1 @@
+lib/core/hcol.mli: Hwin

@@ -1,0 +1,1 @@
+lib/core/help.ml: Array Buffer Buffer0 Frame Hashtbl Hcol Hplace Hselect Htext Hwin List Option Printf Rc Regexp Rope Scanf Screen String Vfs

@@ -1,0 +1,1 @@
+lib/core/help.mli: Hcol Hplace Htext Hwin Rc Screen Vfs

@@ -1,0 +1,1 @@
+lib/core/hplace.ml: Hcol List

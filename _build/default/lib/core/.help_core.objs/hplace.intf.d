@@ -1,0 +1,1 @@
+lib/core/hplace.mli: Hcol

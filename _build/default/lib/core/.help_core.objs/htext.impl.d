@@ -1,0 +1,1 @@
+lib/core/htext.ml: Buffer0 Frame Rope String

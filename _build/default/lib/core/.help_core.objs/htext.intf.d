@@ -1,0 +1,1 @@
+lib/core/htext.mli: Buffer0 Frame

@@ -1,0 +1,1 @@
+lib/core/hwin.ml: Buffer0 Htext String Vfs

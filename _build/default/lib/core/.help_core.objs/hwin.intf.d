@@ -1,0 +1,1 @@
+lib/core/hwin.mli: Buffer0 Htext

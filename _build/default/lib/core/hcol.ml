@@ -1,0 +1,105 @@
+type entry = { win : Hwin.t; mutable y : int; mutable shown : bool }
+
+type t = { mutable cx : int; mutable cw : int; mutable entries : entry list }
+
+type geom = { g_win : Hwin.t; g_y : int; g_h : int }
+
+let create ~x ~w = { cx = x; cw = w; entries = [] }
+
+let x t = t.cx
+let w t = t.cw
+
+let set_span t ~x ~w =
+  t.cx <- x;
+  t.cw <- w
+
+(* The tab tower takes the leftmost cell and the scroll bar the next:
+   window text spans the remaining width. *)
+let text_w t = max 1 (t.cw - 2)
+
+let windows t = List.map (fun e -> e.win) t.entries
+
+let mem t win = List.exists (fun e -> e.win == win) t.entries
+
+let entry_of t win = List.find_opt (fun e -> e.win == win) t.entries
+
+(* Keep entries sorted by y (covered windows keep their last y so the
+   tab tower preserves their place). *)
+let resort t =
+  t.entries <- List.stable_sort (fun a b -> compare a.y b.y) t.entries
+
+(* Re-establish the stacking invariants: shown entries have strictly
+   increasing tag rows within [1, h-1]; entries pushed off the bottom
+   are covered. *)
+let normalize t ~h =
+  resort t;
+  let next_free = ref 1 in
+  List.iter
+    (fun e ->
+      if e.shown then begin
+        let y = max e.y !next_free in
+        if y > h - 1 then e.shown <- false
+        else begin
+          e.y <- y;
+          next_free := y + 1
+        end
+      end)
+    t.entries
+
+let geoms t ~h =
+  let shown = List.filter (fun e -> e.shown) t.entries in
+  let sorted = List.sort (fun a b -> compare a.y b.y) shown in
+  let rec go = function
+    | [] -> []
+    | e :: rest ->
+        let bottom = match rest with e' :: _ -> e'.y | [] -> h in
+        { g_win = e.win; g_y = e.y; g_h = max 0 (bottom - e.y) } :: go rest
+  in
+  go sorted
+
+let add t ~h win ~y =
+  let y = max 1 (min y (h - 1)) in
+  t.entries <- t.entries @ [ { win; y; shown = true } ];
+  normalize t ~h
+
+let remove t win = t.entries <- List.filter (fun e -> e.win != win) t.entries
+
+let move t ~h win ~y =
+  match entry_of t win with
+  | None -> ()
+  | Some e ->
+      e.y <- max 1 (min y (h - 1));
+      e.shown <- true;
+      normalize t ~h
+
+let reveal t ~h win =
+  match entry_of t win with
+  | None -> ()
+  | Some e ->
+      e.shown <- true;
+      if e.y > h - 2 then e.y <- max 1 (h - 2);
+      (* cover everything below: the window runs to the bottom *)
+      List.iter
+        (fun e' -> if e' != e && e'.y >= e.y then e'.shown <- false)
+        t.entries;
+      normalize t ~h
+
+let used_bottom t ~h =
+  let gs = geoms t ~h in
+  List.fold_left
+    (fun acc g ->
+      let body_h = max 0 (g.g_h - 1) in
+      let body_used =
+        if body_h = 0 then 0
+        else
+          let f = Htext.layout (Hwin.body g.g_win) ~w:(text_w t) ~h:body_h in
+          Frame.rows_used f
+      in
+      max acc (g.g_y + 1 + body_used))
+    1 gs
+
+let at_row t ~h y =
+  List.find_opt (fun g -> y >= g.g_y && y < g.g_y + g.g_h) (geoms t ~h)
+
+let visible t ~h win =
+  List.exists (fun g -> g.g_win == win && g.g_h >= 1) (geoms t ~h)

@@ -1,0 +1,66 @@
+(** A column of windows.
+
+    The screen is tiled with windows "arranged in (usually) two
+    side-by-side columns".  Windows in a column are stacked: each shows
+    from its top row down to the next window's top (or the bottom of the
+    screen).  A window squeezed to less than its tag is covered
+    completely — "help attempts to make at least the tag of a window
+    fully visible; if this is impossible, it covers the window
+    completely".  Covered windows keep their place in the column's tab
+    tower ("these tabs represent the windows in the column, visible or
+    invisible"). *)
+
+type t
+
+type geom = {
+  g_win : Hwin.t;
+  g_y : int;  (** screen row of the tag *)
+  g_h : int;  (** total rows including the tag *)
+}
+
+(** [create ~x ~w]: a column occupying screen columns [x .. x+w-1]; the
+    leftmost cell is the tab tower. *)
+val create : x:int -> w:int -> t
+
+val x : t -> int
+val w : t -> int
+val set_span : t -> x:int -> w:int -> unit
+
+(** Width available to window text (w minus the tab tower and the
+    scroll bar). *)
+val text_w : t -> int
+
+(** All windows, tab-tower order (top to bottom, covered ones
+    included). *)
+val windows : t -> Hwin.t list
+
+val mem : t -> Hwin.t -> bool
+
+(** [add t ~h win ~y] inserts [win] with its tag at row [y]; windows
+    whose tag row would collide are pushed down or covered.  [h] is the
+    screen height. *)
+val add : t -> h:int -> Hwin.t -> y:int -> unit
+
+val remove : t -> Hwin.t -> unit
+
+(** Move a window's tag to row [y] (right-button drag). *)
+val move : t -> h:int -> Hwin.t -> y:int -> unit
+
+(** Tab click: make the window fully visible from its tag to the bottom
+    of the column (covering the windows below it). *)
+val reveal : t -> h:int -> Hwin.t -> unit
+
+(** Geometry of the visible windows, top to bottom, for a screen of
+    height [h]. *)
+val geoms : t -> h:int -> geom list
+
+(** Screen row just below the lowest visible text in the column (1 when
+    the column is empty).  Bodies are measured with the column's text
+    width. *)
+val used_bottom : t -> h:int -> int
+
+(** The visible window covering screen row [y], with its geometry. *)
+val at_row : t -> h:int -> int -> geom option
+
+(** Is the window currently visible (has at least its tag on screen)? *)
+val visible : t -> h:int -> Hwin.t -> bool

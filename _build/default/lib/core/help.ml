@@ -1,0 +1,978 @@
+type button = Left | Middle | Right
+
+type event =
+  | Move of int * int
+  | Press of button
+  | Release of button
+  | Key of char
+  | Type of string
+
+type gesture =
+  | G_press of button
+  | G_release of button
+  | G_move of int
+  | G_key of int
+
+(* What a screen position points at. *)
+type target =
+  | T_coltab of Hcol.t
+  | T_tab of Hcol.t * int
+  | T_tag of Hcol.t * Hcol.geom * int  (* text offset *)
+  | T_body of Hcol.t * Hcol.geom * int
+  | T_scroll of Hcol.geom * int  (* row within the window body *)
+  | T_nothing
+
+type drag =
+  | D_select of Hwin.t * Htext.t * int  (* left button: anchor offset *)
+  | D_exec of Hwin.t * Htext.t * int  (* middle button sweep *)
+  | D_window of Hwin.t  (* right button on a tag *)
+
+type t = {
+  namespace : Vfs.t;
+  sh : Rc.t;
+  w : int;
+  h : int;
+  mutable cols : Hcol.t list;
+  wins : (int, Hwin.t) Hashtbl.t;
+  buffers : (string, Buffer0.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable snarf : string;
+  mutable cursel : (Hwin.t * Htext.t) option;
+  mutable place : Hplace.strategy;
+  mutable gesture_hook : gesture -> unit;
+  mutable exec_hook : string -> unit;
+  mutable mx : int;
+  mutable my : int;
+  mutable held : button list;
+  mutable drag : drag option;
+  mutable chord : bool;  (* a chord fired while this middle/right press *)
+  mutable alive : bool;
+  mutable expanded : Hcol.t option;  (* column widened via its top tab *)
+  mutable auto_count : int;
+      (* times an automatic expansion stood in for a manual sweep *)
+  mutable executor : executor option;
+      (* when set, external commands run here instead of the local
+         shell — the paper's "invisible call to the CPU server" *)
+}
+
+and executor = cwd:string -> helpsel:string list -> string -> Rc.result
+
+let default_w = 100
+let default_h = 36
+
+let create ?(w = default_w) ?(h = default_h) ?(place = Hplace.Refined) ns sh =
+  let half = w / 2 in
+  {
+    namespace = ns;
+    sh;
+    w;
+    h;
+    cols = [ Hcol.create ~x:0 ~w:half; Hcol.create ~x:half ~w:(w - half) ];
+    wins = Hashtbl.create 32;
+    buffers = Hashtbl.create 32;
+    next_id = 1;
+    snarf = "";
+    cursel = None;
+    place;
+    gesture_hook = ignore;
+    exec_hook = ignore;
+    mx = 0;
+    my = 0;
+    held = [];
+    drag = None;
+    chord = false;
+    alive = true;
+    expanded = None;
+    auto_count = 0;
+    executor = None;
+  }
+
+let ns t = t.namespace
+let shell t = t.sh
+let auto_expansions t = t.auto_count
+let width t = t.w
+let height t = t.h
+let set_place t s = t.place <- s
+let place_strategy t = t.place
+let on_gesture t f = t.gesture_hook <- f
+let on_exec t f = t.exec_hook <- f
+let running t = t.alive
+let columns t = t.cols
+let snarf_buffer t = t.snarf
+let current_selection t = t.cursel
+
+let windows t =
+  Hashtbl.fold (fun _ w acc -> w :: acc) t.wins []
+  |> List.sort (fun a b -> compare (Hwin.id a) (Hwin.id b))
+
+let window_by_id t id = Hashtbl.find_opt t.wins id
+
+let window_by_name t name =
+  let matches w =
+    let n = Hwin.name w in
+    n = name || n = name ^ "/"
+  in
+  List.find_opt matches (windows t)
+
+let column_of t win = List.find_opt (fun c -> Hcol.mem c win) t.cols
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                            *)
+
+let col_at t x = List.find_opt (fun c -> x >= Hcol.x c && x < Hcol.x c + Hcol.w c) t.cols
+
+let target_at t x y =
+  if y = 0 then match col_at t x with Some c -> T_coltab c | None -> T_nothing
+  else
+    match col_at t x with
+    | None -> T_nothing
+    | Some col ->
+        if x = Hcol.x col then begin
+          let idx = y - 1 in
+          if idx >= 0 && idx < List.length (Hcol.windows col) then T_tab (col, idx)
+          else T_nothing
+        end
+        else begin
+          match Hcol.at_row col ~h:t.h y with
+          | None -> T_nothing
+          | Some g ->
+              if x = Hcol.x col + 1 then begin
+                (* the scroll bar runs beside the body *)
+                if y > g.Hcol.g_y then T_scroll (g, y - g.Hcol.g_y - 1)
+                else T_nothing
+              end
+              else begin
+                let inner_x = x - (Hcol.x col + 2) in
+                let tw = Hcol.text_w col in
+                if y = g.Hcol.g_y then begin
+                  let f = Htext.layout (Hwin.tag g.Hcol.g_win) ~w:tw ~h:1 in
+                  T_tag (col, g, Frame.offset_of_cell f ~x:inner_x ~y:0)
+                end
+                else begin
+                  let body_h = max 1 (g.Hcol.g_h - 1) in
+                  let f = Htext.layout (Hwin.body g.Hcol.g_win) ~w:tw ~h:body_h in
+                  T_body
+                    (col, g,
+                     Frame.offset_of_cell f ~x:inner_x ~y:(y - g.Hcol.g_y - 1))
+                end
+              end
+        end
+
+let geom_of t win =
+  match column_of t win with
+  | None -> None
+  | Some col ->
+      List.find_opt
+        (fun g -> g.Hcol.g_win == win)
+        (Hcol.geoms col ~h:t.h)
+      |> Option.map (fun g -> (col, g))
+
+let cell_of t win part q =
+  match geom_of t win with
+  | None -> None
+  | Some (col, g) -> (
+      let tw = Hcol.text_w col in
+      match part with
+      | `Tag ->
+          let f = Htext.layout (Hwin.tag win) ~w:tw ~h:1 in
+          Frame.cell_of_offset f q
+          |> Option.map (fun (cx, cy) -> (Hcol.x col + 2 + cx, g.Hcol.g_y + cy))
+      | `Body ->
+          if g.Hcol.g_h <= 1 then None
+          else
+            let f = Htext.layout (Hwin.body win) ~w:tw ~h:(g.Hcol.g_h - 1) in
+            Frame.cell_of_offset f q
+            |> Option.map (fun (cx, cy) ->
+                   (Hcol.x col + 2 + cx, g.Hcol.g_y + 1 + cy)))
+
+let find_in_body _t win needle =
+  let hay = Htext.string (Hwin.body win) in
+  let n = String.length needle and m = String.length hay in
+  let rec go i =
+    if i + n > m then None
+    else if String.sub hay i n = needle then Some i
+    else go (i + 1)
+  in
+  if n = 0 then None else go 0
+
+let show_offset t win q =
+  match geom_of t win with
+  | None -> ()
+  | Some (col, g) ->
+      if g.Hcol.g_h > 1 then
+        Htext.show (Hwin.body win) ~w:(Hcol.text_w col) ~h:(g.Hcol.g_h - 1) q
+
+(* ------------------------------------------------------------------ *)
+(* Window management                                                   *)
+
+let sync_tags t =
+  Hashtbl.iter (fun _ w -> Hwin.sync_put_token w) t.wins
+
+let placement_column t =
+  (* "the column containing the selection" *)
+  match t.cursel with
+  | Some (win, _) -> (
+      match column_of t win with
+      | Some c -> c
+      | None -> (
+          match t.cols with c :: _ -> c | [] -> invalid_arg "no columns"))
+  | None -> (
+      (* boot: tools load into the right-hand column *)
+      match List.rev t.cols with c :: _ -> c | [] -> invalid_arg "no columns")
+
+let alloc_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let attach t ?(col : Hcol.t option) win =
+  let col = match col with Some c -> c | None -> placement_column t in
+  let y = Hplace.choose t.place col ~h:t.h in
+  Hcol.add col ~h:t.h win ~y
+
+let nth_column t i = List.nth_opt t.cols i
+
+let new_window t ?(name = "") ?(body = "") () =
+  let id = alloc_id t in
+  let tag_text = if name = "" then "" else name ^ " Close! Get!" in
+  let win = Hwin.create ~id ~tag_text (Buffer0.create ~name body) in
+  Buffer0.clean (Htext.buffer (Hwin.body win));
+  Hashtbl.replace t.wins id win;
+  attach t win;
+  win
+
+let close_window t win =
+  Hashtbl.remove t.wins (Hwin.id win);
+  (match column_of t win with Some c -> Hcol.remove c win | None -> ());
+  (match t.cursel with
+  | Some (w, _) when w == win -> t.cursel <- None
+  | _ -> ())
+
+(* The Errors window: "a special window, called Errors, that will be
+   created automatically if needed". *)
+let errors_window t =
+  match window_by_name t "Errors" with
+  | Some w -> w
+  | None ->
+      let id = alloc_id t in
+      let win = Hwin.create ~id ~tag_text:"Errors Close!" (Buffer0.create "") in
+      Hashtbl.replace t.wins id win;
+      attach t win;
+      win
+
+(* Program-written content is not an unsaved user edit: windows filled
+   through bodyapp/body stay clean (no spurious Put! in the tag). *)
+let append_body t win text =
+  if text <> "" then begin
+    let body = Hwin.body win in
+    let buf = Htext.buffer body in
+    let was_dirty = Buffer0.dirty buf in
+    let was_empty = Buffer0.length buf = 0 in
+    Buffer0.insert buf (Buffer0.length buf) text;
+    Buffer0.commit buf;
+    if not was_dirty then Buffer0.clean buf;
+    (* first output into a fresh window reads from the top; further
+       appends (the Errors log) keep the tail in view *)
+    show_offset t win (if was_empty then 0 else Buffer0.length buf)
+  end
+
+let set_body _t win text =
+  let buf = Htext.buffer (Hwin.body win) in
+  let was_dirty = Buffer0.dirty buf in
+  Buffer0.replace buf 0 (Buffer0.length buf) text;
+  Buffer0.commit buf;
+  if not was_dirty then Buffer0.clean buf
+
+let report t msg =
+  let w = errors_window t in
+  append_body t w (if msg = "" || msg.[String.length msg - 1] = '\n' then msg else msg ^ "\n")
+
+(* Reveal a window (make at least its tag visible). *)
+let reveal t win =
+  match column_of t win with
+  | Some col -> if not (Hcol.visible col ~h:t.h win) then Hcol.reveal col ~h:t.h win
+  | None -> ()
+
+let shared_buffer t path content =
+  match Hashtbl.find_opt t.buffers path with
+  | Some b -> b
+  | None ->
+      let b = Buffer0.create ~name:path content in
+      Hashtbl.replace t.buffers path b;
+      b
+
+(* Directory bodies are packed into columns, as in the paper's figure 1
+   (subdirectories get a trailing slash so Open's context rule chains). *)
+let list_directory ?(width = 48) t path =
+  let names =
+    List.map
+      (fun (e : Vfs.stat) -> e.st_name ^ if e.st_dir then "/" else "")
+      (Vfs.readdir t.namespace path)
+  in
+  match names with
+  | [] -> ""
+  | names ->
+      let widest = List.fold_left (fun m n -> max m (String.length n)) 0 names in
+      let colw = widest + 2 in
+      let ncols = max 1 (width / colw) in
+      let n = List.length names in
+      let nrows = (n + ncols - 1) / ncols in
+      let arr = Array.of_list names in
+      let b = Buffer.create 256 in
+      for r = 0 to nrows - 1 do
+        for c = 0 to ncols - 1 do
+          let i = (c * nrows) + r in
+          if i < n then begin
+            let name = arr.(i) in
+            Buffer.add_string b name;
+            (* pad unless this is the row's last entry *)
+            if i + nrows < n then
+              Buffer.add_string b (String.make (colw - String.length name) ' ')
+          end
+        done;
+        Buffer.add_char b '\n'
+      done;
+      Buffer.contents b
+
+let open_file t ~dir name =
+  let name, line = Hselect.parse_address (String.trim name) in
+  if name = "" then None
+  else begin
+    let path =
+      if name.[0] = '/' then Vfs.normalize name
+      else Vfs.normalize (dir ^ "/" ^ name)
+    in
+    let win =
+      match window_by_name t path with
+      | Some w ->
+          (* "If the file is already open, the command just guarantees
+             that its window is visible." *)
+          reveal t w;
+          Some w
+      | None -> (
+          match Vfs.stat t.namespace path with
+          | exception Vfs.Error e ->
+              report t (Printf.sprintf "%s: %s" path (Vfs.error_message e));
+              None
+          | st ->
+              let id = alloc_id t in
+              let win =
+                if st.Vfs.st_dir then begin
+                  (* "When a directory is Opened, help puts its name,
+                     including a final slash, in the tag and just lists
+                     the contents in the body." *)
+                  let width = Hcol.text_w (placement_column t) in
+                  let listing = list_directory ~width t path in
+                  Hwin.create ~id
+                    ~tag_text:(path ^ "/ Close! Get!")
+                    (Buffer0.create ~name:path listing)
+                end
+                else begin
+                  let content = Vfs.read_file t.namespace path in
+                  Hwin.create ~id ~tag_text:(path ^ " Close! Get!")
+                    (shared_buffer t path content)
+                end
+              in
+              Buffer0.clean (Htext.buffer (Hwin.body win));
+              Hashtbl.replace t.wins id win;
+              attach t win;
+              Some win)
+    in
+    (match (win, line) with
+    | Some w, Some addr -> (
+        let body = Hwin.body w in
+        let select q0 q1 =
+          Htext.set_sel body q0 q1;
+          t.cursel <- Some (w, body);
+          show_offset t w q0
+        in
+        match addr with
+        | Hselect.A_line n -> (
+            match Htext.select_line body n with
+            | Some start ->
+                t.cursel <- Some (w, body);
+                show_offset t w start
+            | None -> ())
+        | Hselect.A_end ->
+            let stop = Htext.length body in
+            select stop stop
+        | Hselect.A_pattern pat -> (
+            match Regexp.compile pat with
+            | exception Regexp.Parse_error msg -> report t ("Open: " ^ msg)
+            | re -> (
+                match Regexp.search re (Htext.string body) 0 with
+                | Some (a, b) -> select a b
+                | None ->
+                    report t (Printf.sprintf "Open: %s: pattern not found" pat))))
+    | _ -> ());
+    win
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins                                                           *)
+
+let cursel_or t win =
+  match t.cursel with Some (w, ht) -> (w, ht) | None -> (win, Hwin.body win)
+
+(* Default file name: expand around the current selection ("if Open is
+   executed without an argument, it uses the file name containing the
+   most recent selection"). *)
+let default_filename t win =
+  let selw, ht = cursel_or t win in
+  let text = Htext.string ht in
+  let q0, q1 = Htext.sel ht in
+  let name =
+    if q1 > q0 then String.sub text q0 (q1 - q0)
+    else begin
+      let a, b = Hselect.filename_at text q0 in
+      if b > a then t.auto_count <- t.auto_count + 1;
+      String.sub text a (b - a)
+    end
+  in
+  (Hwin.dir selw, name)
+
+let do_cut t win =
+  let _, ht = cursel_or t win in
+  let text = Htext.cut ht in
+  if text <> "" then t.snarf <- text;
+  Buffer0.commit (Htext.buffer ht)
+
+let do_snarf t win =
+  let _, ht = cursel_or t win in
+  let text = Htext.selected ht in
+  if text <> "" then t.snarf <- text
+
+let do_paste t win =
+  let _, ht = cursel_or t win in
+  Htext.paste ht t.snarf;
+  Buffer0.commit (Htext.buffer ht)
+
+let do_put t win =
+  let name = Hwin.name win in
+  let name =
+    if name <> "" && name.[String.length name - 1] = '/' then
+      String.sub name 0 (String.length name - 1)
+    else name
+  in
+  if name = "" then report t "Put!: window has no name"
+  else begin
+    match Vfs.write_file t.namespace name (Htext.string (Hwin.body win)) with
+    | () -> Buffer0.clean (Htext.buffer (Hwin.body win))
+    | exception Vfs.Error e ->
+        report t (Printf.sprintf "Put! %s: %s" name (Vfs.error_message e))
+  end
+
+let do_get t win =
+  let name = Hwin.name win in
+  if name = "" then report t "Get!: window has no name"
+  else begin
+    let path =
+      if name.[String.length name - 1] = '/' then
+        String.sub name 0 (String.length name - 1)
+      else name
+    in
+    match Vfs.stat t.namespace path with
+    | exception Vfs.Error e ->
+        report t (Printf.sprintf "Get! %s: %s" name (Vfs.error_message e))
+    | st ->
+        let content =
+          if st.Vfs.st_dir then list_directory t path
+          else Vfs.read_file t.namespace path
+        in
+        set_body t win content;
+        Buffer0.clean (Htext.buffer (Hwin.body win))
+  end
+
+let do_undo t win =
+  let _, ht = cursel_or t win in
+  ignore (Buffer0.undo (Htext.buffer ht))
+
+let do_redo t win =
+  let _, ht = cursel_or t win in
+  ignore (Buffer0.redo (Htext.buffer ht))
+
+let strip_quotes s =
+  let n = String.length s in
+  if n >= 2 && ((s.[0] = '\'' && s.[n - 1] = '\'') || (s.[0] = '"' && s.[n - 1] = '"'))
+  then String.sub s 1 (n - 2)
+  else s
+
+let do_search t win ~pattern ~literal =
+  let selw, ht = cursel_or t win in
+  let hay = Htext.string ht in
+  let _, q1 = Htext.sel ht in
+  let find_from pos =
+    if literal then begin
+      let n = String.length pattern and m = String.length hay in
+      let rec go i =
+        if i + n > m then None
+        else if String.sub hay i n = pattern then Some (i, i + n)
+        else go (i + 1)
+      in
+      if n = 0 then None else go pos
+    end
+    else
+      match Regexp.compile pattern with
+      | exception Regexp.Parse_error msg ->
+          report t ("Pattern: " ^ msg);
+          None
+      | re -> (
+          match Regexp.search re hay pos with
+          | Some (a, b) when b > a -> Some (a, b)
+          | _ -> None)
+  in
+  match (match find_from q1 with Some r -> Some r | None -> find_from 0) with
+  | Some (a, b) ->
+      Htext.set_sel ht a b;
+      t.cursel <- Some (selw, ht);
+      show_offset t selw a
+  | None -> report t (Printf.sprintf "search: %s: not found" pattern)
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun x -> x <> "")
+
+let set_executor t f = t.executor <- Some f
+let clear_executor t = t.executor <- None
+
+let run_external t win cmd =
+  let dir = Hwin.dir win in
+  let selid, (q0, q1) =
+    match t.cursel with
+    | Some (w, ht) -> (Hwin.id w, Htext.sel ht)
+    | None -> (Hwin.id win, (0, 0))
+  in
+  let helpsel = [ string_of_int selid; string_of_int q0; string_of_int q1 ] in
+  Rc.set_global t.sh "helpsel" helpsel;
+  let res =
+    match t.executor with
+    | Some exec -> exec ~cwd:dir ~helpsel cmd
+    | None -> Rc.run t.sh ~cwd:dir cmd
+  in
+  (* "the standard and error outputs are directed to a special window,
+     called Errors" *)
+  if res.Rc.r_out <> "" then report t res.Rc.r_out;
+  if res.Rc.r_err <> "" then report t res.Rc.r_err
+
+let execute t win cmdtext =
+  let cmd = String.trim cmdtext in
+  if cmd <> "" && t.alive then begin
+    t.exec_hook cmd;
+    let words = split_ws cmd in
+    match words with
+    | [] -> ()
+    | first :: args -> (
+        let arg () = String.concat " " args in
+        let bang = String.length first > 1 && first.[String.length first - 1] = '!' in
+        if bang then begin
+          match first with
+          | "Close!" -> close_window t win
+          | "Get!" -> do_get t win
+          | "Put!" -> do_put t win
+          | "Split!" ->
+              (* extension: a second window on the same buffer — the
+                 "multiple windows per file" of the paper's overdue
+                 list.  Both views share the text; selections are
+                 per-view. *)
+              let id = alloc_id t in
+              let clone =
+                Hwin.create ~id ~tag_text:(Hwin.tag_text win)
+                  (Htext.buffer (Hwin.body win))
+              in
+              Hashtbl.replace t.wins id clone;
+              attach t clone
+          | _ -> run_external t win cmd
+        end
+        else
+          match first with
+          | "Open" ->
+              let dir, name =
+                if args = [] then default_filename t win
+                else (Hwin.dir win, arg ())
+              in
+              ignore (open_file t ~dir name)
+          | "Cut" -> do_cut t win
+          | "Paste" -> do_paste t win
+          | "Snarf" -> do_snarf t win
+          | "New" -> ignore (new_window t ())
+          | "Exit" -> t.alive <- false
+          | "Undo" -> do_undo t win
+          | "Redo" -> do_redo t win
+          | "Write" ->
+              let selw, _ = cursel_or t win in
+              do_put t selw
+          | "Pattern" ->
+              if args <> [] then
+                do_search t win ~pattern:(strip_quotes (arg ())) ~literal:false
+          | "Text" ->
+              if args <> [] then
+                do_search t win ~pattern:(strip_quotes (arg ())) ~literal:true
+          | _ -> run_external t win cmd);
+    sync_tags t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Control language (the ctl file)                                     *)
+
+let ctl_command t win line =
+  let line = String.trim line in
+  let cmd, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) )
+    | None -> (line, "")
+  in
+  let int2 () =
+    match split_ws rest with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+    | _ -> None
+  in
+  match cmd with
+  | "" -> Ok ()
+  | "tag" ->
+      Hwin.set_tag win rest;
+      Ok ()
+  | "name" ->
+      Hwin.set_name win rest;
+      Ok ()
+  | "clean" ->
+      Buffer0.clean (Htext.buffer (Hwin.body win));
+      sync_tags t;
+      Ok ()
+  | "dirty" ->
+      Buffer0.taint (Htext.buffer (Hwin.body win));
+      sync_tags t;
+      Ok ()
+  | "select" -> (
+      match int2 () with
+      | Some (q0, q1) ->
+          Htext.set_sel (Hwin.body win) q0 q1;
+          t.cursel <- Some (win, Hwin.body win);
+          Ok ()
+      | None -> Error "usage: select q0 q1")
+  | "show" -> (
+      match int_of_string_opt (String.trim rest) with
+      | Some q ->
+          show_offset t win q;
+          Ok ()
+      | None -> Error "usage: show q")
+  | "delete" -> (
+      match int2 () with
+      | Some (q0, q1) when q1 >= q0 ->
+          let buf = Htext.buffer (Hwin.body win) in
+          let q1 = min q1 (Buffer0.length buf) in
+          let q0 = max 0 q0 in
+          Buffer0.delete buf q0 (q1 - q0);
+          Buffer0.commit buf;
+          Ok ()
+      | _ -> Error "usage: delete q0 q1")
+  | "insert" -> (
+      match String.index_opt rest ' ' with
+      | Some i -> (
+          match int_of_string_opt (String.sub rest 0 i) with
+          | Some q ->
+              let raw = String.sub rest (i + 1) (String.length rest - i - 1) in
+              let text = try Scanf.unescaped raw with Scanf.Scan_failure _ -> raw in
+              let buf = Htext.buffer (Hwin.body win) in
+              Buffer0.insert buf (max 0 (min q (Buffer0.length buf))) text;
+              Buffer0.commit buf;
+              Ok ()
+          | None -> Error "usage: insert q text")
+      | None -> Error "usage: insert q text")
+  | "get" ->
+      do_get t win;
+      Ok ()
+  | "put" ->
+      do_put t win;
+      Ok ()
+  | "close" ->
+      close_window t win;
+      Ok ()
+  | _ -> Error (Printf.sprintf "unknown ctl command: %s" cmd)
+
+(* ------------------------------------------------------------------ *)
+(* Event interpretation                                                *)
+
+(* Scroll by whole lines ([delta] > 0 moves forward in the text) or
+   jump to a fraction of the text — the scroll-bar gestures. *)
+let scroll_lines win delta =
+  let body = Hwin.body win in
+  let text = Buffer0.text (Htext.buffer body) in
+  let cur = Rope.line_of_offset text (Htext.org body) in
+  let total = Rope.newlines text + 1 in
+  let target = max 1 (min total (cur + delta)) in
+  match Rope.line_start text target with
+  | org -> Htext.set_org body org
+  | exception Not_found -> ()
+
+let scroll_jump win frac =
+  let body = Hwin.body win in
+  let text = Buffer0.text (Htext.buffer body) in
+  let total = Rope.newlines text + 1 in
+  let target = max 1 (min total (1 + int_of_float (frac *. float_of_int (total - 1)))) in
+  match Rope.line_start text target with
+  | org -> Htext.set_org body org
+  | exception Not_found -> ()
+
+let subwindow_at t x y =
+  match target_at t x y with
+  | T_tag (_, g, q) -> Some (g.Hcol.g_win, Hwin.tag g.Hcol.g_win, q)
+  | T_body (_, g, q) -> Some (g.Hcol.g_win, Hwin.body g.Hcol.g_win, q)
+  | T_coltab _ | T_tab _ | T_scroll _ | T_nothing -> None
+
+let expand_column t col =
+  match t.cols with
+  | [ a; b ] ->
+      let total = t.w in
+      let already = match t.expanded with Some c -> c == col | None -> false in
+      if already then begin
+        (* restore even split *)
+        let half = total / 2 in
+        Hcol.set_span a ~x:0 ~w:half;
+        Hcol.set_span b ~x:half ~w:(total - half);
+        t.expanded <- None
+      end
+      else begin
+        let wide = total * 2 / 3 in
+        if col == a then begin
+          Hcol.set_span a ~x:0 ~w:wide;
+          Hcol.set_span b ~x:wide ~w:(total - wide)
+        end
+        else begin
+          Hcol.set_span a ~x:0 ~w:(total - wide);
+          Hcol.set_span b ~x:(total - wide) ~w:wide
+        end;
+        t.expanded <- Some col
+      end
+  | _ -> ()
+
+let press t b =
+  t.gesture_hook (G_press b);
+  t.held <- b :: t.held;
+  match b with
+  | Left -> (
+      match target_at t t.mx t.my with
+      | T_tab (col, idx) -> (
+          match List.nth_opt (Hcol.windows col) idx with
+          | Some win ->
+              Hcol.reveal col ~h:t.h win;
+              t.drag <- None
+          | None -> ())
+      | T_coltab col ->
+          expand_column t col;
+          t.drag <- None
+      | T_tag (_, g, q) ->
+          let ht = Hwin.tag g.Hcol.g_win in
+          Htext.set_sel ht q q;
+          t.cursel <- Some (g.Hcol.g_win, ht);
+          t.drag <- Some (D_select (g.Hcol.g_win, ht, q))
+      | T_body (_, g, q) ->
+          let ht = Hwin.body g.Hcol.g_win in
+          Htext.set_sel ht q q;
+          t.cursel <- Some (g.Hcol.g_win, ht);
+          t.drag <- Some (D_select (g.Hcol.g_win, ht, q))
+      | T_scroll (g, rel) ->
+          (* left button in the bar scrolls backwards, more the lower
+             the click (as in 8½) *)
+          scroll_lines g.Hcol.g_win (-(rel + 1));
+          t.drag <- None
+      | T_nothing -> t.drag <- None)
+  | Middle -> (
+      (* chord: left held -> Cut *)
+      if List.mem Left t.held then begin
+        match t.drag with
+        | Some (D_select (win, _, _)) ->
+            t.chord <- true;
+            do_cut t win;
+            sync_tags t
+        | _ -> ()
+      end
+      else
+        match target_at t t.mx t.my with
+        | T_scroll (g, rel) ->
+            (* middle button jumps to the proportional position *)
+            let span = max 1 (g.Hcol.g_h - 2) in
+            scroll_jump g.Hcol.g_win (float_of_int rel /. float_of_int span)
+        | _ -> (
+            match subwindow_at t t.mx t.my with
+            | Some (win, ht, q) -> t.drag <- Some (D_exec (win, ht, q))
+            | None -> ()))
+  | Right ->
+      if List.mem Left t.held then begin
+        match t.drag with
+        | Some (D_select (win, _, _)) ->
+            t.chord <- true;
+            do_paste t win;
+            sync_tags t
+        | _ -> ()
+      end
+      else begin
+        match target_at t t.mx t.my with
+        | T_tag (_, g, _) -> t.drag <- Some (D_window g.Hcol.g_win)
+        | T_scroll (g, rel) ->
+            (* right button in the bar scrolls forwards *)
+            scroll_lines g.Hcol.g_win (rel + 1)
+        | T_coltab _ | T_tab _ | T_body _ | T_nothing -> ()
+      end
+
+let update_select t =
+  match t.drag with
+  | Some (D_select (win, ht, anchor)) -> (
+      match subwindow_at t t.mx t.my with
+      | Some (w, ht', q) when w == win && ht' == ht ->
+          Htext.set_sel ht (min anchor q) (max anchor q)
+      | _ -> ())
+  | _ -> ()
+
+let release t b =
+  t.gesture_hook (G_release b);
+  t.held <- List.filter (fun x -> x <> b) t.held;
+  let was_chord = t.chord in
+  (* a chord is over once every button is up *)
+  if t.held = [] && t.chord then t.chord <- false;
+  match b with
+  | Left ->
+      if not was_chord then update_select t;
+      (match t.drag with Some (D_select _) -> t.drag <- None | _ -> ())
+  | Middle -> (
+      if was_chord then ()
+      else
+        match t.drag with
+        | Some (D_exec (win, ht, anchor)) ->
+            t.drag <- None;
+            let q =
+              match subwindow_at t t.mx t.my with
+              | Some (w, ht', q) when w == win && ht' == ht -> q
+              | _ -> anchor
+            in
+            let text = Htext.string ht in
+            let a, b' =
+              if q = anchor then begin
+                let a, b' = Hselect.word_at text anchor in
+                if b' > a then t.auto_count <- t.auto_count + 1;
+                (a, b')
+              end
+              else (min anchor q, max anchor q)
+            in
+            let cmd = String.sub text a (b' - a) in
+            execute t win cmd
+        | _ -> ())
+  | Right -> (
+      if was_chord then ()
+      else
+        match t.drag with
+        | Some (D_window win) -> (
+            t.drag <- None;
+            match col_at t t.mx with
+            | None -> ()
+            | Some dest -> (
+                match column_of t win with
+                | Some src when src == dest ->
+                    Hcol.move src ~h:t.h win ~y:t.my
+                | Some src ->
+                    Hcol.remove src win;
+                    Hcol.add dest ~h:t.h win ~y:(max 1 t.my)
+                | None -> ()))
+        | _ -> ())
+
+let type_char t c =
+  match subwindow_at t t.mx t.my with
+  | Some (win, ht, _) ->
+      Htext.type_text ht (String.make 1 c);
+      t.cursel <- Some (win, ht);
+      sync_tags t
+  | None -> ()
+
+let event t ev =
+  if t.alive then
+    match ev with
+    | Move (x, y) ->
+        let d = abs (x - t.mx) + abs (y - t.my) in
+        if d > 0 then t.gesture_hook (G_move d);
+        t.mx <- max 0 (min x (t.w - 1));
+        t.my <- max 0 (min y (t.h - 1));
+        update_select t
+    | Press b -> press t b
+    | Release b -> release t b
+    | Key c ->
+        t.gesture_hook (G_key 1);
+        type_char t c
+    | Type s ->
+        t.gesture_hook (G_key (String.length s));
+        String.iter (type_char t) s
+
+let events t evs = List.iter (event t) evs
+
+(* ------------------------------------------------------------------ *)
+(* Drawing                                                             *)
+
+let draw t =
+  let scr = Screen.create t.w t.h in
+  let cursel_ht = Option.map snd t.cursel in
+  List.iter
+    (fun col ->
+      let cx = Hcol.x col in
+      let tw = Hcol.text_w col in
+      (* column tab in the top row *)
+      Screen.set scr ~x:cx ~y:0 '#' Screen.Tab;
+      (* tab tower: one square per window, visible or not *)
+      List.iteri
+        (fun i _win -> Screen.set scr ~x:cx ~y:(1 + i) '#' Screen.Tab)
+        (Hcol.windows col);
+      List.iter
+        (fun g ->
+          let win = g.Hcol.g_win in
+          let gy = g.Hcol.g_y in
+          (* tag row (spans the scroll-bar column too) *)
+          Screen.fill_rect scr ~x:(cx + 1) ~y:gy ~w:(tw + 1) ~h:1 ' ' Screen.Tag;
+          let tag = Hwin.tag win in
+          let tagf = Htext.layout tag ~w:tw ~h:1 in
+          let sel_attr =
+            if cursel_ht == Some (Hwin.tag win) then Screen.Reverse
+            else Screen.Outline
+          in
+          Frame.draw tagf scr ~x:(cx + 2) ~y:gy ~sel:(Htext.sel tag) ~sel_attr;
+          (* body *)
+          if g.Hcol.g_h > 1 then begin
+            let body = Hwin.body win in
+            let body_h = g.Hcol.g_h - 1 in
+            let bodyf = Htext.layout body ~w:tw ~h:body_h in
+            (* scroll bar: track with a thumb covering the visible
+               fraction of the text *)
+            let len = max 1 (Htext.length body) in
+            let frac_top = float_of_int (Frame.org bodyf) /. float_of_int len in
+            let frac_bot = float_of_int (Frame.last bodyf) /. float_of_int len in
+            let th_top = int_of_float (frac_top *. float_of_int body_h) in
+            let th_bot =
+              max (th_top + 1)
+                (int_of_float (ceil (frac_bot *. float_of_int body_h)))
+            in
+            for j = 0 to body_h - 1 do
+              let ch = if j >= th_top && j < th_bot then '|' else ' ' in
+              Screen.set scr ~x:(cx + 1) ~y:(gy + 1 + j) ch Screen.Border
+            done;
+            let sel_attr =
+              if cursel_ht == Some body then Screen.Reverse else Screen.Outline
+            in
+            Frame.draw bodyf scr ~x:(cx + 2) ~y:(gy + 1) ~sel:(Htext.sel body)
+              ~sel_attr
+          end)
+        (Hcol.geoms col ~h:t.h);
+      (* hovering over a tab square pops the window's name up alongside
+         it — the improvement the paper suggests for the tab problem *)
+      if t.mx = cx && t.my >= 1 then
+        List.iteri
+          (fun i win ->
+            if t.my = 1 + i then
+              Screen.draw_string scr ~x:(cx + 2) ~y:(1 + i)
+                ("[" ^ Hwin.name win ^ "]")
+                Screen.Outline)
+          (Hcol.windows col))
+    t.cols;
+  scr

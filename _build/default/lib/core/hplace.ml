@@ -1,0 +1,51 @@
+(* Automatic window placement.
+
+   "The rule it follows is first to place the new window at the bottom
+   of the column containing the selection.  It places the tag of the
+   window immediately below the lowest visible text already in the
+   column.  If that would leave too little of the new window visible,
+   the new window is placed to cover half of the lowest window in the
+   column.  If that would still leave too little visible, the new
+   window is positioned over the bottom 25% of the column."
+
+   The alternative strategies exist for the placement ablation
+   (experiment E5): the paper claims the refined rule is "good enough
+   that I don't notice it"; the ablation quantifies against the
+   obvious alternatives. *)
+
+type strategy =
+  | Refined  (** the paper's rule, as quoted above *)
+  | Naive_top  (** always at the top, pushing the column down *)
+  | Cover_half  (** always cover half of the lowest window *)
+  | Bottom_quarter  (** always the bottom 25% of the column *)
+
+let strategy_name = function
+  | Refined -> "refined"
+  | Naive_top -> "naive-top"
+  | Cover_half -> "cover-half"
+  | Bottom_quarter -> "bottom-quarter"
+
+(* Minimum useful window: a tag plus two body lines. *)
+let min_visible = 3
+
+let lowest_geom col ~h =
+  match List.rev (Hcol.geoms col ~h) with g :: _ -> Some g | [] -> None
+
+let bottom_quarter ~h = max 1 (h - max min_visible (h / 4))
+
+let half_lowest col ~h =
+  match lowest_geom col ~h with
+  | Some g -> g.Hcol.g_y + (g.Hcol.g_h / 2)
+  | None -> 1
+
+let choose strategy col ~h =
+  match strategy with
+  | Naive_top -> 1
+  | Cover_half -> half_lowest col ~h
+  | Bottom_quarter -> bottom_quarter ~h
+  | Refined ->
+      let below_text = Hcol.used_bottom col ~h in
+      if h - below_text >= min_visible then below_text
+      else
+        let half = half_lowest col ~h in
+        if h - half >= min_visible then half else bottom_quarter ~h

@@ -1,0 +1,182 @@
+(* Automatic selection expansion: "if the text for selection or
+   execution is the null string, help invokes automatic actions to
+   expand it to a file name or similar context-dependent block of text.
+   If the selection is non-null, it is always taken literally."
+
+   All functions work on a string and an offset and return half-open
+   ranges. *)
+
+let is_white c = c = ' ' || c = '\t' || c = '\n'
+
+(* A word for execution: a maximal non-whitespace run.  "help interprets
+   a middle mouse button click anywhere in a word as a selection of the
+   whole word." *)
+let word_at s q =
+  let n = String.length s in
+  let q = max 0 (min q n) in
+  (* A click at the very end of a word (cell after the last char) still
+     means that word. *)
+  let q = if q > 0 && (q >= n || is_white s.[q]) && not (is_white s.[q - 1]) then q - 1 else q in
+  if q >= n || is_white s.[q] then (q, q)
+  else begin
+    let a = ref q and b = ref q in
+    while !a > 0 && not (is_white s.[!a - 1]) do
+      decr a
+    done;
+    while !b < n && not (is_white s.[!b]) do
+      incr b
+    done;
+    (!a, !b)
+  end
+
+let is_filename_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '/' || c = '-' || c = '+' || c = ':' || c = '~'
+
+(* A file name around [q], used by Open's default rule: "it should be
+   good enough just to point at a file name, rather than to pass the
+   mouse over the entire textual string". *)
+let filename_at s q =
+  let n = String.length s in
+  let q = max 0 (min q n) in
+  let q =
+    if q > 0 && (q >= n || not (is_filename_char s.[q])) && is_filename_char s.[q - 1]
+    then q - 1
+    else q
+  in
+  if q >= n || not (is_filename_char s.[q]) then (q, q)
+  else begin
+    let a = ref q and b = ref q in
+    while !a > 0 && is_filename_char s.[!a - 1] do
+      decr a
+    done;
+    while !b < n && is_filename_char s.[!b] do
+      incr b
+    done;
+    (!a, !b)
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* "if the file name is suffixed by a colon and an integer, for example
+   help.c:27, the window will be positioned so the indicated line is
+   visible and selected."  And: "help's syntax permits specifying
+   general locations, although only line numbers will be used in this
+   paper" — the general forms are [:/regexp/] (first match) and [:$]
+   (end of file). *)
+type address = A_line of int | A_pattern of string | A_end
+
+let parse_address text =
+  match String.rindex_opt text ':' with
+  | Some i
+    when i + 1 < String.length text
+         && String.for_all is_digit
+              (String.sub text (i + 1) (String.length text - i - 1)) ->
+      ( String.sub text 0 i,
+        Option.map
+          (fun n -> A_line n)
+          (int_of_string_opt (String.sub text (i + 1) (String.length text - i - 1)))
+      )
+  | _ -> (
+      (* :$  and  :/re/  forms *)
+      let n = String.length text in
+      match String.index_opt text ':' with
+      | Some i when i + 1 < n && text.[i + 1] = '$' ->
+          (String.sub text 0 i, Some A_end)
+      | Some i when i + 2 < n && text.[i + 1] = '/' && text.[n - 1] = '/' ->
+          (String.sub text 0 i, Some (A_pattern (String.sub text (i + 2) (n - i - 3))))
+      | _ ->
+          (* trailing colon with no address is punctuation, strip it *)
+          let text =
+            if text <> "" && text.[String.length text - 1] = ':' then
+              String.sub text 0 (String.length text - 1)
+            else text
+          in
+          (text, None))
+
+(* A number near [q] (a process id, a message number): the digit run
+   under the click, else the first digit run on the line. *)
+let number_at s q =
+  let n = String.length s in
+  let q = max 0 (min q n) in
+  let digits_around q =
+    if q < n && is_digit s.[q] then begin
+      let a = ref q and b = ref q in
+      while !a > 0 && is_digit s.[!a - 1] do
+        decr a
+      done;
+      while !b < n && is_digit s.[!b] do
+        incr b
+      done;
+      Some (String.sub s !a (!b - !a))
+    end
+    else None
+  in
+  match digits_around q with
+  | Some d -> Some d
+  | None -> (
+      match if q > 0 then digits_around (q - 1) else None with
+      | Some d -> Some d
+      | None ->
+          (* first number on the line containing q *)
+          let bol =
+            match String.rindex_from_opt s (max 0 (min (n - 1) (q - 1))) '\n' with
+            | Some i -> i + 1
+            | None -> 0
+          in
+          let eol =
+            match String.index_from_opt s bol '\n' with
+            | Some i -> i
+            | None -> n
+          in
+          let rec scan i =
+            if i >= eol then None
+            else if is_digit s.[i] then digits_around i
+            else scan (i + 1)
+          in
+          if bol < n then scan bol else None)
+
+(* The whole line containing [q], without its newline. *)
+let line_at s q =
+  let n = String.length s in
+  let q = max 0 (min q n) in
+  let bol =
+    match String.rindex_from_opt s (max 0 (min (n - 1) (q - 1))) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let eol =
+    match if bol < n then String.index_from_opt s bol '\n' else None with
+    | Some i -> i
+    | None -> n
+  in
+  (bol, eol)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* A C identifier around [q], for the browser tools. *)
+let ident_at s q =
+  let n = String.length s in
+  let q = max 0 (min q n) in
+  let q =
+    if q > 0 && (q >= n || not (is_ident_char s.[q])) && is_ident_char s.[q - 1]
+    then q - 1
+    else q
+  in
+  if q >= n || not (is_ident_char s.[q]) then (q, q)
+  else begin
+    let a = ref q and b = ref q in
+    while !a > 0 && is_ident_char s.[!a - 1] do
+      decr a
+    done;
+    while !b < n && is_ident_char s.[!b] do
+      incr b
+    done;
+    (!a, !b)
+  end

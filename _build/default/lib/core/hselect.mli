@@ -1,0 +1,37 @@
+(** Automatic selection expansion — the {e automation} and {e defaults}
+    rules: "if the text for selection or execution is the null string,
+    help invokes automatic actions to expand it to a file name or
+    similar context-dependent block of text.  If the selection is
+    non-null, it is always taken literally."
+
+    All functions take a string and a byte offset and return half-open
+    ranges [(a, b)] with [a <= b]; an empty range means nothing to
+    expand there.  A click just past the end of a run still means that
+    run (pointing need not be pixel-exact). *)
+
+(** A maximal non-whitespace run: what a middle click executes. *)
+val word_at : string -> int -> int * int
+
+(** A file-name-shaped run (letters, digits, [._/-+:~]), including a
+    trailing [:address]. *)
+val filename_at : string -> int -> int * int
+
+(** A C identifier run. *)
+val ident_at : string -> int -> int * int
+
+(** The digit run under the click, or the first number on its line —
+    how a process id or message number is picked up. *)
+val number_at : string -> int -> string option
+
+(** The whole line containing the offset, without its newline. *)
+val line_at : string -> int -> int * int
+
+(** Addresses after a file name: [:27] (line), [:/re/] (first match),
+    [:$] (end of file) — "help's syntax permits specifying general
+    locations, although only line numbers will be used in this
+    paper". *)
+type address = A_line of int | A_pattern of string | A_end
+
+(** Split ["help.c:27"] into the name and its address; a bare trailing
+    colon is treated as punctuation and stripped. *)
+val parse_address : string -> string * address option

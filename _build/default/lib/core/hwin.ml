@@ -1,0 +1,65 @@
+type t = { id : int; tag : Htext.t; body : Htext.t }
+
+let create ~id ~tag_text body_buf =
+  let tag = Htext.create (Buffer0.create tag_text) in
+  Htext.set_sel tag (String.length tag_text) (String.length tag_text);
+  { id; tag; body = Htext.create body_buf }
+
+let id t = t.id
+let tag t = t.tag
+let body t = t.body
+
+let tag_text t = Htext.string t.tag
+
+let split_name tag_line =
+  let n = String.length tag_line in
+  let rec stop i =
+    if i >= n || tag_line.[i] = ' ' || tag_line.[i] = '\t' then i
+    else stop (i + 1)
+  in
+  let i = stop 0 in
+  (String.sub tag_line 0 i, String.sub tag_line i (n - i))
+
+let name t = fst (split_name (tag_text t))
+
+let set_tag t text =
+  Htext.set_sel t.tag 0 (Htext.length t.tag);
+  ignore (Htext.cut t.tag);
+  Htext.type_text t.tag text;
+  Buffer0.commit (Htext.buffer t.tag)
+
+let set_name t new_name =
+  let _, rest = split_name (tag_text t) in
+  set_tag t (new_name ^ rest)
+
+let dir t =
+  let name = name t in
+  if name = "" then "/"
+  else if name.[String.length name - 1] = '/' then Vfs.normalize name
+  else Vfs.dirname name
+
+let dirty t = Buffer0.dirty (Htext.buffer t.body)
+
+let put_token = " Put!"
+
+let sync_put_token t =
+  let line = tag_text t in
+  let has =
+    let n = String.length line and m = String.length put_token in
+    let rec find i = i + m <= n && (String.sub line i m = put_token || find (i + 1)) in
+    find 0
+  in
+  let want = dirty t in
+  if want && not has then set_tag t (line ^ put_token)
+  else if (not want) && has then begin
+    (* remove the first occurrence *)
+    let n = String.length line and m = String.length put_token in
+    let rec pos i =
+      if i + m > n then None
+      else if String.sub line i m = put_token then Some i
+      else pos (i + 1)
+    in
+    match pos 0 with
+    | Some i -> set_tag t (String.sub line 0 i ^ String.sub line (i + m) (n - i - m))
+    | None -> ()
+  end

@@ -1,0 +1,39 @@
+(** A help window: a tag line and a body, both editable.
+
+    "Each window has two subwindows, a single tag line across the top
+    and a body of text.  The tag typically contains the name of the
+    file whose text appears in the body."  The first word of the tag is
+    the window's name; the directory part of that name is the context
+    in which commands executed in this window run. *)
+
+type t
+
+(** [create ~id ~tag_text body_buffer]. *)
+val create : id:int -> tag_text:string -> Buffer0.t -> t
+
+val id : t -> int
+val tag : t -> Htext.t
+val body : t -> Htext.t
+
+(** First word of the tag: the window's file name ("" when the tag is
+    empty). *)
+val name : t -> string
+
+(** Replace the name part of the tag, preserving the rest. *)
+val set_name : t -> string -> unit
+
+(** Replace the whole tag line. *)
+val set_tag : t -> string -> unit
+
+val tag_text : t -> string
+
+(** The directory context: for a name ending in [/], the name itself;
+    otherwise its [dirname].  "/" when there is no name. *)
+val dir : t -> string
+
+(** Is the body modified since the last Put!/Get!? *)
+val dirty : t -> bool
+
+(** Keep the tag's [Put!] token in step with the dirty state ("the word
+    Put! appears in the tag of a modified window"). *)
+val sync_put_token : t -> unit

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Buffer Corpus_c List Printf String Vfs

@@ -1,0 +1,149 @@
+let src_dir = "/usr/rob/src/help"
+let home = "/usr/rob"
+let mbox_path = "/mail/box/rob/mbox"
+
+let c_files =
+  List.filter
+    (fun name ->
+      String.length name > 2 && String.sub name (String.length name - 2) 2 = ".c")
+    (List.map fst Corpus_c.source_files)
+
+let profile =
+  "bind -a $home/bin/rc /bin\n\
+   bind -a $home/bin/mips /bin\n\
+   fn x {\n\
+   \tif(! ~ $#* 0) $*\n\
+   }\n\
+   switch($service){\n\
+   case terminal\n\
+   \tprompt=('% ' '\t')\n\
+   \tsite=plan9\n\
+   case cpu\n\
+   \tnews\n\
+   }\n\
+   fortune\n"
+
+let mbox =
+  "From chk@alias.com Tue Apr 16 19:30:00 EDT 1991\n\
+   Subject: render farm\n\n\
+   The render farm is saturated again; can your window system\n\
+   run without the bitmap terminal?\n\n\
+   From sean Tue Apr 16 19:26:14 EDT 1991\n\n\
+   i tried your new help and got this:\n\n\
+   help 176153: user TLB miss (load or fetch) badvaddr=0x0\n\
+   help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n\n\
+   From attunix!rrg Tue Apr 16 19:03:00 EDT 1991\n\
+   Subject: UNIX in song & verse\n\n\
+   The UKUUG are collecting old-time verses about UNIX before they\n\
+   disappear from the minds of those who wrote them.\n\n\
+   From knight%MRCO.CARLETON.CA@mitvma.mit.edu Tue Apr 16 19:01:00 EDT 1991\n\
+   Subject: oberon\n\n\
+   Have you seen the new Oberon release? The tool metaphor keeps\n\
+   growing on me.\n\n\
+   From deutsch%PARCPLACE.COM@mitvma.mit.edu Tue Apr 16 18:54:00 EDT 1991\n\
+   Subject: window systems\n\n\
+   Window systems should be transparent, you said. Prove it.\n\n\
+   From howard Tue Apr 16 15:02:00 EDT 1991\n\n\
+   lunch tomorrow? the usual place.\n\n\
+   From deutsch%PARCPLACE.COM@mitvma.mit.edu Tue Apr 16 12:52:00 EDT 1991\n\
+   Subject: re: window systems\n\n\
+   On reflection, transparency is the right word for it.\n"
+
+let news =
+  "The file server will be down Saturday morning for a disk upgrade.\n\
+   New MIPS compilers are installed in /bin; report problems to rob.\n"
+
+let install ns =
+  (* system headers *)
+  Vfs.mkdir_p ns "/sys/include";
+  List.iter
+    (fun (name, text) -> Vfs.write_file ns ("/sys/include/" ^ name) text)
+    Corpus_c.headers;
+  (* the help source tree *)
+  Vfs.mkdir_p ns src_dir;
+  List.iter
+    (fun (name, text) -> Vfs.write_file ns (src_dir ^ "/" ^ name) text)
+    Corpus_c.source_files;
+  (* home directory, profile, auxiliary trees *)
+  Vfs.mkdir_p ns (home ^ "/lib");
+  Vfs.mkdir_p ns (home ^ "/bin/rc");
+  Vfs.mkdir_p ns (home ^ "/bin/mips");
+  Vfs.mkdir_p ns (home ^ "/tmp");
+  Vfs.write_file ns (home ^ "/lib/profile") profile;
+  (* mail *)
+  Vfs.mkdir_p ns "/mail/box/rob";
+  Vfs.write_file ns mbox_path mbox;
+  (* misc *)
+  Vfs.mkdir_p ns "/lib";
+  Vfs.write_file ns "/lib/news" news;
+  Vfs.mkdir_p ns "/tmp"
+
+let synthetic_dir = "/usr/rob/src/big"
+
+let install_synthetic ns ~modules =
+  Vfs.mkdir_p ns synthetic_dir;
+  (* shared header: one prototype and one global per module *)
+  let hdr = Buffer.create 1024 in
+  Buffer.add_string hdr "typedef unsigned long ulong;\n";
+  for i = 0 to modules - 1 do
+    Buffer.add_string hdr (Printf.sprintf "extern int work%d(int x);\n" i);
+    Buffer.add_string hdr (Printf.sprintf "extern int counter%d;\n" i)
+  done;
+  Vfs.write_file ns (synthetic_dir ^ "/big.h") (Buffer.contents hdr);
+  (* modules *)
+  for i = 0 to modules - 1 do
+    let callee = (i + 1) mod modules in
+    let body =
+      Printf.sprintf
+        "#include \"big.h\"\n\n\
+         int counter%d;\n\n\
+         static int helper%d(int x)\n\
+         {\n\
+         \tint acc;\n\n\
+         \tacc = x;\n\
+         \tif(acc > 0)\n\
+         \t\tacc = acc - 1;\n\
+         \tcounter%d = counter%d + acc;\n\
+         \treturn acc;\n\
+         }\n\n\
+         int work%d(int x)\n\
+         {\n\
+         \tint i;\n\
+         \tint acc;\n\n\
+         \tacc = 0;\n\
+         \tfor(i = 0; i < x; i++)\n\
+         \t\tacc = acc + helper%d(i);\n\
+         \tif(x > 100)\n\
+         \t\tacc = acc + work%d(x - 100);\n\
+         \treturn acc + counter%d;\n\
+         }\n"
+        i i i i i i callee i
+    in
+    Vfs.write_file ns (Printf.sprintf "%s/mod%03d.c" synthetic_dir i) body
+  done;
+  (* mkfile *)
+  let mk = Buffer.create 1024 in
+  Buffer.add_string mk "OBJS=";
+  for i = 0 to modules - 1 do
+    Buffer.add_string mk (Printf.sprintf "mod%03d.v " i)
+  done;
+  Buffer.add_string mk "\n\nbig.out: $OBJS\n\tvl -o big.out $OBJS\n\n";
+  for i = 0 to modules - 1 do
+    Buffer.add_string mk
+      (Printf.sprintf "mod%03d.v: mod%03d.c big.h\n\tvc -w mod%03d.c\n\n" i i i)
+  done;
+  Vfs.write_file ns (synthetic_dir ^ "/mkfile") (Buffer.contents mk);
+  synthetic_dir
+
+let line_of ns path needle =
+  let text = Vfs.read_file ns path in
+  let rec go i = function
+    | [] -> raise Not_found
+    | line :: rest ->
+        let nl = String.length line and np = String.length needle in
+        let rec find j =
+          j + np <= nl && (String.sub line j np = needle || find (j + 1))
+        in
+        if np > 0 && find 0 then i else go (i + 1) rest
+  in
+  go 1 (String.split_on_char '\n' text)

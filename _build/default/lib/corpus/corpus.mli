@@ -1,0 +1,33 @@
+(** Fixture data for the paper's session: the synthetic [help] C source
+    tree under [/usr/rob/src/help], the system headers in
+    [/sys/include], the user's profile, the mailbox of Figure 5, and
+    small odds and ends ([/lib/news], [/lib/fortunes]).
+
+    Everything the worked example touches is installed here; tools and
+    tests locate line numbers by searching this text rather than
+    hard-coding them. *)
+
+(** Install the whole corpus into a namespace. *)
+val install : Vfs.t -> unit
+
+(** Where the help sources live. *)
+val src_dir : string
+
+(** The C translation units of the tree (basenames, .c only). *)
+val c_files : string list
+
+(** [line_of ns path needle] is the 1-based line number of the first
+    line containing [needle].  @raise Not_found otherwise. *)
+val line_of : Vfs.t -> string -> string -> int
+
+(** The user's home directory and mailbox path. *)
+val home : string
+
+val mbox_path : string
+
+(** [install_synthetic ns ~modules] generates a C project of [modules]
+    translation units (each defining a few functions and globals and
+    calling into its neighbour), a shared header, and a mkfile, under
+    [/usr/rob/src/big]; returns the directory.  Used by the scale
+    benchmarks. *)
+val install_synthetic : Vfs.t -> modules:int -> string

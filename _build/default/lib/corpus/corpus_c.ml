@@ -1,0 +1,827 @@
+(* The synthetic source tree of `help' itself, installed under
+   /usr/rob/src/help.  It reproduces the program of the paper's worked
+   example: a global character pointer n, declared in dat.h, initialized
+   in help.c's main, cleared by Xdie1 in exec.c, and passed to errs by
+   Xdie2 — whose textinsert call then dies in strlen.  textinsert in
+   text.c has a LOCAL n, which the C browser must keep apart from the
+   global (that is the point of `uses' over `grep').
+
+   Line numbers are not hard-coded anywhere: tools and tests locate
+   them by parsing or searching this text. *)
+
+let u_h =
+  "/*\n\
+  \ * architecture-dependent definitions\n\
+  \ */\n\
+   typedef unsigned char uchar;\n\
+   typedef unsigned short ushort;\n\
+   typedef unsigned long ulong;\n\
+   typedef unsigned int uint;\n\
+   typedef long long vlong;\n\
+   typedef ushort Rune;\n"
+
+let libc_h =
+  "/*\n\
+  \ * subset of the C library interface\n\
+  \ */\n\
+   extern int strlen(char *s);\n\
+   extern char *strchr(char *s, int c);\n\
+   extern char *strcpy(char *to, char *from);\n\
+   extern int strcmp(char *a, char *b);\n\
+   extern char *strncpy(char *to, char *from, int n);\n\
+   extern void *memmove(void *to, void *from, ulong n);\n\
+   extern void *malloc(ulong size);\n\
+   extern void free(void *p);\n\
+   extern int print(char *fmt, ...);\n\
+   extern int fprint(int fd, char *fmt, ...);\n\
+   extern int sprint(char *buf, char *fmt, ...);\n\
+   extern void exits(char *msg);\n\
+   extern int access(char *name, int mode);\n\
+   extern int open(char *name, int mode);\n\
+   extern int close(int fd);\n\
+   extern int read(int fd, void *buf, int n);\n\
+   extern int write(int fd, void *buf, int n);\n\
+   extern int atoi(char *s);\n\
+   extern int errstr(char *buf);\n"
+
+let libg_h =
+  "/*\n\
+  \ * graphics library: points, rectangles, events\n\
+  \ */\n\
+   typedef struct Point Point;\n\
+   typedef struct Rectangle Rectangle;\n\
+   typedef struct Mouse Mouse;\n\
+   \n\
+   struct Point\n\
+   {\n\
+   \tint x;\n\
+   \tint y;\n\
+   };\n\
+   \n\
+   struct Rectangle\n\
+   {\n\
+   \tPoint min;\n\
+   \tPoint max;\n\
+   };\n\
+   \n\
+   struct Mouse\n\
+   {\n\
+   \tint buttons;\n\
+   \tPoint xy;\n\
+   \tulong msec;\n\
+   };\n\
+   \n\
+   extern void binit(void (*errfn)(char *msg), char *font, char *label);\n\
+   extern void bclose(void);\n\
+   extern int ptinrect(Point p, Rectangle r);\n\
+   extern Rectangle inset(Rectangle r, int d);\n"
+
+let libframe_h =
+  "/*\n\
+  \ * text frames on the display\n\
+  \ */\n\
+   typedef struct Frame Frame;\n\
+   \n\
+   struct Frame\n\
+   {\n\
+   \tRectangle r;\n\
+   \tint nchars;\n\
+   \tint nlines;\n\
+   \tint maxlines;\n\
+   \tint lastlinefull;\n\
+   };\n\
+   \n\
+   extern void frinit(Frame *f, Rectangle r);\n\
+   extern void frinsert(Frame *f, uchar **sp, int pos);\n\
+   extern void frdelete(Frame *f, int p0, int p1);\n\
+   extern int frcharofpt(Frame *f, Point pt);\n"
+
+let dat_h =
+  "/*\n\
+  \ * central data structures of help\n\
+  \ */\n\
+   typedef struct Addr Addr;\n\
+   typedef struct Client Client;\n\
+   typedef struct Page Page;\n\
+   typedef struct Proc Proc;\n\
+   typedef struct String String;\n\
+   typedef struct Text Text;\n\
+   \n\
+   enum\n\
+   {\n\
+   \tBackspace = 8,\n\
+   \tNewline = 10,\n\
+   \tTagheight = 1,\n\
+   \tMaxwrite = 8192,\n\
+   \tNbuttons = 3\n\
+   };\n\
+   \n\
+   struct Addr\n\
+   {\n\
+   \tint q0;\n\
+   \tint q1;\n\
+   \tText *t;\n\
+   };\n\
+   \n\
+   struct String\n\
+   {\n\
+   \tuchar *s;\n\
+   \tint n;\n\
+   \tint size;\n\
+   };\n\
+   \n\
+   struct Text\n\
+   {\n\
+   \tFrame *f;\n\
+   \tuchar *base;\n\
+   \tint nchars;\n\
+   \tint org;\n\
+   \tint q0;\n\
+   \tint q1;\n\
+   \tPage *page;\n\
+   \tint dirty;\n\
+   };\n\
+   \n\
+   struct Page\n\
+   {\n\
+   \tText tag;\n\
+   \tText body;\n\
+   \tRectangle r;\n\
+   \tint id;\n\
+   \tint visible;\n\
+   \tPage *next;\n\
+   \tchar *name;\n\
+   };\n\
+   \n\
+   struct Client\n\
+   {\n\
+   \tint fid;\n\
+   \tint busy;\n\
+   \tPage *page;\n\
+   \tClient *next;\n\
+   };\n\
+   \n\
+   struct Proc\n\
+   {\n\
+   \tint pid;\n\
+   \tchar *cmd;\n\
+   \tProc *next;\n\
+   };\n\
+   \n\
+   extern Page *pages;\n\
+   extern Client *clients;\n\
+   extern Text *curtext;\n\
+   extern Page *curpage;\n\
+   extern int fn;\n\
+   extern char *n;\n\
+   extern int mouseslave;\n\
+   extern int kbdslave;\n\
+   extern char *home;\n"
+
+let fns_h =
+  "/*\n\
+  \ * function prototypes\n\
+  \ */\n\
+   extern void control(void);\n\
+   extern int execute(Text *t, int p0, int p1);\n\
+   extern int lookup(String *s);\n\
+   extern void errs(uchar *s);\n\
+   extern void textinsert(int sel, Text *t, uchar *s, int q0, int full);\n\
+   extern void textdelete(Text *t, int q0, int q1);\n\
+   extern void newsel(Text *t);\n\
+   extern void strinsert(Text *t, uchar *s, int n, int q0);\n\
+   extern Page *newpage(char *name);\n\
+   extern Page *findopen1(Page *p, char *name);\n\
+   extern void placepage(Page *p);\n\
+   extern void scrollto(Text *t, int q0);\n\
+   extern int pick(Point xy);\n\
+   extern void clik(Mouse *m);\n\
+   extern void procwait(int pid);\n\
+   extern char *estrdup(char *s);\n\
+   extern void *emalloc(ulong size);\n\
+   extern void error(char *msg);\n\
+   extern void Xdie1(int argc, char *argv[], Page *page, Text *curt);\n\
+   extern void Xdie2(int argc, char *argv[], Page *page, Text *curt);\n\
+   extern void Xopen(int argc, char *argv[], Page *page, Text *curt);\n\
+   extern void Xcut(int argc, char *argv[], Page *page, Text *curt);\n\
+   extern void Xpaste(int argc, char *argv[], Page *page, Text *curt);\n"
+
+let help_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   int\tmouseslave;\n\
+   int\tkbdslave;\n\
+   \n\
+   Page\t*pages;\n\
+   Client\t*clients;\n\
+   Text\t*curtext;\n\
+   Page\t*curpage;\n\
+   int\tfn;\n\
+   char\t*n;\n\
+   char\t*home;\n\
+   \n\
+   void\n\
+   usage(void)\n\
+   {\n\
+   \tfprint(2, \"usage: help [-f font]\\n\");\n\
+   \texits(\"usage\");\n\
+   }\n\
+   \n\
+   void\n\
+   main(int argc, char *argv[])\n\
+   {\n\
+   \tint i;\n\
+   \tchar *fontname;\n\
+   \n\
+   \tif(access(\"/mnt/help/new\", 0) == 0){\n\
+   \t\tfprint(2, \"help: already running\\n\");\n\
+   \t\texits(\"running\");\n\
+   \t}\n\
+   \tfn = 0;\n\
+   \tn = \"a test string\";\n\
+   \tfontname = 0;\n\
+   \tfor(i=1; i<argc; i++){\n\
+   \t\tif(strcmp(argv[i], \"-f\") == 0){\n\
+   \t\t\ti++;\n\
+   \t\t\tif(i >= argc)\n\
+   \t\t\t\tusage();\n\
+   \t\t\tfontname = argv[i];\n\
+   \t\t}\n\
+   \t}\n\
+   \tbinit(error, fontname, \"help\");\n\
+   \tpages = 0;\n\
+   \tclients = 0;\n\
+   \tcurtext = 0;\n\
+   \tcurpage = 0;\n\
+   \tcontrol();\n\
+   \tbclose();\n\
+   \texits(0);\n\
+   }\n"
+
+let text_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   void\n\
+   newsel(Text *t)\n\
+   {\n\
+   \tt->q0 = t->nchars;\n\
+   \tt->q1 = t->nchars;\n\
+   }\n\
+   \n\
+   void\n\
+   strinsert(Text *t, uchar *s, int n, int q0)\n\
+   {\n\
+   \tuchar *b;\n\
+   \n\
+   \tb = emalloc(t->nchars+n+1);\n\
+   \tmemmove(b, t->base, q0);\n\
+   \tmemmove(b+q0, s, n);\n\
+   \tmemmove(b+q0+n, t->base+q0, t->nchars-q0);\n\
+   \tfree(t->base);\n\
+   \tt->base = b;\n\
+   \tt->nchars += n;\n\
+   }\n\
+   \n\
+   void\n\
+   textinsert(int sel, Text *t, uchar *s, int q0, int full)\n\
+   {\n\
+   \tint n;\n\
+   \tint p0;\n\
+   \n\
+   \tif(sel)\n\
+   \t\tnewsel(t);\n\
+   \tn = strlen((char*)s);\n\
+   \tstrinsert(t, s, n, q0);\n\
+   \tp0 = q0-t->org;\n\
+   \tif(p0 < 0)\n\
+   \t\tt->org += n;\n\
+   \telse if(p0 <= t->nchars)\n\
+   \t\tfrinsert(t->f, &s, p0);\n\
+   \tt->q0 = q0;\n\
+   \tif(!full)\n\
+   \t\tscrollto(t, q0);\n\
+   \tt->dirty = 1;\n\
+   }\n\
+   \n\
+   void\n\
+   textdelete(Text *t, int q0, int q1)\n\
+   {\n\
+   \tint w;\n\
+   \n\
+   \tw = q1-q0;\n\
+   \tif(w <= 0)\n\
+   \t\treturn;\n\
+   \tmemmove(t->base+q0, t->base+q1, t->nchars-q1);\n\
+   \tt->nchars -= w;\n\
+   \tfrdelete(t->f, q0-t->org, q1-t->org);\n\
+   \tt->q0 = q0;\n\
+   \tt->q1 = q0;\n\
+   \tt->dirty = 1;\n\
+   }\n"
+
+let errs_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   static Page *errpage;\n\
+   \n\
+   static Page*\n\
+   geterrpage(void)\n\
+   {\n\
+   \tif(errpage == 0){\n\
+   \t\terrpage = newpage(\"Errors\");\n\
+   \t\tplacepage(errpage);\n\
+   \t}\n\
+   \treturn errpage;\n\
+   }\n\
+   \n\
+   /*\n\
+   \ * append diagnostic text to the Errors window\n\
+   \ */\n\
+   void\n\
+   errs(uchar *s)\n\
+   {\n\
+   \tPage *p;\n\
+   \n\
+   \tp = geterrpage();\n\
+   \ttextinsert(1, &p->body, s, p->body.nchars, 1);\n\
+   }\n"
+
+let exec_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   typedef struct Builtin Builtin;\n\
+   \n\
+   struct Builtin\n\
+   {\n\
+   \tchar *name;\n\
+   \tvoid (*fn)(int argc, char *argv[], Page *page, Text *curt);\n\
+   };\n\
+   \n\
+   static Builtin builtin[] = {\n\
+   \t{ \"Open\", Xopen },\n\
+   \t{ \"Cut\", Xcut },\n\
+   \t{ \"Paste\", Xpaste },\n\
+   \t{ \"Die1\", Xdie1 },\n\
+   \t{ \"Die2\", Xdie2 },\n\
+   \t{ 0, 0 }\n\
+   };\n\
+   \n\
+   void\n\
+   Xopen(int argc, char *argv[], Page *page, Text *curt)\n\
+   {\n\
+   \tPage *p;\n\
+   \n\
+   \tif(argc < 2)\n\
+   \t\treturn;\n\
+   \tp = findopen1(pages, argv[1]);\n\
+   \tif(p == 0)\n\
+   \t\tp = newpage(argv[1]);\n\
+   \tplacepage(p);\n\
+   }\n\
+   \n\
+   void\n\
+   Xcut(int argc, char *argv[], Page *page, Text *curt)\n\
+   {\n\
+   \tif(curt == 0)\n\
+   \t\treturn;\n\
+   \ttextdelete(curt, curt->q0, curt->q1);\n\
+   }\n\
+   \n\
+   void\n\
+   Xpaste(int argc, char *argv[], Page *page, Text *curt)\n\
+   {\n\
+   \tif(curt == 0)\n\
+   \t\treturn;\n\
+   \ttextinsert(0, curt, (uchar*)\"\", curt->q0, 0);\n\
+   }\n\
+   \n\
+   void\n\
+   Xdie1(int argc, char *argv[], Page *page, Text *curt)\n\
+   {\n\
+   \tn = 0;\n\
+   }\n\
+   \n\
+   void\n\
+   Xdie2(int argc, char *argv[], Page *page, Text *curt)\n\
+   {\n\
+   \terrs((uchar*)n);\n\
+   }\n\
+   \n\
+   /*\n\
+   \ * Exact match\n\
+   \ */\n\
+   Page*\n\
+   findopen1(Page *p, char *name)\n\
+   {\n\
+   \tchar *s;\n\
+   \n\
+   Again:\n\
+   \tif(p == 0)\n\
+   \t\treturn 0;\n\
+   \ts = p->name;\n\
+   \tif(s != 0 && strcmp(s, name) == 0)\n\
+   \t\treturn p;\n\
+   \tp = p->next;\n\
+   \tgoto Again;\n\
+   }\n\
+   \n\
+   int\n\
+   lookup(String *s)\n\
+   {\n\
+   \tBuiltin *b;\n\
+   \n\
+   \tfor(b=builtin; b->name!=0; b++)\n\
+   \t\tif(strcmp(b->name, (char*)s->s) == 0){\n\
+   \t\t\t(*b->fn)(1, &b->name, curpage, curtext);\n\
+   \t\t\treturn 1;\n\
+   \t\t}\n\
+   \treturn 0;\n\
+   }\n\
+   \n\
+   int\n\
+   execute(Text *t, int p0, int p1)\n\
+   {\n\
+   \tString cmd;\n\
+   \tint i;\n\
+   \n\
+   \ti = p1-p0;\n\
+   \tif(i <= 0)\n\
+   \t\treturn 0;\n\
+   \tcmd.s = t->base+p0;\n\
+   \tcmd.n = i;\n\
+   \tif(lookup(&cmd))\n\
+   \t\treturn 1;\n\
+   \treturn 0;\n\
+   }\n"
+
+let ctrl_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   static int obut;\n\
+   \n\
+   /*\n\
+   \ * main event loop: track the mouse, dispatch selections and\n\
+   \ * executions on button transitions\n\
+   \ */\n\
+   void\n\
+   control(void)\n\
+   {\n\
+   \tText *t;\n\
+   \tint op;\n\
+   \tint p;\n\
+   \tint dclick;\n\
+   \tint p0;\n\
+   \n\
+   \tt = curtext;\n\
+   \top = 0;\n\
+   \tp = 0;\n\
+   \tdclick = 0;\n\
+   \tp0 = 0;\n\
+   \tobut = 0;\n\
+   \tfor(;;){\n\
+   \t\tp = pick(curpage->r.min);\n\
+   \t\tif(p < 0)\n\
+   \t\t\tbreak;\n\
+   \t\tif(p != op){\n\
+   \t\t\tdclick = 0;\n\
+   \t\t\top = p;\n\
+   \t\t}\n\
+   \t\tif(t != 0 && obut == 2)\n\
+   \t\t\texecute(t, p0, p);\n\
+   \t\tp0 = p;\n\
+   \t}\n\
+   }\n"
+
+let page_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   static int npages;\n\
+   \n\
+   Page*\n\
+   newpage(char *name)\n\
+   {\n\
+   \tPage *p;\n\
+   \n\
+   \tp = emalloc(sizeof(Page));\n\
+   \tp->name = estrdup(name);\n\
+   \tp->id = ++npages;\n\
+   \tp->visible = 0;\n\
+   \tp->next = pages;\n\
+   \tpages = p;\n\
+   \treturn p;\n\
+   }\n\
+   \n\
+   /*\n\
+   \ * place a page: bottom of the column holding the selection; cover\n\
+   \ * half the lowest window if too little would be visible; else the\n\
+   \ * bottom quarter of the column\n\
+   \ */\n\
+   void\n\
+   placepage(Page *p)\n\
+   {\n\
+   \tPage *q;\n\
+   \tint y;\n\
+   \n\
+   \ty = 0;\n\
+   \tfor(q=pages; q!=0; q=q->next)\n\
+   \t\tif(q->visible && q->r.max.y > y)\n\
+   \t\t\ty = q->r.max.y;\n\
+   \tp->r.min.y = y;\n\
+   \tp->visible = 1;\n\
+   }\n"
+
+let pick_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   /*\n\
+   \ * which character offset does the mouse point at?\n\
+   \ */\n\
+   int\n\
+   pick(Point xy)\n\
+   {\n\
+   \tPage *p;\n\
+   \n\
+   \tfor(p=pages; p!=0; p=p->next){\n\
+   \t\tif(!p->visible)\n\
+   \t\t\tcontinue;\n\
+   \t\tif(ptinrect(xy, p->r))\n\
+   \t\t\treturn frcharofpt(p->body.f, xy);\n\
+   \t}\n\
+   \treturn -1;\n\
+   }\n"
+
+let scrl_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   /*\n\
+   \ * scroll so offset q0 is visible\n\
+   \ */\n\
+   void\n\
+   scrollto(Text *t, int q0)\n\
+   {\n\
+   \tint delta;\n\
+   \n\
+   \tif(q0 >= t->org && q0 <= t->org+t->f->nchars)\n\
+   \t\treturn;\n\
+   \tdelta = q0 - t->org;\n\
+   \tif(delta < 0)\n\
+   \t\tt->org = q0;\n\
+   \telse\n\
+   \t\tt->org += delta;\n\
+   }\n"
+
+let clik_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   /*\n\
+   \ * button chords: cut and paste without moving the mouse\n\
+   \ */\n\
+   void\n\
+   clik(Mouse *m)\n\
+   {\n\
+   \tText *t;\n\
+   \n\
+   \tt = curtext;\n\
+   \tif(t == 0)\n\
+   \t\treturn;\n\
+   \tif(m->buttons == 3)\n\
+   \t\ttextdelete(t, t->q0, t->q1);\n\
+   \tif(m->buttons == 5)\n\
+   \t\ttextinsert(0, t, (uchar*)\"\", t->q0, 0);\n\
+   }\n"
+
+let proc_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   static Proc *procs;\n\
+   \n\
+   void\n\
+   procwait(int pid)\n\
+   {\n\
+   \tProc *p;\n\
+   \n\
+   \tfor(p=procs; p!=0; p=p->next)\n\
+   \t\tif(p->pid == pid)\n\
+   \t\t\treturn;\n\
+   \tp = emalloc(sizeof(Proc));\n\
+   \tp->pid = pid;\n\
+   \tp->next = procs;\n\
+   \tprocs = p;\n\
+   }\n"
+
+let util_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   void\n\
+   error(char *msg)\n\
+   {\n\
+   \tfprint(2, \"help: %s\\n\", msg);\n\
+   \texits(msg);\n\
+   }\n\
+   \n\
+   void*\n\
+   emalloc(ulong size)\n\
+   {\n\
+   \tvoid *p;\n\
+   \n\
+   \tp = malloc(size);\n\
+   \tif(p == 0)\n\
+   \t\terror(\"out of memory\");\n\
+   \treturn p;\n\
+   }\n\
+   \n\
+   char*\n\
+   estrdup(char *s)\n\
+   {\n\
+   \tchar *t;\n\
+   \n\
+   \tt = emalloc(strlen(s)+1);\n\
+   \tstrcpy(t, s);\n\
+   \treturn t;\n\
+   }\n"
+
+let file_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   /*\n\
+   \ * string routines\n\
+   \ */\n\
+   \n\
+   int\n\
+   readfile(char *name, uchar **buf)\n\
+   {\n\
+   \tint fd;\n\
+   \tint m;\n\
+   \n\
+   \tfd = open(name, 0);\n\
+   \tif(fd < 0)\n\
+   \t\treturn -1;\n\
+   \t*buf = emalloc(Maxwrite);\n\
+   \tm = read(fd, *buf, Maxwrite);\n\
+   \tclose(fd);\n\
+   \treturn m;\n\
+   }\n\
+   \n\
+   int\n\
+   writefile(char *name, uchar *buf, int m)\n\
+   {\n\
+   \tint fd;\n\
+   \n\
+   \tfd = open(name, 1);\n\
+   \tif(fd < 0)\n\
+   \t\treturn -1;\n\
+   \tm = write(fd, buf, m);\n\
+   \tclose(fd);\n\
+   \treturn m;\n\
+   }\n"
+
+let xtrn_c =
+  "#include <u.h>\n\
+   #include <libc.h>\n\
+   #include <libg.h>\n\
+   #include <libframe.h>\n\
+   #include \"dat.h\"\n\
+   #include \"fns.h\"\n\
+   \n\
+   /*\n\
+   \ * run an external command; output goes to the Errors window\n\
+   \ */\n\
+   int\n\
+   external(char *cmd, char *dir)\n\
+   {\n\
+   \tint pid;\n\
+   \n\
+   \tpid = 0;\n\
+   \tif(cmd == 0)\n\
+   \t\treturn -1;\n\
+   \tprocwait(pid);\n\
+   \treturn pid;\n\
+   }\n"
+
+let mkfile =
+  "# mkfile for help\n\
+   OBJS=help.v clik.v ctrl.v errs.v exec.v file.v page.v pick.v proc.v scrl.v text.v util.v xtrn.v\n\
+   \n\
+   8.help: $OBJS\n\
+   \tvl -o 8.help $OBJS\n\
+   \n\
+   help.v: help.c dat.h fns.h\n\
+   \tvc -w help.c\n\
+   \n\
+   clik.v: clik.c dat.h fns.h\n\
+   \tvc -w clik.c\n\
+   \n\
+   ctrl.v: ctrl.c dat.h fns.h\n\
+   \tvc -w ctrl.c\n\
+   \n\
+   errs.v: errs.c dat.h fns.h\n\
+   \tvc -w errs.c\n\
+   \n\
+   exec.v: exec.c dat.h fns.h\n\
+   \tvc -w exec.c\n\
+   \n\
+   file.v: file.c dat.h fns.h\n\
+   \tvc -w file.c\n\
+   \n\
+   page.v: page.c dat.h fns.h\n\
+   \tvc -w page.c\n\
+   \n\
+   pick.v: pick.c dat.h fns.h\n\
+   \tvc -w pick.c\n\
+   \n\
+   proc.v: proc.c dat.h fns.h\n\
+   \tvc -w proc.c\n\
+   \n\
+   scrl.v: scrl.c dat.h fns.h\n\
+   \tvc -w scrl.c\n\
+   \n\
+   text.v: text.c dat.h fns.h\n\
+   \tvc -w text.c\n\
+   \n\
+   util.v: util.c dat.h fns.h\n\
+   \tvc -w util.c\n\
+   \n\
+   xtrn.v: xtrn.c dat.h fns.h\n\
+   \tvc -w xtrn.c\n"
+
+let source_files =
+  [
+    ("help.c", help_c);
+    ("text.c", text_c);
+    ("errs.c", errs_c);
+    ("exec.c", exec_c);
+    ("ctrl.c", ctrl_c);
+    ("page.c", page_c);
+    ("pick.c", pick_c);
+    ("scrl.c", scrl_c);
+    ("clik.c", clik_c);
+    ("proc.c", proc_c);
+    ("util.c", util_c);
+    ("file.c", file_c);
+    ("xtrn.c", xtrn_c);
+    ("dat.h", dat_h);
+    ("fns.h", fns_h);
+    ("mkfile", mkfile);
+  ]
+
+let headers = [ ("u.h", u_h); ("libc.h", libc_h); ("libg.h", libg_h); ("libframe.h", libframe_h) ]

@@ -1,0 +1,1 @@
+lib/frame/frame.ml: Array List Rope Screen

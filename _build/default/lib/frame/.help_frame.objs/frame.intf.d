@@ -1,0 +1,1 @@
+lib/frame/frame.mli: Rope Screen

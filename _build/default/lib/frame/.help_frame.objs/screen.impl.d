@@ -1,0 +1,1 @@
+lib/frame/screen.ml: Array Buffer Bytes String

@@ -1,0 +1,229 @@
+type message = {
+  m_from : string;
+  m_date : string;
+  m_subject : string option;
+  m_body : string;
+}
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let parse_mbox text =
+  let lines = String.split_on_char '\n' text in
+  let messages = ref [] in
+  let current = ref None in
+  let body = Buffer.create 256 in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (from, date) ->
+        let body_text = Buffer.contents body in
+        (* Pull a leading Subject: header out of the body. *)
+        let subject, rest =
+          match String.split_on_char '\n' body_text with
+          | first :: more when starts_with "Subject:" first ->
+              ( Some (String.trim (String.sub first 8 (String.length first - 8))),
+                String.concat "\n" more )
+          | _ -> (None, body_text)
+        in
+        let rest =
+          (* strip leading blank lines *)
+          let rec strip = function
+            | "" :: more -> strip more
+            | ls -> ls
+          in
+          String.concat "\n" (strip (String.split_on_char '\n' rest))
+        in
+        messages :=
+          { m_from = from; m_date = date; m_subject = subject; m_body = rest }
+          :: !messages;
+        Buffer.clear body
+  in
+  List.iter
+    (fun line ->
+      if starts_with "From " line then begin
+        flush ();
+        let rest = String.sub line 5 (String.length line - 5) in
+        match String.index_opt rest ' ' with
+        | Some i ->
+            current :=
+              Some
+                ( String.sub rest 0 i,
+                  String.sub rest (i + 1) (String.length rest - i - 1) )
+        | None -> current := Some (rest, "")
+      end
+      else if !current <> None then begin
+        Buffer.add_string body line;
+        Buffer.add_char body '\n'
+      end)
+    lines;
+  flush ();
+  List.rev !messages
+
+let render_mbox messages =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      Buffer.add_string b (Printf.sprintf "From %s %s\n" m.m_from m.m_date);
+      (match m.m_subject with
+      | Some s -> Buffer.add_string b (Printf.sprintf "Subject: %s\n" s)
+      | None -> ());
+      Buffer.add_char b '\n';
+      Buffer.add_string b m.m_body;
+      if not (starts_with "\n" (String.concat "" [ m.m_body ])) then ();
+      if m.m_body = "" || m.m_body.[String.length m.m_body - 1] <> '\n' then
+        Buffer.add_char b '\n';
+      Buffer.add_char b '\n')
+    messages;
+  Buffer.contents b
+
+(* "2 sean Tue Apr 16 19:26 EDT" — seconds and year trimmed, like the
+   paper's headers window. *)
+let short_date date =
+  match String.split_on_char ' ' date with
+  | [ dow; mon; day; time; zone; _year ] ->
+      let hm =
+        match String.split_on_char ':' time with
+        | [ h; m; _s ] -> h ^ ":" ^ m
+        | _ -> time
+      in
+      String.concat " " [ dow; mon; day; hm; zone ]
+  | _ -> date
+
+let headers messages =
+  let b = Buffer.create 256 in
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s %s\n" (i + 1) m.m_from (short_date m.m_date)))
+    messages;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Native tool                                                         *)
+
+let default_mbox = "/mail/box/rob/mbox"
+
+let mbox_path proc =
+  match Rc.proc_get proc "mail" with
+  | Some (p :: _) -> p
+  | _ -> default_mbox
+
+let with_mbox proc k =
+  let path = mbox_path proc in
+  match Vfs.read_file (Rc.proc_ns proc) path with
+  | text -> k path (parse_mbox text)
+  | exception Vfs.Error e ->
+      Buffer.add_string (Rc.proc_err proc)
+        (Printf.sprintf "mailtool: %s: %s\n" path (Vfs.error_message e));
+      1
+
+let mailtool proc args =
+  match List.tl args with
+  | [ "headers" ] ->
+      with_mbox proc (fun _path msgs ->
+          Buffer.add_string (Rc.proc_out proc) (headers msgs);
+          0)
+  | [ "print"; k ] ->
+      with_mbox proc (fun _path msgs ->
+          match int_of_string_opt k with
+          | Some i when i >= 1 && i <= List.length msgs ->
+              let m = List.nth msgs (i - 1) in
+              Buffer.add_string (Rc.proc_out proc)
+                (Printf.sprintf "From %s %s\n" m.m_from m.m_date);
+              (match m.m_subject with
+              | Some s ->
+                  Buffer.add_string (Rc.proc_out proc)
+                    (Printf.sprintf "Subject: %s\n" s)
+              | None -> ());
+              Buffer.add_char (Rc.proc_out proc) '\n';
+              Buffer.add_string (Rc.proc_out proc) m.m_body;
+              0
+          | _ ->
+              Buffer.add_string (Rc.proc_err proc)
+                (Printf.sprintf "mailtool: no message %s\n" k);
+              1)
+  | [ "from"; k ] ->
+      with_mbox proc (fun _path msgs ->
+          match int_of_string_opt k with
+          | Some i when i >= 1 && i <= List.length msgs ->
+              let m = List.nth msgs (i - 1) in
+              Buffer.add_string (Rc.proc_out proc) (m.m_from ^ "\n");
+              0
+          | _ ->
+              Buffer.add_string (Rc.proc_err proc)
+                (Printf.sprintf "mailtool: no message %s\n" k);
+              1)
+  | [ "delete"; k ] ->
+      with_mbox proc (fun path msgs ->
+          match int_of_string_opt k with
+          | Some i when i >= 1 && i <= List.length msgs ->
+              let remaining =
+                List.filteri (fun j _ -> j <> i - 1) msgs
+              in
+              Vfs.write_file (Rc.proc_ns proc) path (render_mbox remaining);
+              0
+          | _ ->
+              Buffer.add_string (Rc.proc_err proc)
+                (Printf.sprintf "mailtool: no message %s\n" k);
+              1)
+  | [ "send"; recipient ] ->
+      (* The demo stops before answering mail ("to answer his mail I'd
+         have to type something") — send appends the typed body to the
+         recipient's mailbox when it exists, else reports delivery. *)
+      let body = Rc.proc_stdin proc in
+      let dst = "/mail/box/" ^ recipient ^ "/mbox" in
+      let ns = Rc.proc_ns proc in
+      let letter =
+        Printf.sprintf "From rob Tue Apr 16 19:40:00 EDT 1991\n\n%s\n" body
+      in
+      if Vfs.exists ns dst then Vfs.append_file ns dst letter
+      else Vfs.append_file ns "/mail/queue" letter;
+      Buffer.add_string (Rc.proc_out proc)
+        (Printf.sprintf "mail: delivered to %s\n" recipient);
+      0
+  | _ ->
+      Buffer.add_string (Rc.proc_err proc)
+        "usage: mailtool headers|print k|delete k|send who\n";
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Scripts                                                             *)
+
+let stf = "headers messages delete reread send\n"
+
+let headers_script =
+  "x=`{cat /mnt/help/new/ctl}\n\
+   echo tag /mail/box/rob/mbox' /help/mail Close!' > /mnt/help/$x/ctl\n\
+   mailtool headers > /mnt/help/$x/bodyapp\n"
+
+let messages_script =
+  "eval `{help/parse -n}\n\
+   s=`{mailtool from $num}\n\
+   x=`{cat /mnt/help/new/ctl}\n\
+   echo tag From' '$s' Close!' > /mnt/help/$x/ctl\n\
+   mailtool print $num > /mnt/help/$x/bodyapp\n"
+
+let delete_script =
+  "eval `{help/parse -n}\n\
+   mailtool delete $num\n\
+   mailtool headers > /mnt/help/$win/body\n"
+
+let reread_script =
+  "eval `{help/parse -n}\n\
+   mailtool headers > /mnt/help/$win/body\n"
+
+let send_script =
+  "eval `{help/parse -n}\n\
+   mailtool send $id\n"
+
+let install sh =
+  Rc.register sh "/bin/mailtool" mailtool;
+  let ns = Rc.ns sh in
+  Vfs.mkdir_p ns "/help/mail";
+  Vfs.write_file ns "/help/mail/stf" stf;
+  Vfs.write_file ns "/help/mail/headers" headers_script;
+  Vfs.write_file ns "/help/mail/messages" messages_script;
+  Vfs.write_file ns "/help/mail/delete" delete_script;
+  Vfs.write_file ns "/help/mail/reread" reread_script;
+  Vfs.write_file ns "/help/mail/send" send_script

@@ -1,0 +1,27 @@
+(** The mail tool: mbox parsing and the [/help/mail] commands.
+
+    "Sean Dorward wrote the mail tools" — a handful of scripts
+    ([headers], [messages], [delete], [reread], [send]) over a plain
+    mbox file, presented as windows.  None of them contains any user
+    interface code; they print text and write it to [/mnt/help] files. *)
+
+type message = {
+  m_from : string;
+  m_date : string;
+  m_subject : string option;
+  m_body : string;
+}
+
+(** Split an mbox ("From ..." separators) into messages. *)
+val parse_mbox : string -> message list
+
+(** Render messages back to mbox text (inverse of {!parse_mbox}). *)
+val render_mbox : message list -> string
+
+(** One header line per message, in the style of the paper's Figure 5:
+    ["1 sean Tue Apr 16 19:26 EDT"]. *)
+val headers : message list -> string
+
+(** Registers [/bin/mailtool] and writes the [/help/mail] scripts
+    ([stf], [headers], [messages], [delete], [reread], [send]). *)
+val install : Rc.t -> unit

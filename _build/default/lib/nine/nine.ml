@@ -1,0 +1,720 @@
+type qid = { q_type : int; q_version : int; q_path : int }
+
+let qtdir = 0x80
+
+type stat9 = {
+  s9_name : string;
+  s9_qid : qid;
+  s9_length : int;
+  s9_mtime : int;
+}
+
+type open_mode = Oread | Owrite | Ordwr | Otrunc of open_mode
+
+type tmsg =
+  | Tversion of { msize : int; version : string }
+  | Tattach of { fid : int; uname : string; aname : string }
+  | Twalk of { fid : int; newfid : int; names : string list }
+  | Topen of { fid : int; mode : open_mode }
+  | Tcreate of { fid : int; name : string; dir : bool; mode : open_mode }
+  | Tread of { fid : int; offset : int; count : int }
+  | Twrite of { fid : int; offset : int; data : string }
+  | Tclunk of { fid : int }
+  | Tremove of { fid : int }
+  | Tstat of { fid : int }
+
+type rmsg =
+  | Rversion of { msize : int; version : string }
+  | Rattach of { qid : qid }
+  | Rwalk of { qids : qid list }
+  | Ropen of { qid : qid; iounit : int }
+  | Rcreate of { qid : qid; iounit : int }
+  | Rread of { data : string }
+  | Rwrite of { count : int }
+  | Rclunk
+  | Rremove
+  | Rstat of { stat : stat9 }
+  | Rerror of { ename : string }
+
+exception Bad_message of string
+
+let bad msg = raise (Bad_message msg)
+
+(* ------------------------------------------------------------------ *)
+(* Little-endian primitives over Buffer / string cursor                *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b v;
+  put_u8 b (v lsr 8)
+
+let put_u32 b v =
+  put_u16 b v;
+  put_u16 b (v lsr 16)
+
+let put_u64 b v =
+  put_u32 b v;
+  put_u32 b (v lsr 32)
+
+let put_str b s =
+  if String.length s > 0xffff then bad "string too long";
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+let put_qid b q =
+  put_u8 b q.q_type;
+  put_u32 b q.q_version;
+  put_u64 b q.q_path
+
+type cursor = { buf : string; mutable at : int }
+
+let get_u8 c =
+  if c.at >= String.length c.buf then bad "short message";
+  let v = Char.code c.buf.[c.at] in
+  c.at <- c.at + 1;
+  v
+
+let get_u16 c =
+  let a = get_u8 c in
+  let b = get_u8 c in
+  a lor (b lsl 8)
+
+let get_u32 c =
+  let a = get_u16 c in
+  let b = get_u16 c in
+  a lor (b lsl 16)
+
+let get_u64 c =
+  let a = get_u32 c in
+  let b = get_u32 c in
+  a lor (b lsl 32)
+
+let get_bytes c n =
+  if c.at + n > String.length c.buf then bad "short message";
+  let s = String.sub c.buf c.at n in
+  c.at <- c.at + n;
+  s
+
+let get_str c =
+  let n = get_u16 c in
+  get_bytes c n
+
+let get_qid c =
+  let q_type = get_u8 c in
+  let q_version = get_u32 c in
+  let q_path = get_u64 c in
+  { q_type; q_version; q_path }
+
+(* ------------------------------------------------------------------ *)
+(* Message type numbers (9P2000 values)                                *)
+
+let msg_tversion = 100
+let msg_rversion = 101
+let msg_tattach = 104
+let msg_rattach = 105
+let msg_rerror = 107
+let msg_twalk = 110
+let msg_rwalk = 111
+let msg_topen = 112
+let msg_ropen = 113
+let msg_tcreate = 114
+let msg_rcreate = 115
+let msg_tread = 116
+let msg_rread = 117
+let msg_twrite = 118
+let msg_rwrite = 119
+let msg_tclunk = 120
+let msg_rclunk = 121
+let msg_tremove = 122
+let msg_rremove = 123
+let msg_tstat = 124
+let msg_rstat = 125
+
+let rec mode_bits = function
+  | Oread -> 0
+  | Owrite -> 1
+  | Ordwr -> 2
+  | Otrunc m -> 0x10 lor mode_bits m
+
+let mode_of_bits bits =
+  let base =
+    match bits land 0x3 with
+    | 0 -> Oread
+    | 1 -> Owrite
+    | 2 -> Ordwr
+    | _ -> bad "bad open mode"
+  in
+  if bits land 0x10 <> 0 then Otrunc base else base
+
+let dmdir = 0x80000000
+
+(* Frame a message: size[4] type[1] tag[2] body. *)
+let frame typ ~tag body =
+  let b = Buffer.create (16 + String.length body) in
+  put_u32 b (7 + String.length body);
+  put_u8 b typ;
+  put_u16 b tag;
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let unframe s =
+  let c = { buf = s; at = 0 } in
+  let size = get_u32 c in
+  if size <> String.length s then bad "frame size mismatch";
+  let typ = get_u8 c in
+  let tag = get_u16 c in
+  (typ, tag, c)
+
+let body f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let encode_t ~tag msg =
+  match msg with
+  | Tversion { msize; version } ->
+      frame msg_tversion ~tag
+        (body (fun b ->
+             put_u32 b msize;
+             put_str b version))
+  | Tattach { fid; uname; aname } ->
+      frame msg_tattach ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_str b uname;
+             put_str b aname))
+  | Twalk { fid; newfid; names } ->
+      frame msg_twalk ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_u32 b newfid;
+             put_u16 b (List.length names);
+             List.iter (put_str b) names))
+  | Topen { fid; mode } ->
+      frame msg_topen ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_u8 b (mode_bits mode)))
+  | Tcreate { fid; name; dir; mode } ->
+      frame msg_tcreate ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_str b name;
+             put_u32 b (if dir then dmdir else 0o644);
+             put_u8 b (mode_bits mode)))
+  | Tread { fid; offset; count } ->
+      frame msg_tread ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_u64 b offset;
+             put_u32 b count))
+  | Twrite { fid; offset; data } ->
+      frame msg_twrite ~tag
+        (body (fun b ->
+             put_u32 b fid;
+             put_u64 b offset;
+             put_u32 b (String.length data);
+             Buffer.add_string b data))
+  | Tclunk { fid } -> frame msg_tclunk ~tag (body (fun b -> put_u32 b fid))
+  | Tremove { fid } -> frame msg_tremove ~tag (body (fun b -> put_u32 b fid))
+  | Tstat { fid } -> frame msg_tstat ~tag (body (fun b -> put_u32 b fid))
+
+let decode_t s =
+  let typ, tag, c = unframe s in
+  let msg =
+    if typ = msg_tversion then
+      let msize = get_u32 c in
+      let version = get_str c in
+      Tversion { msize; version }
+    else if typ = msg_tattach then
+      let fid = get_u32 c in
+      let uname = get_str c in
+      let aname = get_str c in
+      Tattach { fid; uname; aname }
+    else if typ = msg_twalk then begin
+      let fid = get_u32 c in
+      let newfid = get_u32 c in
+      let n = get_u16 c in
+      let names = List.init n (fun _ -> get_str c) in
+      Twalk { fid; newfid; names }
+    end
+    else if typ = msg_topen then
+      let fid = get_u32 c in
+      let mode = mode_of_bits (get_u8 c) in
+      Topen { fid; mode }
+    else if typ = msg_tcreate then
+      let fid = get_u32 c in
+      let name = get_str c in
+      let perm = get_u32 c in
+      let mode = mode_of_bits (get_u8 c) in
+      Tcreate { fid; name; dir = perm land dmdir <> 0; mode }
+    else if typ = msg_tread then
+      let fid = get_u32 c in
+      let offset = get_u64 c in
+      let count = get_u32 c in
+      Tread { fid; offset; count }
+    else if typ = msg_twrite then begin
+      let fid = get_u32 c in
+      let offset = get_u64 c in
+      let n = get_u32 c in
+      let data = get_bytes c n in
+      Twrite { fid; offset; data }
+    end
+    else if typ = msg_tclunk then Tclunk { fid = get_u32 c }
+    else if typ = msg_tremove then Tremove { fid = get_u32 c }
+    else if typ = msg_tstat then Tstat { fid = get_u32 c }
+    else bad (Printf.sprintf "unknown T-message type %d" typ)
+  in
+  if c.at <> String.length s then bad "trailing bytes";
+  (tag, msg)
+
+let encode_stat st =
+  let inner =
+    body (fun b ->
+        put_qid b st.s9_qid;
+        put_u32 b st.s9_mtime;
+        put_u64 b st.s9_length;
+        put_str b st.s9_name)
+  in
+  let b = Buffer.create (2 + String.length inner) in
+  put_u16 b (String.length inner);
+  Buffer.add_string b inner;
+  Buffer.contents b
+
+let decode_stat_c c =
+  let size = get_u16 c in
+  let stop = c.at + size in
+  let s9_qid = get_qid c in
+  let s9_mtime = get_u32 c in
+  let s9_length = get_u64 c in
+  let s9_name = get_str c in
+  if c.at <> stop then bad "stat size mismatch";
+  { s9_name; s9_qid; s9_length; s9_mtime }
+
+let decode_stats s =
+  let c = { buf = s; at = 0 } in
+  let rec loop acc =
+    if c.at >= String.length s then List.rev acc
+    else loop (decode_stat_c c :: acc)
+  in
+  loop []
+
+let encode_r ~tag msg =
+  match msg with
+  | Rversion { msize; version } ->
+      frame msg_rversion ~tag
+        (body (fun b ->
+             put_u32 b msize;
+             put_str b version))
+  | Rattach { qid } -> frame msg_rattach ~tag (body (fun b -> put_qid b qid))
+  | Rwalk { qids } ->
+      frame msg_rwalk ~tag
+        (body (fun b ->
+             put_u16 b (List.length qids);
+             List.iter (put_qid b) qids))
+  | Ropen { qid; iounit } ->
+      frame msg_ropen ~tag
+        (body (fun b ->
+             put_qid b qid;
+             put_u32 b iounit))
+  | Rcreate { qid; iounit } ->
+      frame msg_rcreate ~tag
+        (body (fun b ->
+             put_qid b qid;
+             put_u32 b iounit))
+  | Rread { data } ->
+      frame msg_rread ~tag
+        (body (fun b ->
+             put_u32 b (String.length data);
+             Buffer.add_string b data))
+  | Rwrite { count } -> frame msg_rwrite ~tag (body (fun b -> put_u32 b count))
+  | Rclunk -> frame msg_rclunk ~tag ""
+  | Rremove -> frame msg_rremove ~tag ""
+  | Rstat { stat } ->
+      frame msg_rstat ~tag (body (fun b -> Buffer.add_string b (encode_stat stat)))
+  | Rerror { ename } -> frame msg_rerror ~tag (body (fun b -> put_str b ename))
+
+let decode_r s =
+  let typ, tag, c = unframe s in
+  let msg =
+    if typ = msg_rversion then
+      let msize = get_u32 c in
+      let version = get_str c in
+      Rversion { msize; version }
+    else if typ = msg_rattach then Rattach { qid = get_qid c }
+    else if typ = msg_rwalk then begin
+      let n = get_u16 c in
+      Rwalk { qids = List.init n (fun _ -> get_qid c) }
+    end
+    else if typ = msg_ropen then
+      let qid = get_qid c in
+      let iounit = get_u32 c in
+      Ropen { qid; iounit }
+    else if typ = msg_rcreate then
+      let qid = get_qid c in
+      let iounit = get_u32 c in
+      Rcreate { qid; iounit }
+    else if typ = msg_rread then begin
+      let n = get_u32 c in
+      Rread { data = get_bytes c n }
+    end
+    else if typ = msg_rwrite then Rwrite { count = get_u32 c }
+    else if typ = msg_rclunk then Rclunk
+    else if typ = msg_rremove then Rremove
+    else if typ = msg_rstat then Rstat { stat = decode_stat_c c }
+    else if typ = msg_rerror then Rerror { ename = get_str c }
+    else bad (Printf.sprintf "unknown R-message type %d" typ)
+  in
+  if c.at <> String.length s then bad "trailing bytes";
+  (tag, msg)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+let iounit = 8192
+
+let qid_of_stat (st : Vfs.stat) path =
+  {
+    q_type = (if st.st_dir then qtdir else 0);
+    q_version = st.st_version;
+    q_path = Hashtbl.hash path land 0xffffff;
+  }
+
+let stat9_of_stat (st : Vfs.stat) path =
+  {
+    s9_name = st.st_name;
+    s9_qid = qid_of_stat st path;
+    s9_length = st.st_length;
+    s9_mtime = st.st_mtime;
+  }
+
+module Server = struct
+  type fid_state = {
+    mutable path : string list;
+    mutable opened : Vfs.openfile option;
+    mutable dirdata : string option;  (* rendered dir contents if a dir *)
+  }
+
+  type t = {
+    fs : Vfs.filesystem;
+    fids : (int, fid_state) Hashtbl.t;
+    counts : (string, int) Hashtbl.t;
+  }
+
+  let create fs = { fs; fids = Hashtbl.create 32; counts = Hashtbl.create 16 }
+
+  let count srv kind =
+    Hashtbl.replace srv.counts kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt srv.counts kind))
+
+  let stats srv =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) srv.counts []
+    |> List.sort compare
+
+  let lookup srv fid =
+    match Hashtbl.find_opt srv.fids fid with
+    | Some st -> st
+    | None -> raise (Vfs.Error (Vfs.Eio "unknown fid"))
+
+  let render_dir srv path =
+    let entries = srv.fs.fs_readdir path in
+    let b = Buffer.create 256 in
+    List.iter
+      (fun st -> Buffer.add_string b (encode_stat (stat9_of_stat st path)))
+      entries;
+    Buffer.contents b
+
+  let exec srv msg =
+    match msg with
+    | Tversion { msize; version = _ } ->
+        Hashtbl.reset srv.fids;
+        Rversion { msize = min msize 65536; version = "9P2000.help" }
+    | Tattach { fid; _ } ->
+        let st = srv.fs.fs_stat [] in
+        Hashtbl.replace srv.fids fid { path = []; opened = None; dirdata = None };
+        Rattach { qid = qid_of_stat st [] }
+    | Twalk { fid; newfid; names } ->
+        let state = lookup srv fid in
+        let rec go path acc = function
+          | [] -> (path, List.rev acc)
+          | name :: rest ->
+              let path' = path @ [ name ] in
+              let st = srv.fs.fs_stat path' in
+              go path' (qid_of_stat st path' :: acc) rest
+        in
+        let path', qids = go state.path [] names in
+        Hashtbl.replace srv.fids newfid
+          { path = path'; opened = None; dirdata = None };
+        Rwalk { qids }
+    | Topen { fid; mode } ->
+        let state = lookup srv fid in
+        let st = srv.fs.fs_stat state.path in
+        if st.st_dir then begin
+          state.dirdata <- Some (render_dir srv state.path);
+          Ropen { qid = qid_of_stat st state.path; iounit }
+        end
+        else begin
+          let rec base = function Otrunc m -> base m | m -> m in
+          let trunc = match mode with Otrunc _ -> true | _ -> false in
+          let vmode =
+            match base mode with
+            | Oread -> Vfs.Read
+            | Owrite -> Vfs.Write
+            | Ordwr | Otrunc _ -> Vfs.Rdwr
+          in
+          let f = srv.fs.fs_open state.path vmode ~trunc in
+          state.opened <- Some f;
+          Ropen { qid = qid_of_stat st state.path; iounit }
+        end
+    | Tcreate { fid; name; dir; mode } ->
+        let state = lookup srv fid in
+        let path' = state.path @ [ name ] in
+        srv.fs.fs_create path' ~dir;
+        state.path <- path';
+        let st = srv.fs.fs_stat path' in
+        if dir then begin
+          state.dirdata <- Some (render_dir srv path');
+          Rcreate { qid = qid_of_stat st path'; iounit }
+        end
+        else begin
+          let trunc = match mode with Otrunc _ -> true | _ -> false in
+          let f = srv.fs.fs_open path' Vfs.Rdwr ~trunc in
+          state.opened <- Some f;
+          Rcreate { qid = qid_of_stat st path'; iounit }
+        end
+    | Tread { fid; offset; count } -> (
+        let state = lookup srv fid in
+        match (state.opened, state.dirdata) with
+        | Some f, _ -> Rread { data = f.Vfs.of_read ~off:offset ~count }
+        | None, Some data ->
+            let len = String.length data in
+            if offset >= len then Rread { data = "" }
+            else
+              Rread { data = String.sub data offset (min count (len - offset)) }
+        | None, None -> raise (Vfs.Error (Vfs.Eio "fid not open")))
+    | Twrite { fid; offset; data } -> (
+        let state = lookup srv fid in
+        match state.opened with
+        | Some f -> Rwrite { count = f.Vfs.of_write ~off:offset data }
+        | None -> raise (Vfs.Error (Vfs.Eio "fid not open")))
+    | Tclunk { fid } ->
+        let state = lookup srv fid in
+        (match state.opened with Some f -> f.Vfs.of_close () | None -> ());
+        Hashtbl.remove srv.fids fid;
+        Rclunk
+    | Tremove { fid } ->
+        let state = lookup srv fid in
+        srv.fs.fs_remove state.path;
+        Hashtbl.remove srv.fids fid;
+        Rremove
+    | Tstat { fid } ->
+        let state = lookup srv fid in
+        let st = srv.fs.fs_stat state.path in
+        Rstat { stat = stat9_of_stat st state.path }
+
+  let kind_of = function
+    | Tversion _ -> "version"
+    | Tattach _ -> "attach"
+    | Twalk _ -> "walk"
+    | Topen _ -> "open"
+    | Tcreate _ -> "create"
+    | Tread _ -> "read"
+    | Twrite _ -> "write"
+    | Tclunk _ -> "clunk"
+    | Tremove _ -> "remove"
+    | Tstat _ -> "stat"
+
+  let rpc srv packet =
+    let tag, msg = decode_t packet in
+    count srv (kind_of msg);
+    let reply =
+      try exec srv msg
+      with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
+    in
+    encode_r ~tag reply
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+
+module Client = struct
+  type t = {
+    transport : string -> string;
+    mutable next_tag : int;
+    mutable next_fid : int;
+  }
+
+  let error_of_ename ename =
+    let all =
+      [ Vfs.Enonexist; Vfs.Enotdir; Vfs.Eisdir; Vfs.Eexist; Vfs.Eperm;
+        Vfs.Ebadname ]
+    in
+    match List.find_opt (fun e -> Vfs.error_message e = ename) all with
+    | Some e -> e
+    | None -> Vfs.Eio ename
+
+  let rpc c msg =
+    let tag = c.next_tag in
+    c.next_tag <- (c.next_tag + 1) land 0xffff;
+    let reply = c.transport (encode_t ~tag msg) in
+    let rtag, r = decode_r reply in
+    if rtag <> tag then bad "tag mismatch";
+    match r with
+    | Rerror { ename } -> raise (Vfs.Error (error_of_ename ename))
+    | r -> r
+
+  let fresh_fid c =
+    let fid = c.next_fid in
+    c.next_fid <- c.next_fid + 1;
+    fid
+
+  let root_fid = 0
+
+  let connect transport =
+    let c = { transport; next_tag = 1; next_fid = 1 } in
+    (match rpc c (Tversion { msize = 65536; version = "9P2000.help" }) with
+    | Rversion _ -> ()
+    | _ -> bad "expected Rversion");
+    (match rpc c (Tattach { fid = root_fid; uname = "help"; aname = "" }) with
+    | Rattach _ -> ()
+    | _ -> bad "expected Rattach");
+    c
+
+  let walk c names =
+    let fid = fresh_fid c in
+    match rpc c (Twalk { fid = root_fid; newfid = fid; names }) with
+    | Rwalk _ -> fid
+    | _ -> bad "expected Rwalk"
+
+  let clunk c fid = ignore (rpc c (Tclunk { fid }))
+
+  let with_fid c names f =
+    let fid = walk c names in
+    match f fid with
+    | v ->
+        clunk c fid;
+        v
+    | exception e ->
+        (try clunk c fid with _ -> ());
+        raise e
+
+  let filesystem c =
+    let fs_stat path =
+      with_fid c path (fun fid ->
+          match rpc c (Tstat { fid }) with
+          | Rstat { stat } ->
+              {
+                Vfs.st_name = stat.s9_name;
+                st_dir = stat.s9_qid.q_type land qtdir <> 0;
+                st_length = stat.s9_length;
+                st_mtime = stat.s9_mtime;
+                st_version = stat.s9_qid.q_version;
+              }
+          | _ -> bad "expected Rstat")
+    in
+    let open_fid fid mode trunc =
+      let m =
+        match mode with
+        | Vfs.Read -> Oread
+        | Vfs.Write -> Owrite
+        | Vfs.Rdwr -> Ordwr
+      in
+      let m = if trunc then Otrunc m else m in
+      match rpc c (Topen { fid; mode = m }) with
+      | Ropen _ -> ()
+      | _ -> bad "expected Ropen"
+    in
+    let openfile_of_fid fid =
+      {
+        Vfs.of_read =
+          (fun ~off ~count ->
+            (* Honour iounit by chunking large reads. *)
+            let b = Buffer.create (min count 8192) in
+            let rec loop off remaining =
+              if remaining > 0 then begin
+                let ask = min remaining iounit in
+                match rpc c (Tread { fid; offset = off; count = ask }) with
+                | Rread { data } when data <> "" ->
+                    Buffer.add_string b data;
+                    loop (off + String.length data)
+                      (remaining - String.length data)
+                | Rread _ -> ()
+                | _ -> bad "expected Rread"
+              end
+            in
+            loop off count;
+            Buffer.contents b);
+        of_write =
+          (fun ~off data ->
+            let total = String.length data in
+            let rec loop sent =
+              if sent < total then begin
+                let chunk = String.sub data sent (min iounit (total - sent)) in
+                match
+                  rpc c (Twrite { fid; offset = off + sent; data = chunk })
+                with
+                | Rwrite { count } when count > 0 -> loop (sent + count)
+                | Rwrite _ -> bad "zero-length write ack"
+                | _ -> bad "expected Rwrite"
+              end
+            in
+            loop 0;
+            total);
+        of_close = (fun () -> clunk c fid);
+      }
+    in
+    let fs_open path mode ~trunc =
+      let fid = walk c path in
+      (try open_fid fid mode trunc
+       with e ->
+         (try clunk c fid with _ -> ());
+         raise e);
+      openfile_of_fid fid
+    in
+    let fs_create path ~dir =
+      match List.rev path with
+      | [] -> raise (Vfs.Error Vfs.Eperm)
+      | name :: rev_parent ->
+          with_fid c (List.rev rev_parent) (fun fid ->
+              match rpc c (Tcreate { fid; name; dir; mode = Oread }) with
+              | Rcreate _ -> ()
+              | _ -> bad "expected Rcreate")
+    in
+    let fs_remove path =
+      let fid = walk c path in
+      match rpc c (Tremove { fid }) with
+      | Rremove -> ()
+      | _ -> bad "expected Rremove"
+    in
+    let fs_readdir path =
+      let f = fs_open path Vfs.Read ~trunc:false in
+      let b = Buffer.create 512 in
+      let rec loop off =
+        let chunk = f.Vfs.of_read ~off ~count:iounit in
+        if chunk <> "" then begin
+          Buffer.add_string b chunk;
+          loop (off + String.length chunk)
+        end
+      in
+      loop 0;
+      f.Vfs.of_close ();
+      List.map
+        (fun s9 ->
+          {
+            Vfs.st_name = s9.s9_name;
+            st_dir = s9.s9_qid.q_type land qtdir <> 0;
+            st_length = s9.s9_length;
+            st_mtime = s9.s9_mtime;
+            st_version = s9.s9_qid.q_version;
+          })
+        (decode_stats (Buffer.contents b))
+    in
+    { Vfs.fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
+end
+
+let serve_mount ns path fs =
+  let srv = Server.create fs in
+  let client = Client.connect (Server.rpc srv) in
+  Vfs.mount ns path (Client.filesystem client);
+  srv

@@ -1,0 +1,104 @@
+(** A 9P-style file protocol: binary codec, in-process server, client.
+
+    The paper's programming interface is "the standard currency in
+    Plan 9: files and file servers" — [help] {e is} a file server and its
+    clients (shell scripts, tools) talk to it through the kernel's file
+    protocol.  This module reproduces that layer: a binary message codec
+    in the 9P2000 style and an in-process transport, so every access to a
+    mounted server serializes a T-message and parses an R-message, as it
+    would on the wire.
+
+    Simplifications relative to 9P2000 (documented, deliberate): tags are
+    carried but requests are synchronous; permissions are not modelled
+    ([help] has a single user); [iounit] is fixed. *)
+
+(** {1 Wire messages} *)
+
+type qid = { q_type : int; q_version : int; q_path : int }
+
+(** Directory bit of [q_type]. *)
+val qtdir : int
+
+type stat9 = {
+  s9_name : string;
+  s9_qid : qid;
+  s9_length : int;
+  s9_mtime : int;
+}
+
+type open_mode = Oread | Owrite | Ordwr | Otrunc of open_mode
+
+type tmsg =
+  | Tversion of { msize : int; version : string }
+  | Tattach of { fid : int; uname : string; aname : string }
+  | Twalk of { fid : int; newfid : int; names : string list }
+  | Topen of { fid : int; mode : open_mode }
+  | Tcreate of { fid : int; name : string; dir : bool; mode : open_mode }
+  | Tread of { fid : int; offset : int; count : int }
+  | Twrite of { fid : int; offset : int; data : string }
+  | Tclunk of { fid : int }
+  | Tremove of { fid : int }
+  | Tstat of { fid : int }
+
+type rmsg =
+  | Rversion of { msize : int; version : string }
+  | Rattach of { qid : qid }
+  | Rwalk of { qids : qid list }
+  | Ropen of { qid : qid; iounit : int }
+  | Rcreate of { qid : qid; iounit : int }
+  | Rread of { data : string }
+  | Rwrite of { count : int }
+  | Rclunk
+  | Rremove
+  | Rstat of { stat : stat9 }
+  | Rerror of { ename : string }
+
+exception Bad_message of string
+
+(** {1 Codec}  Messages carry a 16-bit tag, as on the wire. *)
+
+val encode_t : tag:int -> tmsg -> string
+val decode_t : string -> int * tmsg
+val encode_r : tag:int -> rmsg -> string
+val decode_r : string -> int * rmsg
+
+(** Pack / unpack directory entries as returned by reads of directories. *)
+val encode_stat : stat9 -> string
+
+val decode_stats : string -> stat9 list
+
+(** {1 Server} *)
+
+module Server : sig
+  type t
+
+  (** Serve the given file system (its paths are server-relative). *)
+  val create : Vfs.filesystem -> t
+
+  (** One round-trip: decode a T-message, execute, encode the R-message.
+      Protocol errors become [Rerror]; malformed packets raise
+      {!Bad_message}. *)
+  val rpc : t -> string -> string
+
+  (** Number of requests served, by message kind; used by benches. *)
+  val stats : t -> (string * int) list
+end
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  (** [connect rpc] performs version + attach over the transport. *)
+  val connect : (string -> string) -> t
+
+  (** View the remote tree as a local {!Vfs.filesystem}: each operation
+      becomes walk/open/read/write/clunk round-trips. *)
+  val filesystem : t -> Vfs.filesystem
+end
+
+(** [serve_mount ns path fs] wires a server for [fs] to a fresh client
+    and mounts the client's view at [path] in [ns]: from then on all
+    access to [path] crosses the protocol.  Returns the server (for
+    stats). *)
+val serve_mount : Vfs.t -> string -> Vfs.filesystem -> Server.t

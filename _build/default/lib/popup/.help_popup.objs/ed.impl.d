@@ -1,0 +1,1 @@
+lib/popup/ed.ml: Array Buffer List Printf Rc Regexp String Vfs

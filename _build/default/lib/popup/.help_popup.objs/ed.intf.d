@@ -1,0 +1,1 @@
+lib/popup/ed.mli: Rc

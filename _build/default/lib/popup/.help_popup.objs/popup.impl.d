@@ -1,0 +1,1 @@
+lib/popup/popup.ml: Buffer Cbr Coreutils Corpus Db Ed List Mail Mk Rc String Vfs

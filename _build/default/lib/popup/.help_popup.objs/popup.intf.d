@@ -1,0 +1,1 @@
+lib/popup/popup.mli: Rc Vfs

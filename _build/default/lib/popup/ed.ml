@@ -1,0 +1,246 @@
+(* ed: buffer of lines, a current line, and a command loop over the
+   script arriving on standard input. *)
+
+type state = {
+  mutable lines : string array;
+  mutable cur : int;  (* 1-based; 0 when the buffer is empty *)
+  mutable dirty : bool;
+  mutable path : string;
+}
+
+exception Quit
+
+let line_count st = Array.length st.lines
+
+(* Parse one address at [i]; returns (line, next index) or None. *)
+let parse_addr st s i =
+  let n = String.length s in
+  if i >= n then None
+  else
+    match s.[i] with
+    | '$' -> Some (line_count st, i + 1)
+    | '.' -> Some (st.cur, i + 1)
+    | '/' -> (
+        match String.index_from_opt s (i + 1) '/' with
+        | Some stop -> (
+            let pat = String.sub s (i + 1) (stop - i - 1) in
+            match Regexp.compile pat with
+            | exception Regexp.Parse_error _ -> None
+            | re ->
+                (* search forward from the line after the current one,
+                   wrapping *)
+                let total = line_count st in
+                let rec hunt k =
+                  if k > total then None
+                  else
+                    let idx = ((st.cur + k - 1) mod total) + 1 in
+                    if total > 0 && Regexp.matches re st.lines.(idx - 1) then
+                      Some (idx, stop + 1)
+                    else hunt (k + 1)
+                in
+                if total = 0 then None else hunt 1)
+        | None -> None)
+    | c when c >= '0' && c <= '9' ->
+        let j = ref i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        Some (int_of_string (String.sub s i (!j - i)), !j)
+    | _ -> None
+
+(* Parse [addr[,addr]]; result ((a, b), rest-index). *)
+let parse_range st s =
+  match parse_addr st s 0 with
+  | None -> ((st.cur, st.cur), 0)
+  | Some (a, i) ->
+      if i < String.length s && s.[i] = ',' then begin
+        match parse_addr st s (i + 1) with
+        | Some (b, j) -> ((a, b), j)
+        | None -> ((a, a), i)
+      end
+      else ((a, a), i)
+
+let valid st k = k >= 1 && k <= line_count st
+
+let delete_range st a b =
+  let keep =
+    Array.to_list st.lines
+    |> List.filteri (fun i _ -> i + 1 < a || i + 1 > b)
+  in
+  st.lines <- Array.of_list keep;
+  st.cur <- min a (line_count st);
+  st.dirty <- true
+
+let insert_at st k texts =
+  (* insert the texts so the first lands at position k+1 *)
+  let before = Array.sub st.lines 0 k in
+  let after = Array.sub st.lines k (line_count st - k) in
+  st.lines <- Array.concat [ before; Array.of_list texts; after ];
+  st.cur <- k + List.length texts;
+  st.dirty <- true
+
+let substitute st a b re repl global =
+  let changed = ref false in
+  for k = a to b do
+    if valid st k then begin
+      let line = st.lines.(k - 1) in
+      let rec subst line pos count =
+        match Regexp.search re line pos with
+        | Some (x, y) when y >= x ->
+            let line' =
+              String.sub line 0 x ^ repl ^ String.sub line y (String.length line - y)
+            in
+            changed := true;
+            let next = x + String.length repl + if y = x then 1 else 0 in
+            if global && count < 100 then subst line' next (count + 1) else line'
+        | _ -> line
+      in
+      let line' = subst line 0 0 in
+      if line' <> line then begin
+        st.lines.(k - 1) <- line';
+        st.cur <- k
+      end
+    end
+  done;
+  if !changed then st.dirty <- true;
+  !changed
+
+let native proc args =
+  let ns = Rc.proc_ns proc in
+  let out = Rc.proc_out proc in
+  let err_answer () = Buffer.add_string out "?\n" in
+  let path =
+    match List.tl args with
+    | [ p ] ->
+        if String.length p > 0 && p.[0] = '/' then p
+        else Vfs.normalize (Rc.proc_cwd proc ^ "/" ^ p)
+    | _ -> ""
+  in
+  let content =
+    if path = "" then ""
+    else match Vfs.read_file ns path with s -> s | exception Vfs.Error _ -> ""
+  in
+  let split_lines s =
+    if s = "" then [||]
+    else
+      String.split_on_char '\n' s
+      |> (fun l -> match List.rev l with "" :: rest -> List.rev rest | _ -> l)
+      |> Array.of_list
+  in
+  let st = { lines = split_lines content; cur = 0; dirty = false; path } in
+  st.cur <- line_count st;
+  if path <> "" then
+    Buffer.add_string out (Printf.sprintf "%d\n" (String.length content));
+  let script = String.split_on_char '\n' (Rc.proc_stdin proc) in
+  (* collect input-mode text (after a/i/c) until a lone "." *)
+  let rec run = function
+    | [] -> ()
+    | cmdline :: rest -> (
+        let (a, b), i = parse_range st cmdline in
+        let cmd = String.sub cmdline i (String.length cmdline - i) in
+        let gather rest =
+          let rec go acc = function
+            | "." :: more -> (List.rev acc, more)
+            | t :: more -> go (t :: acc) more
+            | [] -> (List.rev acc, [])
+          in
+          go [] rest
+        in
+        let print_range a b numbered =
+          if valid st a && valid st b && a <= b then begin
+            for k = a to b do
+              if numbered then
+                Buffer.add_string out (Printf.sprintf "%d\t%s\n" k st.lines.(k - 1))
+              else Buffer.add_string out (st.lines.(k - 1) ^ "\n")
+            done;
+            st.cur <- b
+          end
+          else err_answer ()
+        in
+        match cmd with
+        | "" ->
+            (* bare address: go there and print; bare return advances *)
+            let target = if i = 0 then st.cur + 1 else b in
+            if valid st target then begin
+              st.cur <- target;
+              Buffer.add_string out (st.lines.(target - 1) ^ "\n")
+            end
+            else err_answer ();
+            run rest
+        | "p" ->
+            print_range a b false;
+            run rest
+        | "n" ->
+            print_range a b true;
+            run rest
+        | "=" ->
+            Buffer.add_string out (Printf.sprintf "%d\n" b);
+            run rest
+        | "d" ->
+            if valid st a && valid st b && a <= b then delete_range st a b
+            else err_answer ();
+            run rest
+        | "a" ->
+            let texts, rest = gather rest in
+            insert_at st (min b (line_count st)) texts;
+            run rest
+        | "i" ->
+            let texts, rest = gather rest in
+            insert_at st (max 0 (min (a - 1) (line_count st))) texts;
+            run rest
+        | "c" ->
+            let texts, rest = gather rest in
+            if valid st a && valid st b && a <= b then begin
+              delete_range st a b;
+              insert_at st (a - 1) texts
+            end
+            else err_answer ();
+            run rest
+        | "q" -> raise Quit
+        | _ when String.length cmd >= 1 && cmd.[0] = 'w' ->
+            let target =
+              let rest_name = String.trim (String.sub cmd 1 (String.length cmd - 1)) in
+              if rest_name = "" then st.path
+              else if rest_name.[0] = '/' then rest_name
+              else Vfs.normalize (Rc.proc_cwd proc ^ "/" ^ rest_name)
+            in
+            if target = "" then err_answer ()
+            else begin
+              let text =
+                String.concat "" (List.map (fun l -> l ^ "\n") (Array.to_list st.lines))
+              in
+              Vfs.write_file ns target text;
+              st.dirty <- false;
+              Buffer.add_string out (Printf.sprintf "%d\n" (String.length text))
+            end;
+            run rest
+        | _ when String.length cmd >= 2 && cmd.[0] = 's' -> (
+            let delim = cmd.[1] in
+            match String.split_on_char delim cmd with
+            | [ "s"; pat; repl ] | [ "s"; pat; repl; "" ] -> (
+                match Regexp.compile pat with
+                | exception Regexp.Parse_error _ ->
+                    err_answer ();
+                    run rest
+                | re ->
+                    if not (substitute st a b re repl false) then err_answer ();
+                    run rest)
+            | [ "s"; pat; repl; "g" ] -> (
+                match Regexp.compile pat with
+                | exception Regexp.Parse_error _ ->
+                    err_answer ();
+                    run rest
+                | re ->
+                    if not (substitute st a b re repl true) then err_answer ();
+                    run rest)
+            | _ ->
+                err_answer ();
+                run rest)
+        | _ ->
+            err_answer ();
+            run rest)
+  in
+  (try run script with Quit -> ());
+  0
+
+let install sh = Rc.register sh "/bin/ed" native

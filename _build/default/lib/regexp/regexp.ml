@@ -1,0 +1,277 @@
+exception Parse_error of string
+
+type ast =
+  | Empty
+  | Char of char
+  | Any
+  | Class of bool * (char * char) list
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+  | Bol
+  | Eol
+
+(* ------------------------------------------------------------------ *)
+(* Parser: alt := seq ('|' seq)* ; seq := rep* ; rep := atom [*+?]*    *)
+
+let parse pat =
+  let n = String.length pat in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some pat.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at %d in %S" msg !pos pat))
+  in
+  let parse_escape () =
+    advance ();
+    match peek () with
+    | None -> fail "trailing backslash"
+    | Some c ->
+        advance ();
+        (match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c)
+  in
+  let parse_class () =
+    advance ();
+    let negated =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec loop first =
+      match peek () with
+      | None -> fail "unterminated class"
+      | Some ']' when not first -> advance ()
+      | Some c ->
+          let lo =
+            if c = '\\' then parse_escape ()
+            else begin
+              advance ();
+              c
+            end
+          in
+          let hi =
+            match peek () with
+            | Some '-' when !pos + 1 < n && pat.[!pos + 1] <> ']' ->
+                advance ();
+                (match peek () with
+                | Some '\\' -> parse_escape ()
+                | Some c2 ->
+                    advance ();
+                    c2
+                | None -> fail "unterminated range")
+            | _ -> lo
+          in
+          if hi < lo then fail "inverted range";
+          ranges := (lo, hi) :: !ranges;
+          loop false
+    in
+    loop true;
+    Class (negated, List.rev !ranges)
+  in
+  let rec parse_alt () =
+    let a = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (a, parse_alt ())
+    | _ -> a
+  and parse_seq () =
+    let rec loop acc =
+      match peek () with
+      | None | Some ')' | Some '|' -> acc
+      | Some _ ->
+          let atom = parse_rep () in
+          loop (if acc = Empty then atom else Seq (acc, atom))
+    in
+    loop Empty
+  and parse_rep () =
+    let rec post a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          post (Star a)
+      | Some '+' ->
+          advance ();
+          post (Plus a)
+      | Some '?' ->
+          advance ();
+          post (Opt a)
+      | _ -> a
+    in
+    post (parse_atom ())
+  and parse_atom () =
+    match peek () with
+    | None -> fail "expected atom"
+    | Some '(' ->
+        advance ();
+        let a = parse_alt () in
+        (match peek () with
+        | Some ')' -> advance ()
+        | _ -> fail "unmatched (");
+        a
+    | Some ')' -> fail "unmatched )"
+    | Some ('*' | '+' | '?') -> fail "repetition of nothing"
+    | Some '[' -> parse_class ()
+    | Some '.' ->
+        advance ();
+        Any
+    | Some '^' ->
+        advance ();
+        Bol
+    | Some '$' ->
+        advance ();
+        Eol
+    | Some '\\' -> Char (parse_escape ())
+    | Some c ->
+        advance ();
+        Char c
+  in
+  let a = parse_alt () in
+  if !pos <> n then fail "unexpected character";
+  a
+
+(* ------------------------------------------------------------------ *)
+(* NFA over a growable state array; T_split slots are patched after
+   their body is compiled (for Star/Plus loops).                       *)
+
+type trans =
+  | T_char of char * int
+  | T_any of int
+  | T_class of bool * (char * char) list * int
+  | T_bol of int
+  | T_eol of int
+  | T_split of int * int
+  | T_match
+
+type t = { pattern : string; states : trans array; start : int }
+
+let pattern re = re.pattern
+
+let compile pat =
+  let ast = parse pat in
+  let states = ref (Array.make 16 T_match) in
+  let count = ref 0 in
+  let emit tr =
+    if !count = Array.length !states then begin
+      let bigger = Array.make (2 * !count) T_match in
+      Array.blit !states 0 bigger 0 !count;
+      states := bigger
+    end;
+    !states.(!count) <- tr;
+    incr count;
+    !count - 1
+  in
+  let rec go a next =
+    (* Compile [a] to continue at state [next]; result is the entry. *)
+    match a with
+    | Empty -> next
+    | Char c -> emit (T_char (c, next))
+    | Any -> emit (T_any next)
+    | Class (neg, ranges) -> emit (T_class (neg, ranges, next))
+    | Bol -> emit (T_bol next)
+    | Eol -> emit (T_eol next)
+    | Seq (x, y) ->
+        let entry_y = go y next in
+        go x entry_y
+    | Alt (x, y) ->
+        let ex = go x next in
+        let ey = go y next in
+        emit (T_split (ex, ey))
+    | Opt x ->
+        let ex = go x next in
+        emit (T_split (ex, next))
+    | Star x ->
+        let split_id = emit (T_split (0, 0)) in
+        let ex = go x split_id in
+        !states.(split_id) <- T_split (ex, next);
+        split_id
+    | Plus x ->
+        let split_id = emit (T_split (0, 0)) in
+        let ex = go x split_id in
+        !states.(split_id) <- T_split (ex, next);
+        ex
+  in
+  let match_id = emit T_match in
+  let start = go ast match_id in
+  { pattern = pat; states = Array.sub !states 0 !count; start }
+
+let in_class c neg ranges =
+  let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+  if neg then not inside else inside
+
+(* Thompson simulation with eager epsilon expansion.  [mark] holds the
+   generation at which a state was last added, avoiding a set per step. *)
+let match_at re s pos =
+  let n = String.length s in
+  if pos < 0 || pos > n then invalid_arg "Regexp.match_at";
+  let nstates = Array.length re.states in
+  let best = ref (-1) in
+  let current = ref [] in
+  let mark = Array.make nstates (-1) in
+  let gen = ref 0 in
+  let rec add i at =
+    if mark.(i) <> !gen then begin
+      mark.(i) <- !gen;
+      match re.states.(i) with
+      | T_split (a, b) ->
+          add a at;
+          add b at
+      | T_bol next -> if at = 0 || s.[at - 1] = '\n' then add next at
+      | T_eol next -> if at = n || s.[at] = '\n' then add next at
+      | T_match -> if at > !best then best := at
+      | T_char _ | T_any _ | T_class _ -> current := i :: !current
+    end
+  in
+  incr gen;
+  current := [];
+  add re.start pos;
+  let rec step at live =
+    if live <> [] && at < n then begin
+      let c = s.[at] in
+      incr gen;
+      current := [];
+      List.iter
+        (fun i ->
+          match re.states.(i) with
+          | T_char (c', next) -> if c = c' then add next (at + 1)
+          | T_any next -> add next (at + 1)
+          | T_class (neg, ranges, next) ->
+              if in_class c neg ranges then add next (at + 1)
+          | T_split _ | T_bol _ | T_eol _ | T_match -> ())
+        live;
+      step (at + 1) !current
+    end
+  in
+  step pos !current;
+  if !best >= 0 then Some !best else None
+
+let search re s pos =
+  let n = String.length s in
+  let rec try_at i =
+    if i > n then None
+    else
+      match match_at re s i with
+      | Some stop -> Some (i, stop)
+      | None -> try_at (i + 1)
+  in
+  try_at (max 0 pos)
+
+let matches re s = search re s 0 <> None
+
+let search_all re s =
+  let n = String.length s in
+  let rec loop pos acc =
+    if pos > n then List.rev acc
+    else
+      match search re s pos with
+      | None -> List.rev acc
+      | Some (a, b) ->
+          let next = if b > a then b else a + 1 in
+          loop next ((a, b) :: acc)
+  in
+  loop 0 []

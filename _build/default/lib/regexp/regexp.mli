@@ -1,0 +1,48 @@
+(** Regular expressions, Thompson-NFA style (no backtracking blowup).
+
+    The dialect is the small egrep-like language Plan 9's [libregexp]
+    offers and that the paper's tools need: literals, [.], character
+    classes [[a-z]] and [[^...]], grouping [(...)], alternation [|],
+    repetition [* + ?], and the anchors [^] and [$].  Escapes: [\c]
+    makes any metacharacter literal; [\n] and [\t] denote newline/tab. *)
+
+type t
+
+exception Parse_error of string
+
+(** Compile a pattern.  @raise Parse_error on malformed input. *)
+val compile : string -> t
+
+(** Original pattern text. *)
+val pattern : t -> string
+
+(** [matches re s] — does [re] match anywhere in [s]? *)
+val matches : t -> string -> bool
+
+(** [search re s pos] finds the leftmost-longest match at or after
+    [pos]; result is [(start, stop)] with [stop] exclusive. *)
+val search : t -> string -> int -> (int * int) option
+
+(** All non-overlapping leftmost-longest matches. *)
+val search_all : t -> string -> (int * int) list
+
+(** [match_at re s pos] — longest match anchored at [pos] (ignores a
+    leading [^] semantics; the anchor still constrains as usual). *)
+val match_at : t -> string -> int -> int option
+
+(** Abstract syntax, exposed for property tests that compare the NFA
+    against a reference matcher. *)
+type ast =
+  | Empty
+  | Char of char
+  | Any
+  | Class of bool * (char * char) list  (** negated?, ranges *)
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+  | Bol
+  | Eol
+
+val parse : string -> ast

@@ -1,0 +1,1 @@
+lib/rope/buffer0.ml: List Rope String

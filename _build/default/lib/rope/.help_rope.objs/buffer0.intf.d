@@ -1,0 +1,1 @@
+lib/rope/buffer0.mli: Rope

@@ -1,0 +1,1 @@
+lib/rope/rope.ml: Array Buffer String

@@ -1,0 +1,1 @@
+lib/rope/rope.mli:

@@ -1,0 +1,325 @@
+(* Rope implementation.
+
+   The tree keeps leaves between [min_leaf] and [max_leaf] bytes (except a
+   possibly short root) and rebalances by flattening into leaves and
+   rebuilding whenever a node's height exceeds the Fibonacci bound for its
+   length — the classic rope balancing criterion, simplified: rebuild is
+   O(n) but amortized rare, and texts here are at most a few megabytes. *)
+
+type t =
+  | Leaf of string
+  | Node of { l : t; r : t; len : int; nl : int; h : int }
+
+let max_leaf = 512
+let min_leaf = 128
+
+let count_newlines s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  !n
+
+let length = function Leaf s -> String.length s | Node n -> n.len
+let newlines = function Leaf s -> count_newlines s | Node n -> n.nl
+let height = function Leaf _ -> 0 | Node n -> n.h
+
+let empty = Leaf ""
+let is_empty t = length t = 0
+
+let node l r =
+  Node
+    {
+      l;
+      r;
+      len = length l + length r;
+      nl = newlines l + newlines r;
+      h = 1 + max (height l) (height r);
+    }
+
+let of_string s =
+  let n = String.length s in
+  if n <= max_leaf then Leaf s
+  else begin
+    (* Build a balanced tree over fixed-size chunks. *)
+    let rec build pos len =
+      if len <= max_leaf then Leaf (String.sub s pos len)
+      else
+        let half = len / 2 in
+        node (build pos half) (build (pos + half) (len - half))
+    in
+    build 0 n
+  end
+
+let fold_chunks t ~init ~f =
+  let rec go acc = function
+    | Leaf s -> f acc s
+    | Node { l; r; _ } -> go (go acc l) r
+  in
+  go init t
+
+let to_string t =
+  let b = Buffer.create (length t) in
+  fold_chunks t ~init:() ~f:(fun () s -> Buffer.add_string b s);
+  Buffer.contents b
+
+(* Balance: a rope of height h must have length at least fib(h).  When
+   violated we flatten and rebuild. *)
+let fib_bound =
+  let a = Array.make 64 0 in
+  a.(0) <- 1;
+  if Array.length a > 1 then a.(1) <- 2;
+  for i = 2 to 63 do
+    a.(i) <-
+      (if a.(i - 1) > max_int / 2 then max_int
+       else a.(i - 1) + a.(i - 2))
+  done;
+  a
+
+let balanced t =
+  let h = height t in
+  h < 64 && length t >= fib_bound.(min h 63) / 4
+
+let rebuild t = of_string (to_string t)
+
+let bal t = if balanced t then t else rebuild t
+
+(* Height-balanced join: descend into the taller side and rotate when
+   attaching would overgrow it, so repeated split/concat (every edit)
+   keeps O(log n) height without wholesale rebuilds. *)
+let rec join l r =
+  let hl = height l and hr = height r in
+  if abs (hl - hr) <= 1 then node l r
+  else if hl > hr then begin
+    match l with
+    | Leaf _ -> node l r
+    | Node { l = ll; r = lr; _ } ->
+        let merged = join lr r in
+        if height merged <= height ll + 1 then node ll merged
+        else begin
+          match merged with
+          | Node { l = ml; r = mr; _ } ->
+              if height ml >= height mr then node (node ll ml) mr
+              else begin
+                match ml with
+                | Node { l = mll; r = mlr; _ } ->
+                    node (node ll mll) (node mlr mr)
+                | Leaf _ -> node (node ll ml) mr
+              end
+          | Leaf _ -> node ll merged
+        end
+  end
+  else begin
+    match r with
+    | Leaf _ -> node l r
+    | Node { l = rl; r = rr; _ } ->
+        let merged = join l rl in
+        if height merged <= height rr + 1 then node merged rr
+        else begin
+          match merged with
+          | Node { l = ml; r = mr; _ } ->
+              if height mr >= height ml then node ml (node mr rr)
+              else begin
+                match mr with
+                | Node { l = mrl; r = mrr; _ } ->
+                    node (node ml mrl) (node mrr rr)
+                | Leaf _ -> node ml (node mr rr)
+              end
+          | Leaf _ -> node merged rr
+        end
+  end
+
+let concat a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    match (a, b) with
+    | Leaf x, Leaf y when String.length x + String.length y <= max_leaf ->
+        Leaf (x ^ y)
+    | Node { l; r = Leaf x; _ }, Leaf y
+      when String.length x + String.length y <= max_leaf ->
+        node l (Leaf (x ^ y))
+    | Leaf x, Node { l = Leaf y; r; _ }
+      when String.length x + String.length y <= max_leaf ->
+        node (Leaf (x ^ y)) r
+    | _ -> bal (join a b)
+
+let rec split t i =
+  match t with
+  | Leaf s ->
+      if i < 0 || i > String.length s then invalid_arg "Rope.split"
+      else (Leaf (String.sub s 0 i), Leaf (String.sub s i (String.length s - i)))
+  | Node { l; r; _ } ->
+      let ll = length l in
+      if i <= ll then
+        let a, b = split l i in
+        (a, concat b r)
+      else
+        let a, b = split r (i - ll) in
+        (concat l a, b)
+
+let sub t pos len =
+  if pos < 0 || len < 0 || pos + len > length t then invalid_arg "Rope.sub";
+  let _, rest = split t pos in
+  let mid, _ = split rest len in
+  mid
+
+let insert t pos s =
+  if pos < 0 || pos > length t then invalid_arg "Rope.insert";
+  if s = "" then t
+  else
+    let a, b = split t pos in
+    concat (concat a (of_string s)) b
+
+let delete t pos len =
+  if pos < 0 || len < 0 || pos + len > length t then invalid_arg "Rope.delete";
+  if len = 0 then t
+  else
+    let a, rest = split t pos in
+    let _, b = split rest len in
+    concat a b
+
+let rec get t i =
+  match t with
+  | Leaf s ->
+      if i < 0 || i >= String.length s then invalid_arg "Rope.get" else s.[i]
+  | Node { l; r; _ } ->
+      let ll = length l in
+      if i < ll then get l i else get r (i - ll)
+
+let to_substring t pos len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Rope.to_substring";
+  let b = Buffer.create len in
+  let rec go t pos len =
+    if len > 0 then
+      match t with
+      | Leaf s -> Buffer.add_substring b s pos len
+      | Node { l; r; _ } ->
+          let ll = length l in
+          if pos + len <= ll then go l pos len
+          else if pos >= ll then go r (pos - ll) len
+          else begin
+            go l pos (ll - pos);
+            go r 0 (len - (ll - pos))
+          end
+  in
+  go t pos len;
+  Buffer.contents b
+
+let iter_range t pos len f =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Rope.iter_range";
+  let rec go t pos len =
+    if len > 0 then
+      match t with
+      | Leaf s ->
+          for i = pos to pos + len - 1 do
+            f s.[i]
+          done
+      | Node { l; r; _ } ->
+          let ll = length l in
+          if pos + len <= ll then go l pos len
+          else if pos >= ll then go r (pos - ll) len
+          else begin
+            go l pos (ll - pos);
+            go r 0 (len - (ll - pos))
+          end
+  in
+  go t pos len
+
+let index_from t pos c =
+  if pos < 0 || pos > length t then invalid_arg "Rope.index_from";
+  let rec go t base pos =
+    (* Search [t] from local offset [pos]; [base] is t's global start. *)
+    match t with
+    | Leaf s -> (
+        match String.index_from_opt s pos c with
+        | Some i -> Some (base + i)
+        | None -> None)
+    | Node { l; r; _ } ->
+        let ll = length l in
+        if pos >= ll then go r (base + ll) (pos - ll)
+        else (
+          match go l base pos with
+          | Some _ as res -> res
+          | None -> go r (base + ll) 0)
+  in
+  if pos >= length t then None else go t 0 pos
+
+let rindex_before t pos c =
+  if pos < 0 || pos > length t then invalid_arg "Rope.rindex_before";
+  let rec go t base pos =
+    (* Last occurrence strictly before local offset [pos]. *)
+    match t with
+    | Leaf s ->
+        if pos = 0 then None
+        else (
+          match String.rindex_from_opt s (pos - 1) c with
+          | Some i -> Some (base + i)
+          | None -> None)
+    | Node { l; r; _ } ->
+        let ll = length l in
+        if pos <= ll then go l base pos
+        else (
+          match go r (base + ll) (pos - ll) with
+          | Some _ as res -> res
+          | None -> go l base ll)
+  in
+  go t 0 pos
+
+let line_start t n =
+  if n < 1 then invalid_arg "Rope.line_start";
+  if n = 1 then 0
+  else begin
+    (* Offset just after the (n-1)th newline. *)
+    let rec go t skip base =
+      (* Find the [skip]-th (1-based) newline within [t]. *)
+      match t with
+      | Leaf s ->
+          let rec scan i k =
+            match String.index_from_opt s i '\n' with
+            | None -> raise Not_found
+            | Some j -> if k = 1 then base + j else scan (j + 1) (k - 1)
+          in
+          scan 0 skip
+      | Node { l; r; _ } ->
+          let nl = newlines l in
+          if skip <= nl then go l skip base
+          else go r (skip - nl) (base + length l)
+    in
+    let total = newlines t in
+    if n - 1 > total then raise Not_found else go t (n - 1) 0 + 1
+  end
+
+let line_of_offset t pos =
+  if pos < 0 || pos > length t then invalid_arg "Rope.line_of_offset";
+  (* 1 + newlines in [0, pos). *)
+  let rec go t pos =
+    match t with
+    | Leaf s ->
+        let n = ref 0 in
+        for i = 0 to pos - 1 do
+          if s.[i] = '\n' then incr n
+        done;
+        !n
+    | Node { l; r; _ } ->
+        let ll = length l in
+        if pos <= ll then go l pos else newlines l + go r (pos - ll)
+  in
+  1 + go t pos
+
+let line_end t pos =
+  match index_from t pos '\n' with Some i -> i | None -> length t
+
+let rec check t =
+  match t with
+  | Leaf s -> count_newlines s = newlines t && String.length s >= 0
+  | Node { l; r; len; nl; h } ->
+      len = length l + length r
+      && nl = newlines l + newlines r
+      && h = 1 + max (height l) (height r)
+      && (not (is_empty l))
+      && (not (is_empty r))
+      && check l && check r
+
+(* Silence unused-value warnings for constants kept for documentation. *)
+let _ = min_leaf

@@ -1,0 +1,73 @@
+(** Immutable rope: balanced tree of string chunks.
+
+    Ropes give O(log n) insert/delete/split/concat on large texts, which is
+    what lets [help] "handle large files gracefully" (one of the paper's
+    stated follow-up goals).  All offsets are in bytes; the text model is
+    a flat byte sequence in which ['\n'] terminates lines. *)
+
+type t
+
+val empty : t
+val of_string : string -> t
+val to_string : t -> string
+
+val length : t -> int
+
+(** Number of ['\n'] characters. *)
+val newlines : t -> int
+
+val is_empty : t -> bool
+
+(** [get t i] is byte [i].  @raise Invalid_argument when out of bounds. *)
+val get : t -> int -> char
+
+(** [sub t pos len] is the rope of bytes [pos..pos+len-1].
+    @raise Invalid_argument when the range is out of bounds. *)
+val sub : t -> int -> int -> t
+
+val concat : t -> t -> t
+
+(** [split t i] is [(sub t 0 i, sub t i (length t - i))]. *)
+val split : t -> int -> t * t
+
+(** [insert t pos s] inserts the string [s] before offset [pos]. *)
+val insert : t -> int -> string -> t
+
+(** [delete t pos len] removes [len] bytes starting at [pos]. *)
+val delete : t -> int -> int -> t
+
+(** [to_substring t pos len] extracts a range as a string. *)
+val to_substring : t -> int -> int -> string
+
+(** [iter_range t pos len f] applies [f] to each byte of the range in
+    order without materializing a string. *)
+val iter_range : t -> int -> int -> (char -> unit) -> unit
+
+(** [index_from t pos c] is the offset of the first [c] at or after [pos];
+    [None] when there is none. *)
+val index_from : t -> int -> char -> int option
+
+(** [rindex_before t pos c] is the offset of the last [c] strictly before
+    [pos]; [None] when there is none. *)
+val rindex_before : t -> int -> char -> int option
+
+(** [line_start t n] is the offset of the first byte of 1-based line [n].
+    Line [k+1] starts after the [k]th newline.  @raise Not_found when the
+    rope has fewer lines. *)
+val line_start : t -> int -> int
+
+(** [line_of_offset t pos] is the 1-based line number containing [pos]. *)
+val line_of_offset : t -> int -> int
+
+(** Offset just past the end of the line containing [pos] (i.e. offset of
+    its newline, or [length t]). *)
+val line_end : t -> int -> int
+
+(** Structural sanity of the tree (lengths, newline counts, balance
+    bookkeeping).  Used by tests. *)
+val check : t -> bool
+
+val height : t -> int
+
+(** Fold over the chunks of the rope, in order. *)
+val fold_chunks : t -> init:'a -> f:('a -> string -> 'a) -> 'a

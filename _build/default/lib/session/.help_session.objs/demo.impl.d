@@ -1,0 +1,1 @@
+lib/session/demo.ml: Corpus List Metrics Session

@@ -1,0 +1,1 @@
+lib/session/demo.mli: Metrics Session

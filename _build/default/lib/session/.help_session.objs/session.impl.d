@@ -1,0 +1,1 @@
+lib/session/session.ml: Cbr Coreutils Corpus Cpu Db Hcol Help Help_srv Hwin List Mail Metrics Mk Nine Printf Rc Screen String Vfs

@@ -1,0 +1,1 @@
+lib/session/session.mli: Cpu Db Help Hplace Hwin Metrics Nine Rc Screen Vfs

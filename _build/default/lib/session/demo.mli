@@ -1,0 +1,31 @@
+(** The paper's worked example, replayed gesture for gesture.
+
+    "In this example I will go through the process of fixing a bug
+    reported to me in a mail message sent by a user" — figures 4
+    through 12.  Each step performs the same mouse actions as the
+    paper's narration; {!run} returns the session together with a
+    screendump and the interaction counts recorded after every step.
+
+    The whole replay after the boot screen uses no keyboard at all
+    ("Through this entire demo I haven't yet touched the keyboard") —
+    asserted by experiment E1. *)
+
+type step = {
+  s_label : string;  (** e.g. "F7: stack trace of the broken process" *)
+  s_dump : string;  (** ASCII screendump after the step *)
+  s_counts : Metrics.counts;  (** gestures this step cost *)
+  s_connectivity : int;  (** actionable tokens visible (E3) *)
+}
+
+type outcome = {
+  session : Session.t;
+  steps : step list;
+}
+
+(** Replay the full session.  [keep_screens] = false skips the dumps
+    (for benches that only want the numbers); [remote] routes every
+    external command to the CPU server over the 9P link. *)
+val run : ?w:int -> ?h:int -> ?keep_screens:bool -> ?remote:bool -> unit -> outcome
+
+(** The source line the demo removes, as it appears in [exec.c]. *)
+val offending_line : string

@@ -1,0 +1,312 @@
+type t = {
+  ns : Vfs.t;
+  sh : Rc.t;
+  help : Help.t;
+  db : Db.t;
+  srv : Nine.Server.t;
+  metrics : Metrics.t;
+  cpu : Cpu.t option;
+}
+
+let crash_pid = 176153
+
+let edit_stf =
+  "Open\nPattern \"\nText ''\nCut\tPaste\tSnarf\nWrite\tNew\tUndo\tRedo\tSplit!\n"
+
+let boot_body = "Exit\n"
+
+(* The "traditional shell window" the paper lists as overdue, delivered
+   the help way: a typescript is just a window, and `run' is a
+   three-line script — select a command line anywhere and click run. *)
+let shell_stf = "window run\n"
+
+let shell_window_script =
+  "x=`{cat /mnt/help/new/ctl}\n\
+   echo tag /tmp/typescript' /help/shell Close!' > /mnt/help/$x/ctl\n\
+   echo 'type a command, select its line, click run' > /mnt/help/$x/bodyapp\n"
+
+let shell_run_script =
+  "eval `{help/parse -l}\n\
+   cd $dir\n\
+   echo '% '$text > /mnt/help/$win/bodyapp\n\
+   eval $text > /mnt/help/$win/bodyapp\n"
+
+(* The planted crash of the worked example: Sean ran the new help, a
+   null n reached strlen.  Call-site lines are resolved from the live
+   corpus text so the stack follows the sources. *)
+let plant_crash ns db =
+  let src = Corpus.src_dir in
+  let line file needle = Corpus.line_of ns (src ^ "/" ^ file) needle in
+  let frames =
+    [
+      {
+        Db.fr_func = "strchr";
+        fr_args = [ ("c", "#3c"); ("s", "#0") ];
+        fr_callsite = ("/sys/src/libc/port/strlen.c", 7);
+        fr_locals = [];
+      };
+      {
+        fr_func = "strlen";
+        fr_args = [ ("s", "#0") ];
+        fr_callsite = ("text.c", line "text.c" "strlen((char*)s)");
+        fr_locals = [];
+      };
+      {
+        fr_func = "textinsert";
+        fr_args =
+          [ ("sel", "#1"); ("t", "#40e60"); ("s", "#0"); ("q0", "#d");
+            ("full", "#1") ];
+        fr_callsite = ("errs.c", line "errs.c" "textinsert(1, &p->body");
+        fr_locals = [ ("n", "#3d7cc") ];
+      };
+      {
+        fr_func = "errs";
+        fr_args = [ ("s", "#0") ];
+        fr_callsite = ("exec.c", line "exec.c" "errs((uchar*)n)");
+        fr_locals = [ ("p", "#40d88") ];
+      };
+      {
+        fr_func = "Xdie2";
+        fr_args = [];
+        fr_callsite = ("exec.c", line "exec.c" "(*b->fn)(1, &b->name");
+        fr_locals = [];
+      };
+      {
+        fr_func = "lookup";
+        fr_args = [ ("s", "#40be8") ];
+        fr_callsite = ("exec.c", line "exec.c" "if(lookup(&cmd))");
+        fr_locals = [ ("i", "#1f"); ("n", "#c5bf") ];
+      };
+      {
+        fr_func = "execute";
+        fr_args = [ ("t", "#3ebbc"); ("p0", "#2"); ("p1", "#2") ];
+        fr_callsite = ("ctrl.c", line "ctrl.c" "execute(t, p0, p)");
+        fr_locals = [ ("i", "#1f") ];
+      };
+      {
+        fr_func = "control";
+        fr_args = [];
+        fr_callsite = ("ctrl.c", line "ctrl.c" "control(void)");
+        fr_locals =
+          [ ("t", "#3ebbc"); ("op", "#0"); ("p", "#0"); ("dclick", "#0");
+            ("p0", "#2"); ("obut", "#0") ];
+      };
+    ]
+  in
+  Db.add_process db
+    {
+      Db.pr_pid = crash_pid;
+      pr_cmd = "help";
+      pr_status = "Broken";
+      pr_binary = Corpus.src_dir ^ "/8.help";
+      pr_note = "TLB miss (load or fetch)";
+      pr_insn = "/sys/src/libc/mips/strchr.s:34 strchr+#68? MOVW 0(R3), R5";
+      pr_regs =
+        [ ("pc", "0x18df4"); ("sp", "0x3f4e8"); ("r1", "0x0");
+          ("r2", "0x40e60"); ("r3", "0x0"); ("status", "0xfb0c") ];
+      pr_frames = frames;
+    }
+
+let boot ?w ?h ?place ?(remote = false) () =
+  let ns = Vfs.create () in
+  Corpus.install ns;
+  let sh = Rc.create ns in
+  Coreutils.install sh;
+  Mk.install sh;
+  Cbr.install sh;
+  Mail.install sh;
+  let db = Db.create () in
+  Db.install sh db;
+  (* environment the profile expects *)
+  Rc.set_global sh "home" [ Corpus.home ];
+  Rc.set_global sh "user" [ "rob" ];
+  Rc.set_global sh "service" [ "terminal" ];
+  Rc.set_global sh "cputype" [ "mips" ];
+  Rc.set_global sh "cppflags" [];
+  (* the help-provided tools: the editor listing and the shell windows *)
+  Vfs.mkdir_p ns "/help/edit";
+  Vfs.write_file ns "/help/edit/stf" edit_stf;
+  Vfs.mkdir_p ns "/help/shell";
+  Vfs.write_file ns "/help/shell/stf" shell_stf;
+  Vfs.write_file ns "/help/shell/window" shell_window_script;
+  Vfs.write_file ns "/help/shell/run" shell_run_script;
+  let help = Help.create ?w ?h ?place ns sh in
+  let metrics = Metrics.attach help in
+  let srv = Help_srv.mount help in
+  (* run the user's profile *)
+  let _ = Rc.run sh ~cwd:Corpus.home (". " ^ Corpus.home ^ "/lib/profile") in
+  (* build the demo binary so the debugger has a symbol table *)
+  let _ = Rc.run sh ~cwd:Corpus.src_dir "mk" in
+  plant_crash ns db;
+  (* boot screen: the Boot window and the tools, right-hand column *)
+  let boot_win = Help.new_window help ~body:boot_body () in
+  Hwin.set_tag boot_win "help/Boot";
+  List.iter
+    (fun tool -> ignore (Help.open_file help ~dir:"/" ("/help/" ^ tool ^ "/stf")))
+    [ "edit"; "cbr"; "db"; "mail" ];
+  (* optionally, run applications on a CPU server over the 9P link *)
+  let cpu =
+    if not remote then None
+    else begin
+      let install csh =
+        Coreutils.install csh;
+        Mk.install csh;
+        Cbr.install csh;
+        Mail.install csh;
+        Db.install csh db;
+        Help_srv.install_glue csh;
+        Rc.set_global csh "home" [ Corpus.home ];
+        Rc.set_global csh "user" [ "rob" ];
+        Rc.set_global csh "service" [ "cpu" ];
+        Rc.set_global csh "cputype" [ "mips" ];
+        Rc.set_global csh "cppflags" []
+      in
+      let cpu = Cpu.connect ~install help in
+      Help.set_executor help (Cpu.executor cpu);
+      Some cpu
+    end
+  in
+  { ns; sh; help; db; srv; metrics; cpu }
+
+(* ------------------------------------------------------------------ *)
+(* Looking around                                                      *)
+
+let screen t = Help.draw t.help
+let dump t = Screen.dump (screen t)
+
+let win t name =
+  match Help.window_by_name t.help name with
+  | Some w -> w
+  | None -> raise Not_found
+
+let last_window t =
+  match List.rev (Help.windows t.help) with
+  | w :: _ -> w
+  | [] -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Scripted gestures                                                   *)
+
+let find_or_fail t w needle =
+  match Help.find_in_body t.help w needle with
+  | Some q -> q
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Session: %S not found in window %d %s" needle
+           (Hwin.id w) (Hwin.name w))
+
+(* Make sure offset [q] of the body is on screen: reveal the window (as
+   a click on its tab would) and scroll (as the scroll bar would). *)
+let ensure_visible t w q =
+  let try_cell () =
+    let _ = Help.draw t.help in
+    Help.cell_of t.help w `Body q
+  in
+  let reveal () =
+    match Help.column_of t.help w with
+    | Some col -> Hcol.reveal col ~h:(Help.height t.help) w
+    | None -> ()
+  in
+  let show () =
+    match Help.ctl_command t.help w (Printf.sprintf "show %d" q) with
+    | Ok () | Error _ -> ()
+  in
+  let attempts =
+    [ (fun () -> ()); show; (fun () -> reveal (); show ()) ]
+  in
+  let rec go = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Session: offset %d of window %d not visible" q
+             (Hwin.id w))
+    | attempt :: rest -> (
+        attempt ();
+        match try_cell () with Some cell -> cell | None -> go rest)
+  in
+  go attempts
+
+let point_at t ?(off = 0) w needle =
+  let q = find_or_fail t w needle + off in
+  let x, y = ensure_visible t w q in
+  Help.events t.help [ Move (x, y); Press Left; Release Left ]
+
+let sweep t w needle =
+  let q0 = find_or_fail t w needle in
+  let q1 = q0 + String.length needle in
+  let x0, y0 = ensure_visible t w q0 in
+  Help.events t.help [ Move (x0, y0); Press Left ];
+  let x1, y1 = ensure_visible t w q1 in
+  Help.events t.help [ Move (x1, y1); Release Left ]
+
+let exec_word t w needle =
+  let q = find_or_fail t w needle in
+  let x, y = ensure_visible t w q in
+  Help.events t.help [ Move (x, y); Press Middle; Release Middle ]
+
+let exec_tag_word t w needle =
+  let tagtext = Hwin.tag_text w in
+  let rec find i =
+    let n = String.length needle and m = String.length tagtext in
+    if i + n > m then invalid_arg ("Session: " ^ needle ^ " not in tag")
+    else if String.sub tagtext i n = needle then i
+    else find (i + 1)
+  in
+  let q = find 0 in
+  let _ = Help.draw t.help in
+  match Help.cell_of t.help w `Tag q with
+  | Some (x, y) -> Help.events t.help [ Move (x, y); Press Middle; Release Middle ]
+  | None ->
+      (match Help.column_of t.help w with
+      | Some col -> Hcol.reveal col ~h:(Help.height t.help) w
+      | None -> ());
+      let _ = Help.draw t.help in
+      (match Help.cell_of t.help w `Tag q with
+      | Some (x, y) ->
+          Help.events t.help [ Move (x, y); Press Middle; Release Middle ]
+      | None -> invalid_arg "Session: tag not visible")
+
+let exec_sweep t w needle =
+  let q0 = find_or_fail t w needle in
+  let q1 = q0 + String.length needle in
+  let x0, y0 = ensure_visible t w q0 in
+  Help.events t.help [ Move (x0, y0); Press Middle ];
+  let x1, y1 = ensure_visible t w (max q0 (q1 - 1)) in
+  (* release just past the last character *)
+  Help.events t.help [ Move (x1 + 1, y1); Release Middle ]
+
+let type_text t s = Help.event t.help (Type s)
+
+let sweep_and_chord_cut t w needle =
+  let q0 = find_or_fail t w needle in
+  let q1 = q0 + String.length needle in
+  let x0, y0 = ensure_visible t w q0 in
+  Help.events t.help [ Move (x0, y0); Press Left ];
+  let x1, y1 = ensure_visible t w q1 in
+  Help.events t.help
+    [ Move (x1, y1); Press Middle; Release Middle; Release Left ]
+
+let drag_window t w ~col ~y =
+  let _ = Help.draw t.help in
+  match Help.cell_of t.help w `Tag 0 with
+  | None -> invalid_arg "Session.drag_window: tag not visible"
+  | Some (x0, y0) -> (
+      match Help.nth_column t.help col with
+      | None -> invalid_arg "Session.drag_window: no such column"
+      | Some c ->
+          let dest_x = Hcol.x c + 2 in
+          Help.events t.help
+            [ Move (x0, y0); Press Right; Move (dest_x, y); Release Right ])
+
+let click_tab t w =
+  match Help.column_of t.help w with
+  | None -> invalid_arg "Session.click_tab: window not in a column"
+  | Some col -> (
+      let rec index i = function
+        | [] -> None
+        | x :: rest -> if x == w then Some i else index (i + 1) rest
+      in
+      match index 0 (Hcol.windows col) with
+      | None -> invalid_arg "Session.click_tab: not in column"
+      | Some i ->
+          Help.events t.help
+            [ Move (Hcol.x col, 1 + i); Press Left; Release Left ])

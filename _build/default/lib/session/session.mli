@@ -1,0 +1,79 @@
+(** A complete booted [help] session: namespace with the corpus
+    installed, shell with every tool registered, the [/mnt/help] server
+    mounted over 9P, the user's profile run, the tools loaded into the
+    right-hand column, the demo binary compiled, and the broken process
+    of the worked example planted.
+
+    Also provides the scripted "user": functions that point, sweep,
+    click and type by synthesizing the same events a mouse would,
+    located by text content.  All examples, figures and benches drive
+    sessions through this module. *)
+
+type t = {
+  ns : Vfs.t;
+  sh : Rc.t;
+  help : Help.t;
+  db : Db.t;
+  srv : Nine.Server.t;
+  metrics : Metrics.t;
+  cpu : Cpu.t option;  (** the CPU server, when booted with [~remote:true] *)
+}
+
+(** The pid of the planted broken process (Sean's crash). *)
+val crash_pid : int
+
+(** [boot ~remote:true] additionally connects a CPU server and routes
+    every external command there — the paper's "invisible call to the
+    CPU server".  The session behaves identically; only the 9P link
+    counters differ. *)
+val boot : ?w:int -> ?h:int -> ?place:Hplace.strategy -> ?remote:bool -> unit -> t
+
+(** {1 Looking around} *)
+
+val screen : t -> Screen.t
+val dump : t -> string
+
+(** Window whose name matches (see {!Help.window_by_name}).
+    @raise Not_found when absent. *)
+val win : t -> string -> Hwin.t
+
+(** The most recently created window. *)
+val last_window : t -> Hwin.t
+
+(** {1 Scripted gestures}
+
+    Each emits real events (Move/Press/Release/Key); the text is located
+    in the window body (or tag) and scrolled into view first, as a user
+    would do with the scroll controls. *)
+
+(** Left-click at the first occurrence of [needle] in the body;
+    [off] clicks that many characters past its start. *)
+val point_at : t -> ?off:int -> Hwin.t -> string -> unit
+
+(** Left-sweep exactly over the first occurrence of [needle]. *)
+val sweep : t -> Hwin.t -> string -> unit
+
+(** Middle-click on the word at [needle] in the body (executes it). *)
+val exec_word : t -> Hwin.t -> string -> unit
+
+(** Middle-click a word in the window's tag (Close!, Put!, ...). *)
+val exec_tag_word : t -> Hwin.t -> string -> unit
+
+(** Middle-sweep over the whole [needle] text in the body. *)
+val exec_sweep : t -> Hwin.t -> string -> unit
+
+(** Type text at the current mouse position. *)
+val type_text : t -> string -> unit
+
+(** Left-sweep [needle], then chord middle while still holding left:
+    Cut without moving the mouse. *)
+val sweep_and_chord_cut : t -> Hwin.t -> string -> unit
+
+(** Click the column tab square for [w]'s position in its column,
+    revealing it. *)
+val click_tab : t -> Hwin.t -> unit
+
+(** Right-drag a window by its tag to (column index, row): "the user
+    points at the tag of a window, presses the right button, drags the
+    window to where it is desired, and releases the button". *)
+val drag_window : t -> Hwin.t -> col:int -> y:int -> unit

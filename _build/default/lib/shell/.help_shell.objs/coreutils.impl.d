@@ -1,0 +1,1 @@
+lib/shell/coreutils.ml: Array Buffer Char List Printf Rc Regexp String Vfs

@@ -1,0 +1,1 @@
+lib/shell/mk.ml: Buffer List Printf Rc String Vfs

@@ -1,0 +1,1 @@
+lib/shell/mk.mli: Rc

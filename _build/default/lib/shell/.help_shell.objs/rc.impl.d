@@ -1,0 +1,1 @@
+lib/shell/rc.ml: Buffer Hashtbl List Option Printf Rc_ast Rc_glob Rc_lexer Rc_parser String Vfs

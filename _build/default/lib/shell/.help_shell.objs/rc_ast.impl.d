@@ -1,0 +1,1 @@
+lib/shell/rc_ast.ml:

@@ -1,0 +1,1 @@
+lib/shell/rc_glob.ml: Array Hashtbl List String Vfs

@@ -1,0 +1,1 @@
+lib/shell/rc_lexer.ml: Buffer List Printf Rc_ast String

@@ -1,0 +1,1 @@
+lib/shell/rc_parser.ml: List Printf Rc_ast Rc_lexer String

@@ -1,0 +1,247 @@
+(* mk: the Plan 9 build tool, enough of it for the paper's session —
+   variables, rules with dependencies, tab-indented recipes run through
+   the shell, mtime-based out-of-date checks (on the logical clock).
+
+   Also implements the tool the paper sketches in its discussion of
+   compilation control: [mk -modified] inverts make's question — instead
+   of "is this target older than its parts?" starting from one goal, it
+   finds every source that changed and rebuilds exactly the targets that
+   transitively depend on one.  "Such a program may be a simple
+   variation of make — the information in the makefile would be the
+   same."  It is: same mkfile, different traversal. *)
+
+type rule = { targets : string list; deps : string list; recipe : string list }
+
+type mkfile = { vars : (string * string) list; rules : rule list }
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+(* Expand $NAME and ${NAME} using mk variables. *)
+let expand vars s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '$' && !i + 1 < n then begin
+      incr i;
+      let name =
+        if s.[!i] = '{' then begin
+          let stop =
+            match String.index_from_opt s !i '}' with
+            | Some j -> j
+            | None -> n
+          in
+          let name = String.sub s (!i + 1) (stop - !i - 1) in
+          i := min n (stop + 1);
+          name
+        end
+        else begin
+          let start = !i in
+          while
+            !i < n
+            && (let c = s.[!i] in
+                (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+                || (c >= '0' && c <= '9') || c = '_')
+          do
+            incr i
+          done;
+          String.sub s start (!i - start)
+        end
+      in
+      match List.assoc_opt name vars with
+      | Some v -> Buffer.add_string b v
+      | None -> ()
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let vars = ref [] in
+  let rules = ref [] in
+  let pending : (string * string) option ref = ref None in
+  let recipe = ref [] in
+  let flush () =
+    match !pending with
+    | None -> ()
+    | Some (lhs, rhs) ->
+        let targets = split_ws (expand !vars lhs) in
+        let deps = split_ws (expand !vars rhs) in
+        let commands = List.rev_map (expand !vars) !recipe in
+        rules := { targets; deps; recipe = commands } :: !rules;
+        pending := None;
+        recipe := []
+  in
+  List.iter
+    (fun line ->
+      if starts_with "\t" line then
+        recipe := String.sub line 1 (String.length line - 1) :: !recipe
+      else begin
+        flush ();
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        if String.trim line <> "" then begin
+          match String.index_opt line ':' with
+          | Some i ->
+              pending :=
+                Some
+                  ( String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> (
+              match String.index_opt line '=' with
+              | Some i ->
+                  let name = String.trim (String.sub line 0 i) in
+                  let value =
+                    expand !vars
+                      (String.trim
+                         (String.sub line (i + 1) (String.length line - i - 1)))
+                  in
+                  vars := (name, value) :: List.remove_assoc name !vars
+              | None -> ())
+        end
+      end)
+    lines;
+  flush ();
+  { vars = !vars; rules = List.rev !rules }
+
+let mtime_in ns ~cwd path =
+  let abs =
+    if starts_with "/" path then path else Vfs.normalize (cwd ^ "/" ^ path)
+  in
+  match Vfs.stat ns abs with
+  | st -> Some st.Vfs.st_mtime
+  | exception Vfs.Error _ -> None
+
+let rule_for mk target =
+  List.find_opt (fun r -> List.mem target r.targets) mk.rules
+
+(* Build [target]; returns [Ok built] (whether anything ran) or an error
+   message.  [run] executes one recipe line. *)
+let rec build ~mtime mk ~run ~force target =
+  match rule_for mk target with
+  | None ->
+      if mtime target <> None then Ok false
+      else Error (Printf.sprintf "mk: don't know how to make %s" target)
+  | Some rule ->
+      let rec deps_built built = function
+        | [] -> Ok built
+        | d :: rest -> (
+            match build ~mtime mk ~run ~force d with
+            | Ok b -> deps_built (built || b) rest
+            | Error _ as e -> e)
+      in
+      (match deps_built false rule.deps with
+      | Error _ as e -> e
+      | Ok deps_changed ->
+          let out_of_date =
+            force || deps_changed
+            ||
+            match mtime target with
+            | None -> true
+            | Some t ->
+                List.exists
+                  (fun d ->
+                    match mtime d with Some td -> td > t | None -> true)
+                  rule.deps
+          in
+          if not out_of_date then Ok false
+          else begin
+            let rec run_recipe = function
+              | [] -> Ok true
+              | cmd :: rest ->
+                  if run cmd then run_recipe rest
+                  else Error (Printf.sprintf "mk: %s: exit status" cmd)
+            in
+            run_recipe rule.recipe
+          end)
+
+(* All rules whose dependency closure includes a file newer than the
+   rule's targets: the -modified traversal. *)
+let modified_targets ~mtime mk =
+  List.concat_map
+    (fun r ->
+      let stale target =
+        match mtime target with
+        | None -> true
+        | Some t ->
+            List.exists
+              (fun d ->
+                match mtime d with Some td -> td > t | None -> false)
+              r.deps
+      in
+      List.filter stale r.targets)
+    mk.rules
+
+let native proc args =
+  let ns = Rc.proc_ns proc in
+  let cwd = Rc.proc_cwd proc in
+  let args = List.tl args in
+  let modified = List.mem "-modified" args in
+  let goals = List.filter (fun a -> not (starts_with "-" a)) args in
+  let mkfile_path = Vfs.normalize (cwd ^ "/mkfile") in
+  match Vfs.read_file ns mkfile_path with
+  | exception Vfs.Error _ ->
+      Buffer.add_string (Rc.proc_err proc) "mk: no mkfile\n";
+      1
+  | text -> (
+      let mk = parse text in
+      let mtime = mtime_in ns ~cwd in
+      let run cmd =
+        Buffer.add_string (Rc.proc_out proc) (cmd ^ "\n");
+        let out, status = Rc.run_in proc cmd in
+        Buffer.add_string (Rc.proc_out proc) out;
+        status = 0
+      in
+      let goals =
+        if goals <> [] || modified then goals
+        else
+          match mk.rules with
+          | { targets = t :: _; _ } :: _ -> [ t ]
+          | _ -> []
+      in
+      let rec go = function
+        | [] -> 0
+        | g :: rest -> (
+            match build ~mtime mk ~run ~force:false g with
+            | Ok _ -> go rest
+            | Error msg ->
+                Buffer.add_string (Rc.proc_err proc) (msg ^ "\n");
+                1)
+      in
+      if modified then begin
+        (* Cascade: rebuilding a target can make its dependents stale in
+           turn, so rescan until a fixpoint (bounded against recipes
+           that fail to refresh their target). *)
+        let rec fix rounds last =
+          if rounds = 0 then last
+          else
+            match modified_targets ~mtime mk with
+            | [] -> last
+            | stale ->
+                let st = go stale in
+                if st <> 0 then st else fix (rounds - 1) st
+        in
+        let st = fix 16 0 in
+        if goals = [] && st = 0 then
+          Buffer.add_string (Rc.proc_out proc) "mk: done\n";
+        st
+      end
+      else if goals = [] then begin
+        Buffer.add_string (Rc.proc_err proc) "mk: no targets\n";
+        1
+      end
+      else go goals)
+
+let install sh = Rc.register sh "/bin/mk" native

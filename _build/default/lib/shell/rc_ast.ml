@@ -1,0 +1,42 @@
+(* Abstract syntax of the rc-like shell.
+
+   The dialect covers what the paper's tools are written in: Duff's rc
+   [Duff90] as used by the `decl` browser script, the /help/db scripts
+   and the user's profile — words built from literal, quoted, variable
+   and `{command} pieces; lists; pipelines; redirections; if/for/
+   switch/fn; ~ matching; && || !. *)
+
+type piece =
+  | Lit of string  (* unquoted text: subject to globbing *)
+  | Quoted of string  (* '...' text: never globbed or split *)
+  | Var of string  (* $name — expands to a list *)
+  | Select of string * string  (* $name(1 3) — 1-based subscripts, raw *)
+  | Count of string  (* $#name — number of elements *)
+  | Flat of string  (* dollar-quote name: elements joined with spaces *)
+  | Sub of string  (* `{...} raw body, parsed at evaluation *)
+
+type word = piece list
+
+type redir_kind = Rin | Rout | Rappend
+
+type redirect = { r_kind : redir_kind; r_target : word }
+
+type cmd =
+  | Nop
+  | Simple of word list * redirect list
+  | Assign of string * rvalue
+  | Local of (string * rvalue) list * cmd  (* a=b c=d cmd *)
+  | Pipe of cmd * cmd
+  | Seq of cmd * cmd
+  | And of cmd * cmd
+  | Or of cmd * cmd
+  | Not of cmd
+  | Block of cmd * redirect list
+  | If of cmd * cmd
+  | IfNot of cmd  (* rc's [if not]: runs when the last If guard failed *)
+  | While of cmd * cmd
+  | For of string * word list * cmd
+  | Switch of word * (word list * cmd) list
+  | Fn of string * cmd
+
+and rvalue = word list  (* x=word or x=(w1 w2 ...) *)

@@ -1,0 +1,218 @@
+(* Lexer for the rc-like shell.
+
+   Word pieces stay separate so that adjacent pieces concatenate ("free
+   caret": -i$id is Lit "-i" next to Var "id") and so quoting survives
+   to glob time.  `{...} bodies are captured raw (brace-balanced,
+   quote-aware) and parsed during evaluation of the enclosing word. *)
+
+type token =
+  | WORD of Rc_ast.piece list
+  | OP of string  (* | ; & && || ! { } ( ) > >> < and "\n" *)
+  | EOF
+
+exception Lex_error of string
+
+let is_word_char c =
+  match c with
+  | ' ' | '\t' | '\n' | '|' | ';' | '&' | '<' | '>' | '(' | ')' | '{' | '}'
+  | '\'' | '$' | '`' | '#' ->
+      false
+  | _ -> true
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '*'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let peek i = if !pos + i < n then Some src.[!pos + i] else None in
+  let fail msg = raise (Lex_error (Printf.sprintf "%s at %d" msg !pos)) in
+  (* Read a '...' body; '' inside is a literal quote. *)
+  let read_quote () =
+    incr pos;
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated quote"
+      else if src.[!pos] = '\'' then
+        if peek 1 = Some '\'' then begin
+          Buffer.add_char b '\'';
+          pos := !pos + 2;
+          go ()
+        end
+        else incr pos
+      else begin
+        Buffer.add_char b src.[!pos];
+        incr pos;
+        go ()
+      end
+    in
+    go ();
+    Buffer.contents b
+  in
+  (* Capture a balanced `{ ... } body, raw. *)
+  let read_subst () =
+    pos := !pos + 2;
+    let start = !pos in
+    let depth = ref 1 in
+    while !depth > 0 do
+      if !pos >= n then fail "unterminated `{";
+      (match src.[!pos] with
+      | '{' -> incr depth
+      | '}' -> decr depth
+      | '\'' ->
+          (* skip quoted text *)
+          incr pos;
+          let stop = ref false in
+          while not !stop do
+            if !pos >= n then fail "unterminated quote in `{";
+            if src.[!pos] = '\'' then
+              if peek 1 = Some '\'' then incr pos else stop := true;
+            incr pos
+          done;
+          decr pos (* compensate: outer loop increments *)
+      | _ -> ());
+      incr pos
+    done;
+    String.sub src start (!pos - 1 - start)
+  in
+  let read_dollar () =
+    incr pos;
+    let kind =
+      match peek 0 with
+      | Some '#' ->
+          incr pos;
+          `Count
+      | Some '"' ->
+          incr pos;
+          `Flat
+      | _ -> `Var
+    in
+    let start = !pos in
+    while !pos < n && is_name_char src.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "empty variable name";
+    let name = String.sub src start (!pos - start) in
+    match kind with
+    | `Count -> Rc_ast.Count name
+    | `Flat -> Rc_ast.Flat name
+    | `Var ->
+        (* $name(1 3): subscripts select list elements *)
+        if peek 0 = Some '(' then begin
+          incr pos;
+          let istart = !pos in
+          while !pos < n && src.[!pos] <> ')' do
+            incr pos
+          done;
+          if !pos >= n then fail "unterminated subscript";
+          let indices = String.sub src istart (!pos - istart) in
+          incr pos;
+          Rc_ast.Select (name, indices)
+        end
+        else Rc_ast.Var name
+  in
+  let read_word () =
+    let pieces = ref [] in
+    let lit = Buffer.create 16 in
+    let flush () =
+      if Buffer.length lit > 0 then begin
+        pieces := Rc_ast.Lit (Buffer.contents lit) :: !pieces;
+        Buffer.clear lit
+      end
+    in
+    let rec go () =
+      match peek 0 with
+      | Some '\'' ->
+          flush ();
+          pieces := Rc_ast.Quoted (read_quote ()) :: !pieces;
+          go ()
+      | Some '$' ->
+          flush ();
+          pieces := read_dollar () :: !pieces;
+          go ()
+      | Some '`' when peek 1 = Some '{' ->
+          flush ();
+          pieces := Rc_ast.Sub (read_subst ()) :: !pieces;
+          go ()
+      | Some c when is_word_char c ->
+          Buffer.add_char lit c;
+          incr pos;
+          go ()
+      | _ -> flush ()
+    in
+    go ();
+    List.rev !pieces
+  in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' -> incr pos
+    | '#' ->
+        (* comment to end of line *)
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | '\n' ->
+        emit (OP "\n");
+        incr pos
+    | ';' ->
+        emit (OP ";");
+        incr pos
+    | '|' ->
+        if peek 1 = Some '|' then begin
+          emit (OP "||");
+          pos := !pos + 2
+        end
+        else begin
+          emit (OP "|");
+          incr pos
+        end
+    | '&' ->
+        if peek 1 = Some '&' then begin
+          emit (OP "&&");
+          pos := !pos + 2
+        end
+        else begin
+          emit (OP "&");
+          incr pos
+        end
+    | '>' ->
+        if peek 1 = Some '>' then begin
+          emit (OP ">>");
+          pos := !pos + 2
+        end
+        else begin
+          emit (OP ">");
+          incr pos
+        end
+    | '<' ->
+        emit (OP "<");
+        incr pos
+    | '(' ->
+        emit (OP "(");
+        incr pos
+    | ')' ->
+        emit (OP ")");
+        incr pos
+    | '{' ->
+        emit (OP "{");
+        incr pos
+    | '}' ->
+        emit (OP "}");
+        incr pos
+    | '!' when (match peek 1 with
+                | Some c -> not (is_word_char c)
+                | None -> true) ->
+        emit (OP "!");
+        incr pos
+    | _ ->
+        let w = read_word () in
+        if w = [] then fail "cannot make progress"
+        else emit (WORD w)
+  done;
+  emit EOF;
+  List.rev !tokens

@@ -1,0 +1,356 @@
+(* Recursive-descent parser for the rc-like shell.
+
+   Grammar (rc, pragmatically):
+     program  := seq EOF
+     seq      := sep* andor ((';'|NL)+ andor)* sep*
+     andor    := pipeline (('&&'|'||') NL* pipeline)*
+     pipeline := unary ('|' NL* unary)*
+     unary    := '!' unary | command redirect*
+     command  := block | if | while | for | switch | fn | simple
+     block    := '{' seq '}'
+     if       := 'if' '(' seq ')' NL* unary | 'if' 'not' NL* unary
+     while    := 'while' '(' seq ')' NL* unary
+     for      := 'for' '(' name ['in' word*] ')' NL* unary
+     switch   := 'switch' '(' word ')' NL* '{' cases '}'
+     fn       := 'fn' name '{' seq '}'
+     simple   := (assign)* word+ | assign
+     assign   := NAME '=' (word | '(' word* ')')   -- detected lexically *)
+
+open Rc_ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Rc_lexer.token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.toks with [] -> Rc_lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_op st op =
+  match peek st with
+  | Rc_lexer.OP o when o = op -> advance st
+  | _ -> fail (Printf.sprintf "expected %s" (if op = "\n" then "newline" else op))
+
+let skip_newlines st =
+  let rec go () =
+    match peek st with
+    | Rc_lexer.OP "\n" ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* '&' separates like ';': execution is synchronous, so backgrounding
+   just runs the command (documented deviation). *)
+let skip_seps st =
+  let rec go () =
+    match peek st with
+    | Rc_lexer.OP ("\n" | ";" | "&") ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Keyword = a WORD that is a single unquoted literal. *)
+let as_keyword = function
+  | Rc_lexer.WORD [ Lit s ] -> Some s
+  | _ -> None
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '*')
+       s
+
+(* An assignment looks like WORD whose first piece is Lit "name=..." .
+   Returns (name, leftover pieces of the value begun in the same word). *)
+let split_assign pieces =
+  match pieces with
+  | Lit s :: rest -> (
+      match String.index_opt s '=' with
+      | Some i when i > 0 ->
+          let name = String.sub s 0 i in
+          let after = String.sub s (i + 1) (String.length s - i - 1) in
+          if valid_name name && name <> "*" then
+            Some (name, if after = "" then rest else Lit after :: rest)
+          else None
+      | _ -> None)
+  | _ -> None
+
+let rec parse_seq st =
+  skip_seps st;
+  match peek st with
+  | Rc_lexer.EOF | Rc_lexer.OP ("}" | ")") -> Nop
+  | _ ->
+      let c = parse_andor st in
+      let rec more acc =
+        match peek st with
+        | Rc_lexer.OP ("\n" | ";" | "&") ->
+            skip_seps st;
+            (match peek st with
+            | Rc_lexer.EOF | Rc_lexer.OP ("}" | ")") -> acc
+            | _ -> more (Seq (acc, parse_andor st)))
+        | _ -> acc
+      in
+      more c
+
+and parse_andor st =
+  let left = parse_pipeline st in
+  match peek st with
+  | Rc_lexer.OP "&&" ->
+      advance st;
+      skip_newlines st;
+      And (left, parse_andor st)
+  | Rc_lexer.OP "||" ->
+      advance st;
+      skip_newlines st;
+      Or (left, parse_andor st)
+  | _ -> left
+
+and parse_pipeline st =
+  let left = parse_unary st in
+  match peek st with
+  | Rc_lexer.OP "|" ->
+      advance st;
+      skip_newlines st;
+      Pipe (left, parse_pipeline st)
+  | _ -> left
+
+and parse_unary st =
+  match peek st with
+  | Rc_lexer.OP "!" ->
+      advance st;
+      skip_newlines st;
+      Not (parse_unary st)
+  | _ ->
+      let cmd = parse_command st in
+      let redirs = parse_redirects st in
+      if redirs = [] then cmd
+      else (
+        match cmd with
+        | Simple (words, rs) -> Simple (words, rs @ redirs)
+        | Block (c, rs) -> Block (c, rs @ redirs)
+        | c -> Block (c, redirs))
+
+and parse_redirects st =
+  let rec go acc =
+    match peek st with
+    | Rc_lexer.OP ((">" | ">>" | "<") as op) ->
+        advance st;
+        skip_newlines st;
+        (match peek st with
+        | Rc_lexer.WORD w ->
+            advance st;
+            let kind =
+              match op with
+              | ">" -> Rout
+              | ">>" -> Rappend
+              | _ -> Rin
+            in
+            go ({ r_kind = kind; r_target = w } :: acc)
+        | _ -> fail "expected redirection target")
+    | _ -> List.rev acc
+  in
+  go []
+
+and parse_command st =
+  match peek st with
+  | Rc_lexer.OP "{" ->
+      advance st;
+      let body = parse_seq st in
+      expect_op st "}";
+      Block (body, [])
+  | Rc_lexer.WORD w -> (
+      match as_keyword (Rc_lexer.WORD w) with
+      | Some "if" ->
+          advance st;
+          (match peek st with
+          | Rc_lexer.WORD w' when as_keyword (Rc_lexer.WORD w') = Some "not" ->
+              advance st;
+              skip_newlines st;
+              IfNot (parse_unary st)
+          | _ ->
+              expect_op st "(";
+              let guard = parse_seq st in
+              expect_op st ")";
+              skip_newlines st;
+              If (guard, parse_unary st))
+      | Some "while" ->
+          advance st;
+          expect_op st "(";
+          let guard = parse_seq st in
+          expect_op st ")";
+          skip_newlines st;
+          While (guard, parse_unary st)
+      | Some "for" ->
+          advance st;
+          expect_op st "(";
+          let name =
+            match as_keyword (peek st) with
+            | Some s when valid_name s ->
+                advance st;
+                s
+            | _ -> fail "expected loop variable"
+          in
+          let words =
+            match as_keyword (peek st) with
+            | Some "in" ->
+                advance st;
+                let rec go acc =
+                  match peek st with
+                  | Rc_lexer.WORD w ->
+                      advance st;
+                      go (w :: acc)
+                  | _ -> List.rev acc
+                in
+                go []
+            | _ -> [ [ Var "*" ] ]
+          in
+          expect_op st ")";
+          skip_newlines st;
+          For (name, words, parse_unary st)
+      | Some "switch" ->
+          advance st;
+          expect_op st "(";
+          let subject =
+            match peek st with
+            | Rc_lexer.WORD w ->
+                advance st;
+                w
+            | _ -> fail "expected switch subject"
+          in
+          expect_op st ")";
+          skip_newlines st;
+          expect_op st "{";
+          let cases = parse_cases st in
+          expect_op st "}";
+          Switch (subject, cases)
+      | Some "fn" ->
+          advance st;
+          let name =
+            match as_keyword (peek st) with
+            | Some s ->
+                advance st;
+                s
+            | _ -> fail "expected function name"
+          in
+          skip_newlines st;
+          expect_op st "{";
+          let body = parse_seq st in
+          expect_op st "}";
+          Fn (name, body)
+      | _ -> parse_simple st)
+  | Rc_lexer.OP op -> fail (Printf.sprintf "unexpected %s" op)
+  | Rc_lexer.EOF -> fail "unexpected end of input"
+
+and parse_cases st =
+  skip_seps st;
+  let rec go acc =
+    match as_keyword (peek st) with
+    | Some "case" ->
+        advance st;
+        let rec pats acc =
+          match peek st with
+          | Rc_lexer.WORD w ->
+              advance st;
+              pats (w :: acc)
+          | _ -> List.rev acc
+        in
+        let patterns = pats [] in
+        let body = parse_case_body st in
+        go ((patterns, body) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* A case body runs until the next 'case' or the closing '}'. *)
+and parse_case_body st =
+  skip_seps st;
+  match (peek st, as_keyword (peek st)) with
+  | Rc_lexer.OP "}", _ | _, Some "case" -> Nop
+  | _ ->
+      let c = parse_andor st in
+      let rec more acc =
+        skip_seps st;
+        match (peek st, as_keyword (peek st)) with
+        | Rc_lexer.OP "}", _ | _, Some "case" -> acc
+        | _ -> more (Seq (acc, parse_andor st))
+      in
+      more c
+
+and parse_simple st =
+  (* Collect leading assignments, then argument words. *)
+  let rec assigns acc =
+    match peek st with
+    | Rc_lexer.WORD w -> (
+        match split_assign w with
+        | Some (name, leftover) ->
+            advance st;
+            let value = parse_rvalue st leftover in
+            assigns ((name, value) :: acc)
+        | None -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  let assignments = assigns [] in
+  let rec words acc =
+    match peek st with
+    | Rc_lexer.WORD w ->
+        advance st;
+        words (w :: acc)
+    | _ -> List.rev acc
+  in
+  let args = words [] in
+  match (assignments, args) with
+  | [], [] -> fail "expected command"
+  | [ (name, v) ], [] -> Assign (name, v)
+  | many, [] ->
+      (* Several standalone assignments on one line. *)
+      List.fold_left
+        (fun acc (name, v) -> Seq (acc, Assign (name, v)))
+        Nop many
+  | [], args -> Simple (args, parse_redirects st)
+  | many, args -> Local (many, Simple (args, parse_redirects st))
+
+(* The value of an assignment: leftover pieces from the same token, or a
+   parenthesized list, or the next word, or empty. *)
+and parse_rvalue st leftover =
+  if leftover <> [] then [ leftover ]
+  else
+    match peek st with
+    | Rc_lexer.OP "(" ->
+        advance st;
+        let rec go acc =
+          match peek st with
+          | Rc_lexer.WORD w ->
+              advance st;
+              go (w :: acc)
+          | Rc_lexer.OP ")" ->
+              advance st;
+              List.rev acc
+          | Rc_lexer.OP "\n" ->
+              advance st;
+              go acc
+          | _ -> fail "expected ) in list"
+        in
+        go []
+    | Rc_lexer.WORD w ->
+        advance st;
+        [ w ]
+    | _ -> []
+
+let parse src =
+  let st = { toks = Rc_lexer.tokenize src } in
+  let c = parse_seq st in
+  (match peek st with
+  | Rc_lexer.EOF -> ()
+  | Rc_lexer.OP op -> fail (Printf.sprintf "trailing %s" op)
+  | Rc_lexer.WORD _ -> fail "trailing word");
+  c

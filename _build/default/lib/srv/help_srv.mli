@@ -1,0 +1,40 @@
+(** The [/mnt/help] file server: the interface seen by programs.
+
+    "Each help window is represented by a set of files stored in
+    numbered directories ... The help directory is conventionally
+    mounted at /mnt/help."  The tree:
+
+    {v
+    /mnt/help/index        window number TAB first line of tag, per window
+    /mnt/help/new/ctl      opening it creates a window; reading it
+                           returns the new window's number
+    /mnt/help/N/tag        read/write the tag line
+    /mnt/help/N/body       read the body; writing replaces it
+    /mnt/help/N/bodyapp    writes append to the body
+    /mnt/help/N/ctl        control commands, one per line (see
+                           {!Help.ctl_command}); reading gives
+                           "N length dirty"
+    v}
+
+    The tree is served over the {!Nine} protocol and mounted into the
+    session namespace, so a shell script's [cat /mnt/help/7/body] does
+    walk/open/read/clunk round-trips exactly as on Plan 9.
+
+    Also registers the glue natives the tool scripts use:
+    [/bin/help/parse] (turn [$helpsel] into [win]/[dir]/[file]/[id]/
+    [line]/[num] variables) and [/bin/help/buf] (buffer stdin to
+    stdout). *)
+
+(** Build the server for this help instance, mount it at [/mnt/help] in
+    the instance's namespace, and register the glue natives.  Returns
+    the protocol server for statistics. *)
+val mount : Help.t -> Nine.Server.t
+
+(** The raw filesystem (pre-9P), for tests that want to poke it
+    directly. *)
+val filesystem : Help.t -> Vfs.filesystem
+
+(** Register only the glue natives ([help/parse], [help/buf]) on some
+    other shell — e.g. the CPU server's, whose [/mnt/help] is the
+    terminal's, imported over the link. *)
+val install_glue : Rc.t -> unit

@@ -1,0 +1,512 @@
+type error =
+  | Enonexist
+  | Enotdir
+  | Eisdir
+  | Eexist
+  | Eperm
+  | Ebadname
+  | Eio of string
+
+exception Error of error
+
+let error_message = function
+  | Enonexist -> "file does not exist"
+  | Enotdir -> "not a directory"
+  | Eisdir -> "is a directory"
+  | Eexist -> "file already exists"
+  | Eperm -> "permission denied"
+  | Ebadname -> "bad path element"
+  | Eio msg -> msg
+
+let err e = raise (Error e)
+
+type mode = Read | Write | Rdwr
+
+type stat = {
+  st_name : string;
+  st_dir : bool;
+  st_length : int;
+  st_mtime : int;
+  st_version : int;
+}
+
+type openfile = {
+  of_read : off:int -> count:int -> string;
+  of_write : off:int -> string -> int;
+  of_close : unit -> unit;
+}
+
+type filesystem = {
+  fs_stat : string list -> stat;
+  fs_open : string list -> mode -> trunc:bool -> openfile;
+  fs_create : string list -> dir:bool -> unit;
+  fs_remove : string list -> unit;
+  fs_readdir : string list -> stat list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+
+let split_path path =
+  let parts = String.split_on_char '/' path in
+  let rec resolve acc = function
+    | [] -> List.rev acc
+    | ("" | ".") :: rest -> resolve acc rest
+    | ".." :: rest -> (
+        match acc with [] -> resolve [] rest | _ :: up -> resolve up rest)
+    | comp :: rest -> resolve (comp :: acc) rest
+  in
+  resolve [] parts
+
+let join_path comps = "/" ^ String.concat "/" comps
+
+let normalize path = join_path (split_path path)
+
+let dirname path =
+  match List.rev (split_path path) with
+  | [] -> "/"
+  | _ :: rev_dir -> join_path (List.rev rev_dir)
+
+let basename path =
+  match List.rev (split_path path) with [] -> "/" | base :: _ -> base
+
+(* ------------------------------------------------------------------ *)
+(* Namespace: a root fs plus a mount table of union stacks             *)
+
+type t = {
+  mutable clock : int;
+  mutable mounts : (string list * filesystem list ref) list;
+      (* longest prefixes first; each point is a union stack *)
+  mutable root : filesystem option;  (* set right after creation *)
+}
+
+let now t = t.clock
+let tick t = t.clock <- t.clock + 1
+
+(* ------------------------------------------------------------------ *)
+(* RAM file system                                                     *)
+
+type rnode = {
+  mutable content : string;  (* regular files *)
+  mutable children : (string * rnode) list option;  (* Some -> directory *)
+  mutable mtime : int;
+  mutable version : int;
+}
+
+let rnode_stat name node =
+  {
+    st_name = name;
+    st_dir = node.children <> None;
+    st_length =
+      (match node.children with
+      | None -> String.length node.content
+      | Some kids -> List.length kids);
+    st_mtime = node.mtime;
+    st_version = node.version;
+  }
+
+let ramfs t =
+  let root =
+    { content = ""; children = Some []; mtime = t.clock; version = 0 }
+  in
+  let rec walk node = function
+    | [] -> node
+    | comp :: rest -> (
+        match node.children with
+        | None -> err Enotdir
+        | Some kids -> (
+            match List.assoc_opt comp kids with
+            | None -> err Enonexist
+            | Some child -> walk child rest))
+  in
+  let parent_of path =
+    match List.rev path with
+    | [] -> err Eperm
+    | base :: rev_dir -> (walk root (List.rev rev_dir), base)
+  in
+  let fs_stat path =
+    let node = walk root path in
+    rnode_stat (match List.rev path with [] -> "/" | b :: _ -> b) node
+  in
+  let fs_open path mode ~trunc =
+    let node = walk root path in
+    if node.children <> None && (mode = Write || mode = Rdwr) then err Eisdir;
+    if node.children <> None then
+      (* Directory opened for read: reading it as a file is an error in
+         this implementation; use readdir. *)
+      err Eisdir;
+    if trunc then begin
+      node.content <- "";
+      node.mtime <- t.clock;
+      node.version <- node.version + 1
+    end;
+    {
+      of_read =
+        (fun ~off ~count ->
+          let len = String.length node.content in
+          if off >= len then ""
+          else String.sub node.content off (min count (len - off)));
+      of_write =
+        (fun ~off data ->
+          let len = String.length node.content in
+          let newlen = max len (off + String.length data) in
+          let b = Bytes.make newlen '\000' in
+          Bytes.blit_string node.content 0 b 0 len;
+          Bytes.blit_string data 0 b off (String.length data);
+          node.content <- Bytes.to_string b;
+          node.mtime <- t.clock;
+          node.version <- node.version + 1;
+          String.length data);
+      of_close = (fun () -> ());
+    }
+  in
+  let fs_create path ~dir =
+    let parent, base = parent_of path in
+    match parent.children with
+    | None -> err Enotdir
+    | Some kids ->
+        if List.mem_assoc base kids then err Eexist;
+        let node =
+          {
+            content = "";
+            children = (if dir then Some [] else None);
+            mtime = t.clock;
+            version = 0;
+          }
+        in
+        parent.children <- Some (kids @ [ (base, node) ]);
+        parent.mtime <- t.clock;
+        parent.version <- parent.version + 1
+  in
+  let fs_remove path =
+    let parent, base = parent_of path in
+    match parent.children with
+    | None -> err Enotdir
+    | Some kids ->
+        (match List.assoc_opt base kids with
+        | None -> err Enonexist
+        | Some node ->
+            if node.children <> None && node.children <> Some [] then
+              err Eperm (* directory not empty *));
+        parent.children <- Some (List.remove_assoc base kids);
+        parent.mtime <- t.clock;
+        parent.version <- parent.version + 1
+  in
+  let fs_readdir path =
+    let node = walk root path in
+    match node.children with
+    | None -> err Enotdir
+    | Some kids -> List.map (fun (name, n) -> rnode_stat name n) kids
+  in
+  { fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
+
+let create () =
+  let t = { clock = 0; mounts = []; root = None } in
+  let root = ramfs t in
+  t.root <- Some root;
+  t.mounts <- [ ([], ref [ root ]) ];
+  t
+
+(* Longest matching mount prefix; returns the union stack and the path
+   remainder. *)
+let resolve t path =
+  let comps = split_path path in
+  let rec strip prefix comps =
+    match (prefix, comps) with
+    | [], rest -> Some rest
+    | p :: ps, c :: cs when p = c -> strip ps cs
+    | _ -> None
+  in
+  let best =
+    List.fold_left
+      (fun acc (prefix, stack) ->
+        match strip prefix comps with
+        | Some rest -> (
+            match acc with
+            | Some (plen, _, _) when plen >= List.length prefix -> acc
+            | _ -> Some (List.length prefix, stack, rest))
+        | None -> acc)
+      None t.mounts
+  in
+  match best with
+  | Some (_, stack, rest) -> (!stack, rest)
+  | None -> assert false (* root mount always matches *)
+
+let mount t path fs =
+  let comps = split_path path in
+  match List.assoc_opt comps t.mounts with
+  | Some stack -> stack := [ fs ]
+  | None -> t.mounts <- (comps, ref [ fs ]) :: t.mounts
+
+(* View [fs] as rooted [prefix] below its own root, so a path inside an
+   existing tree can participate in a union as a filesystem of its
+   own. *)
+let rebase fs prefix =
+  {
+    fs_stat = (fun rest -> fs.fs_stat (prefix @ rest));
+    fs_open = (fun rest mode ~trunc -> fs.fs_open (prefix @ rest) mode ~trunc);
+    fs_create = (fun rest ~dir -> fs.fs_create (prefix @ rest) ~dir);
+    fs_remove = (fun rest -> fs.fs_remove (prefix @ rest));
+    fs_readdir = (fun rest -> fs.fs_readdir (prefix @ rest));
+  }
+
+let bind_after t path fs =
+  let comps = split_path path in
+  match List.assoc_opt comps t.mounts with
+  | Some stack -> stack := !stack @ [ fs ]
+  | None ->
+      (* Union with whatever currently resolves there: rebase each
+         member of the covering stack to this path, then append. *)
+      let stack, rest = resolve t path in
+      let existing = List.map (fun member -> rebase member rest) stack in
+      t.mounts <- (comps, ref (existing @ [ fs ])) :: t.mounts
+
+(* Try each fs in the union stack; first success wins, Enonexist falls
+   through to the next member. *)
+let union_find stack f =
+  let rec go = function
+    | [] -> err Enonexist
+    | fs :: rest -> (
+        try f fs
+        with Error Enonexist when rest <> [] -> go rest)
+  in
+  go stack
+
+(* Is [comps] a strict prefix of some mount point?  Such paths exist as
+   directories even when no file system provides them (mounting at
+   /mnt/help makes /mnt a directory). *)
+let mount_ancestor t comps =
+  List.exists
+    (fun (prefix, _) ->
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ :: _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _, [] -> false
+      in
+      is_prefix comps prefix)
+    t.mounts
+
+let stat t path =
+  let stack, rest = resolve t path in
+  try union_find stack (fun fs -> fs.fs_stat rest)
+  with Error Enonexist when mount_ancestor t (split_path path) ->
+    {
+      st_name = (match List.rev (split_path path) with b :: _ -> b | [] -> "/");
+      st_dir = true;
+      st_length = 0;
+      st_mtime = 0;
+      st_version = 0;
+    }
+
+let exists t path =
+  match stat t path with _ -> true | exception Error _ -> false
+
+let is_dir t path =
+  match stat t path with
+  | st -> st.st_dir
+  | exception Error _ -> false
+
+let open_raw t path mode ~trunc =
+  let stack, rest = resolve t path in
+  union_find stack (fun fs -> fs.fs_open rest mode ~trunc)
+
+let read_file t path =
+  let f = open_raw t path Read ~trunc:false in
+  let b = Buffer.create 256 in
+  let rec loop off =
+    let chunk = f.of_read ~off ~count:65536 in
+    if chunk <> "" then begin
+      Buffer.add_string b chunk;
+      loop (off + String.length chunk)
+    end
+  in
+  loop 0;
+  f.of_close ();
+  Buffer.contents b
+
+let write_file t path data =
+  tick t;
+  let stack, rest = resolve t path in
+  let f =
+    try union_find stack (fun fs -> fs.fs_open rest Write ~trunc:true)
+    with Error Enonexist ->
+      (* Create in the first member that accepts creation. *)
+      let rec create_in = function
+        | [] -> err Enonexist
+        | fs :: more -> (
+            try
+              fs.fs_create rest ~dir:false;
+              fs.fs_open rest Write ~trunc:true
+            with Error (Eperm | Enonexist | Enotdir) when more <> [] ->
+              create_in more)
+      in
+      create_in stack
+  in
+  let _ = f.of_write ~off:0 data in
+  f.of_close ()
+
+let append_file t path data =
+  tick t;
+  let stack, rest = resolve t path in
+  let f, off =
+    try
+      let st = union_find stack (fun fs -> fs.fs_stat rest) in
+      (union_find stack (fun fs -> fs.fs_open rest Write ~trunc:false),
+       st.st_length)
+    with Error Enonexist ->
+      let rec create_in = function
+        | [] -> err Enonexist
+        | fs :: more -> (
+            try
+              fs.fs_create rest ~dir:false;
+              fs.fs_open rest Write ~trunc:false
+            with Error (Eperm | Enonexist | Enotdir) when more <> [] ->
+              create_in more)
+      in
+      (create_in stack, 0)
+  in
+  let _ = f.of_write ~off data in
+  f.of_close ()
+
+let mkdir t path =
+  tick t;
+  let stack, rest = resolve t path in
+  let rec create_in = function
+    | [] -> err Eperm
+    | fs :: more -> (
+        try fs.fs_create rest ~dir:true
+        with Error (Eperm | Enotdir) when more <> [] -> create_in more)
+  in
+  create_in stack
+
+let mkdir_p t path =
+  let comps = split_path path in
+  let rec go prefix = function
+    | [] -> ()
+    | comp :: rest ->
+        let here = prefix @ [ comp ] in
+        let p = join_path here in
+        if not (exists t p) then mkdir t p;
+        go here rest
+  in
+  go [] comps
+
+let remove t path =
+  tick t;
+  let stack, rest = resolve t path in
+  union_find stack (fun fs -> fs.fs_remove rest)
+
+let readdir t path =
+  let stack, rest = resolve t path in
+  (* Union view: entries of every member that has the directory, earlier
+     members shadowing later ones by name. *)
+  let seen = Hashtbl.create 16 in
+  let entries = ref [] in
+  let any = ref false in
+  List.iter
+    (fun fs ->
+      match fs.fs_readdir rest with
+      | stats ->
+          any := true;
+          List.iter
+            (fun st ->
+              if not (Hashtbl.mem seen st.st_name) then begin
+                Hashtbl.add seen st.st_name ();
+                entries := st :: !entries
+              end)
+            stats
+      | exception Error _ -> ())
+    stack;
+  (* Mount points directly under this directory appear as entries too. *)
+  let here = split_path path in
+  List.iter
+    (fun (prefix, _) ->
+      match List.rev prefix with
+      | base :: rev_parent when List.rev rev_parent = here ->
+          if not (Hashtbl.mem seen base) then begin
+            Hashtbl.add seen base ();
+            any := true;
+            entries :=
+              {
+                st_name = base;
+                st_dir = true;
+                st_length = 0;
+                st_mtime = 0;
+                st_version = 0;
+              }
+              :: !entries
+          end
+      | _ -> ())
+    t.mounts;
+  if not !any then err Enonexist;
+  List.sort (fun a b -> compare a.st_name b.st_name) !entries
+
+let subtree t prefix =
+  let prefix = split_path prefix in
+  let full rest = join_path (prefix @ rest) in
+  {
+    fs_stat = (fun rest -> stat t (full rest));
+    fs_open =
+      (fun rest mode ~trunc -> open_raw t (full rest) mode ~trunc);
+    fs_create =
+      (fun rest ~dir ->
+        let stack, r = resolve t (full rest) in
+        let rec create_in = function
+          | [] -> err Eperm
+          | fs :: more -> (
+              try fs.fs_create r ~dir
+              with Error (Eperm | Enotdir) when more <> [] -> create_in more)
+        in
+        create_in stack);
+    fs_remove = (fun rest -> remove t (full rest));
+    fs_readdir = (fun rest -> readdir t (full rest));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Client-side handles                                                 *)
+
+type handle = { file : openfile; mutable pos : int; ns : t }
+
+let open_file t path mode =
+  tick t;
+  { file = open_raw t path mode ~trunc:false; pos = 0; ns = t }
+
+let create_file t path =
+  tick t;
+  if not (exists t path) then begin
+    let stack, rest = resolve t path in
+    let rec create_in = function
+      | [] -> err Enonexist
+      | fs :: more -> (
+          try fs.fs_create rest ~dir:false
+          with Error (Eperm | Enonexist | Enotdir) when more <> [] ->
+            create_in more)
+    in
+    create_in stack
+  end;
+  { file = open_raw t path Rdwr ~trunc:true; pos = 0; ns = t }
+
+let read h count =
+  let data = h.file.of_read ~off:h.pos ~count in
+  h.pos <- h.pos + String.length data;
+  data
+
+let write h data =
+  tick h.ns;
+  let n = h.file.of_write ~off:h.pos data in
+  h.pos <- h.pos + n
+
+let close h = h.file.of_close ()
+
+let read_all h =
+  let b = Buffer.create 256 in
+  let rec loop () =
+    let chunk = read h 65536 in
+    if chunk <> "" then begin
+      Buffer.add_string b chunk;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents b

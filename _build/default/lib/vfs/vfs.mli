@@ -1,0 +1,129 @@
+(** An in-memory, Plan 9-flavoured file system with a mount table.
+
+    This is the substrate standing in for the Plan 9 kernel namespace the
+    paper runs on.  Everything [help] and its tools do with files —
+    [open/read/write/create/remove/ls] plus [bind]-style mounts and union
+    directories — goes through this module.  File servers (notably the
+    [/mnt/help] server of the paper) implement the {!filesystem} record
+    and are mounted like any other tree.
+
+    Paths are absolute, [/]-separated; [.] and [..] are resolved
+    lexically, as on Plan 9.  Time is a logical clock ({!tick}). *)
+
+type error =
+  | Enonexist  (** file does not exist *)
+  | Enotdir  (** not a directory *)
+  | Eisdir  (** is a directory *)
+  | Eexist  (** already exists *)
+  | Eperm  (** operation not permitted *)
+  | Ebadname  (** bad path element *)
+  | Eio of string  (** server-specific failure *)
+
+exception Error of error
+
+val error_message : error -> string
+
+type mode = Read | Write | Rdwr
+
+type stat = {
+  st_name : string;
+  st_dir : bool;
+  st_length : int;
+  st_mtime : int;
+  st_version : int;  (** bumped on each modification *)
+}
+
+(** An open file: a server-side handle.  Offsets are explicit, as in 9P;
+    sequential position bookkeeping belongs to the client ({!handle}). *)
+type openfile = {
+  of_read : off:int -> count:int -> string;
+  of_write : off:int -> string -> int;
+  of_close : unit -> unit;
+}
+
+(** The interface a file server implements.  All paths are component
+    lists relative to the server's root; [[]] is the root itself. *)
+type filesystem = {
+  fs_stat : string list -> stat;
+  fs_open : string list -> mode -> trunc:bool -> openfile;
+  fs_create : string list -> dir:bool -> unit;
+  fs_remove : string list -> unit;
+  fs_readdir : string list -> stat list;
+}
+
+type t
+
+(** A fresh namespace whose root is an empty RAM file system. *)
+val create : unit -> t
+
+(** Logical time. *)
+val now : t -> int
+
+val tick : t -> unit
+
+(** {1 Mount table} *)
+
+(** [mount t path fs] attaches [fs] at [path], replacing anything bound
+    there before (but the underlying tree is untouched). *)
+val mount : t -> string -> filesystem -> unit
+
+(** [bind_after t path fs] unions [fs] after the existing trees at
+    [path], as Plan 9's [bind -a]: lookups try earlier trees first,
+    directory reads union all. *)
+val bind_after : t -> string -> filesystem -> unit
+
+(** A RAM file system rooted at a fresh tree, usable with {!mount}. *)
+val ramfs : t -> filesystem
+
+(** [subtree t path] views the namespace below [path] as a filesystem,
+    so an existing directory can be bound elsewhere (Plan 9's
+    [bind /a /b]). *)
+val subtree : t -> string -> filesystem
+
+(** {1 Path utilities} *)
+
+(** Lexical normalization: absolute, no [.], [..], empty components. *)
+val normalize : string -> string
+
+val split_path : string -> string list
+val join_path : string list -> string
+
+(** Directory part and base name ("/a/b/c" -> "/a/b", "c"). *)
+val dirname : string -> string
+
+val basename : string -> string
+
+(** {1 Whole-file convenience} *)
+
+val stat : t -> string -> stat
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+val read_file : t -> string -> string
+val write_file : t -> string -> string -> unit
+
+(** Create the file if needed and append. *)
+val append_file : t -> string -> string -> unit
+
+val mkdir : t -> string -> unit
+
+(** [mkdir_p] creates all missing ancestors. *)
+val mkdir_p : t -> string -> unit
+
+val remove : t -> string -> unit
+val readdir : t -> string -> stat list
+
+(** {1 Open-file handles (sequential position kept client-side)} *)
+
+type handle
+
+val open_file : t -> string -> mode -> handle
+
+(** Open, creating (and truncating) a regular file. *)
+val create_file : t -> string -> handle
+
+val read : handle -> int -> string
+val write : handle -> string -> unit
+val close : handle -> unit
+
+(** Read everything from the current position. *)
+val read_all : handle -> string

@@ -1,0 +1,1 @@
+test/test_buffer.ml: Alcotest Buffer0 Char List QCheck QCheck_alcotest String

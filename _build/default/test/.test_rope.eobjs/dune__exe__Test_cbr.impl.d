@@ -1,0 +1,1 @@
+test/test_cbr.ml: Alcotest C_lexer C_symbols Cbr Coreutils Corpus List Printf Rc String Vfs

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Buffer0 Char Coreutils Hcol Help Hplace Hselect Htext Hwin List Printf QCheck QCheck_alcotest Rc Screen String Vfs

@@ -1,0 +1,1 @@
+test/test_coreutils.ml: Alcotest Coreutils Rc String Vfs

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Buffer Corpus Cpu Demo Help Htext Hwin List Metrics Rc Session String Vfs

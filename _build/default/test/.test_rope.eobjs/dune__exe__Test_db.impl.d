@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Cbr Coreutils Corpus Db List Mk Rc String Vfs

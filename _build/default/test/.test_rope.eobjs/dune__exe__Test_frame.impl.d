@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Char Frame List QCheck QCheck_alcotest Rope Screen String

@@ -1,0 +1,1 @@
+test/test_mail.ml: Alcotest Char Coreutils Corpus List Mail QCheck QCheck_alcotest Rc String Vfs

@@ -1,0 +1,1 @@
+test/test_metrics_baseline.ml: Alcotest Baseline Coreutils Demo Help List Metrics Rc Vfs

@@ -1,0 +1,1 @@
+test/test_mk.ml: Alcotest Coreutils List Mk Rc String Vfs

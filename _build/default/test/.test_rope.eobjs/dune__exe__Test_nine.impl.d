@@ -1,0 +1,1 @@
+test/test_nine.ml: Alcotest Bytes Char List Nine QCheck QCheck_alcotest String Vfs

@@ -1,0 +1,1 @@
+test/test_popup.ml: Alcotest Coreutils Ed Popup Rc String Vfs

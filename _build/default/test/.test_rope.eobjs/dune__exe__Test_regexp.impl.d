@@ -1,0 +1,1 @@
+test/test_regexp.ml: Alcotest Char List Printf QCheck QCheck_alcotest Regexp String

@@ -1,0 +1,1 @@
+test/test_rope.ml: Alcotest Buffer Char List Printf QCheck QCheck_alcotest Rope String

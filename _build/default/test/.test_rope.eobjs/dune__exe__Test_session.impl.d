@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Corpus Db Demo Hcol Help Htext Hwin Lazy List Metrics Screen Session String Vfs

@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Char Coreutils List Printexc Printf QCheck QCheck_alcotest Rc Rc_ast Rc_glob Rc_lexer Rc_parser String Vfs

@@ -1,0 +1,1 @@
+test/test_srv.ml: Alcotest Coreutils Help Help_srv Htext Hwin List Nine Printf Rc String Vfs

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Char Hashtbl List Option Printf QCheck QCheck_alcotest String Vfs

@@ -1,0 +1,313 @@
+(* C browser: lexer, preprocessor, scope-correct decl/uses, and the
+   cpp|rcc pipeline the decl/uses scripts run. *)
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let ns = Vfs.create () in
+  Corpus.install ns;
+  ns
+
+let lexer_tests =
+  [
+    Alcotest.test_case "identifiers, keywords, punctuation" `Quick (fun () ->
+        let toks = C_lexer.tokenize ~file:"t.c" "int main(void) { return n; }" in
+        let kinds =
+          List.map
+            (fun (t : C_lexer.spanned) ->
+              match t.tok with
+              | C_lexer.Keyword k -> "kw:" ^ k
+              | C_lexer.Ident i -> "id:" ^ i
+              | C_lexer.Punct p -> p
+              | C_lexer.Int_lit _ -> "int"
+              | C_lexer.Str_lit _ -> "str"
+              | C_lexer.Char_lit _ -> "chr"
+              | C_lexer.Eof -> "eof")
+            toks
+        in
+        Alcotest.(check (list string)) "kinds"
+          [ "kw:int"; "id:main"; "("; "kw:void"; ")"; "{"; "kw:return";
+            "id:n"; ";"; "}"; "eof" ]
+          kinds);
+    Alcotest.test_case "comments are skipped, lines counted" `Quick (fun () ->
+        let toks =
+          C_lexer.tokenize ~file:"t.c" "/* one\ntwo */ x\n// trailing\ny"
+        in
+        match toks with
+        | [ { tok = C_lexer.Ident "x"; pos = p1 };
+            { tok = C_lexer.Ident "y"; pos = p2 }; _ ] ->
+            check_int "x line" 2 p1.C_lexer.line;
+            check_int "y line" 4 p2.C_lexer.line
+        | _ -> Alcotest.fail "unexpected tokens");
+    Alcotest.test_case "line markers reset position" `Quick (fun () ->
+        let toks = C_lexer.tokenize ~file:"t.c" "# 10 \"other.h\"\nx" in
+        match toks with
+        | [ { tok = C_lexer.Ident "x"; pos }; _ ] ->
+            check_str "file" "other.h" pos.C_lexer.file;
+            check_int "line" 10 pos.C_lexer.line
+        | _ -> Alcotest.fail "unexpected tokens");
+    Alcotest.test_case "strings and chars with escapes" `Quick (fun () ->
+        let toks = C_lexer.tokenize ~file:"t.c" "\"a\\\"b\" '\\n'" in
+        match toks with
+        | [ { tok = C_lexer.Str_lit s; _ }; { tok = C_lexer.Char_lit c; _ }; _ ] ->
+            check_str "string body" "a\\\"b" s;
+            check_str "char body" "\\n" c
+        | _ -> Alcotest.fail "unexpected tokens");
+    Alcotest.test_case "multi-char punctuators" `Quick (fun () ->
+        let toks = C_lexer.tokenize ~file:"t.c" "a->b >>= c" in
+        let puncts =
+          List.filter_map
+            (fun (t : C_lexer.spanned) ->
+              match t.tok with C_lexer.Punct p -> Some p | _ -> None)
+            toks
+        in
+        Alcotest.(check (list string)) "ops" [ "->"; ">>=" ] puncts);
+  ]
+
+let cpp_tests =
+  [
+    Alcotest.test_case "quoted includes splice with markers" `Quick (fun () ->
+        let ns = fresh () in
+        let text = Cbr.preprocess ns ~dir:Corpus.src_dir "exec.c" in
+        check_bool "dat.h marker present" true
+          (let needle = "# 1 \"./dat.h\"" in
+           let n = String.length needle and m = String.length text in
+           let rec f i = i + n <= m && (String.sub text i n = needle || f (i + 1)) in
+           f 0));
+    Alcotest.test_case "system includes come from /sys/include" `Quick (fun () ->
+        let ns = fresh () in
+        let text = Cbr.preprocess ns ~dir:Corpus.src_dir "help.c" in
+        check_bool "strlen prototype seen" true
+          (let needle = "strlen" in
+           let n = String.length needle and m = String.length text in
+           let rec f i = i + n <= m && (String.sub text i n = needle || f (i + 1)) in
+           f 0));
+    Alcotest.test_case "headers included once" `Quick (fun () ->
+        let ns = fresh () in
+        Vfs.mkdir_p ns "/x";
+        Vfs.write_file ns "/x/a.h" "int shared;\n";
+        Vfs.write_file ns "/x/b.h" "#include \"a.h\"\n";
+        Vfs.write_file ns "/x/m.c" "#include \"a.h\"\n#include \"b.h\"\n";
+        let text = Cbr.preprocess ns ~dir:"/x" "m.c" in
+        let count needle =
+          let n = String.length needle and m = String.length text in
+          let rec f i acc =
+            if i + n > m then acc
+            else f (i + 1) (acc + if String.sub text i n = needle then 1 else 0)
+          in
+          f 0 0
+        in
+        check_int "one copy of the declaration" 1 (count "int shared"));
+    Alcotest.test_case "missing include noted, not fatal" `Quick (fun () ->
+        let ns = fresh () in
+        Vfs.mkdir_p ns "/x";
+        Vfs.write_file ns "/x/m.c" "#include \"gone.h\"\nint x;\n";
+        let text = Cbr.preprocess ns ~dir:"/x" "m.c" in
+        check_bool "declaration survives" true
+          (let needle = "int x;" in
+           let n = String.length needle and m = String.length text in
+           let rec f i = i + n <= m && (String.sub text i n = needle || f (i + 1)) in
+           f 0));
+  ]
+
+let analysis_tests =
+  [
+    Alcotest.test_case "corpus parses without errors" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        check_int "no parse errors" 0 (List.length p.C_symbols.p_errors));
+    Alcotest.test_case "decl of the global n is in dat.h" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "errs((uchar*)n)" in
+        match Cbr.decl_of p ~file:"exec.c" ~line ~name:"n" with
+        | Some (f, l, kind) ->
+            check_str "file" "./dat.h" f;
+            check_str "kind" "var" kind;
+            check_int "declared at the extern" l
+              (Corpus.line_of ns (Corpus.src_dir ^ "/dat.h") "extern char *n;")
+        | None -> Alcotest.fail "decl not found");
+    Alcotest.test_case "uses of global n exclude the local n" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "errs((uchar*)n)" in
+        let uses = Cbr.uses_of p ~file:"exec.c" ~line ~name:"n" in
+        check_bool "no text.c reference (local n shadows)" true
+          (List.for_all (fun (f, _) -> f <> "text.c") uses);
+        check_bool "includes the clear in Xdie1" true
+          (List.mem
+             ("exec.c", Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "n = 0;")
+             uses);
+        check_bool "includes the init in help.c" true
+          (List.mem
+             ("help.c",
+              Corpus.line_of ns (Corpus.src_dir ^ "/help.c") "a test string")
+             uses));
+    Alcotest.test_case "local n resolves to textinsert's declaration" `Quick
+      (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        let use_line =
+          Corpus.line_of ns (Corpus.src_dir ^ "/text.c") "strinsert(t, s, n, q0)"
+        in
+        match Cbr.decl_of p ~file:"text.c" ~line:use_line ~name:"n" with
+        | Some (f, l, _) ->
+            check_str "file" "text.c" f;
+            check_bool "declared inside textinsert, not dat.h" true
+              (l > Corpus.line_of ns (Corpus.src_dir ^ "/text.c") "textinsert(int sel")
+        | None -> Alcotest.fail "decl not found");
+    Alcotest.test_case "function decls resolve" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/errs.c") "textinsert(1, &p->body" in
+        match Cbr.decl_of p ~file:"errs.c" ~line ~name:"textinsert" with
+        | Some (_, _, kind) -> check_bool "func or extern decl" true (kind = "func" || kind = "var")
+        | None -> Alcotest.fail "decl not found");
+    Alcotest.test_case "typedef names resolve as typedefs" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir [ "page.c" ] in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/page.c") "Page *p;" in
+        match Cbr.decl_of p ~file:"page.c" ~line ~name:"Page" with
+        | Some (f, _, kind) ->
+            check_str "kind" "typedef" kind;
+            check_str "from dat.h" "./dat.h" f
+        | None -> Alcotest.fail "typedef not resolved");
+    Alcotest.test_case "enum constants are declared" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir [ "file.c" ] in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/file.c") "emalloc(Maxwrite)" in
+        match Cbr.decl_of p ~file:"file.c" ~line ~name:"Maxwrite" with
+        | Some (_, _, kind) -> check_str "kind" "enum" kind
+        | None -> Alcotest.fail "enum constant not resolved");
+    Alcotest.test_case "uses beats grep by orders of magnitude" `Quick (fun () ->
+        let ns = fresh () in
+        let p = Cbr.analyze ns ~cwd:Corpus.src_dir Corpus.c_files in
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "errs((uchar*)n)" in
+        let semantic = List.length (Cbr.uses_of p ~file:"exec.c" ~line ~name:"n") in
+        let textual = Cbr.grep_count ns ~cwd:Corpus.src_dir Corpus.c_files "n" in
+        check_bool "at least 20x fewer" true (textual > 20 * semantic));
+  ]
+
+(* parser robustness: C shapes beyond the corpus *)
+let snippet_tests =
+  let analyze_snippet code =
+    let ns = Vfs.create () in
+    Vfs.mkdir_p ns "/s";
+    Vfs.write_file ns "/s/t.c" code;
+    Cbr.analyze ns ~cwd:"/s" [ "t.c" ]
+  in
+  let decl_in code ~line ~name =
+    Cbr.decl_of (analyze_snippet code) ~file:"t.c" ~line ~name
+  in
+  let errors code = (analyze_snippet code).C_symbols.p_errors in
+  [
+    Alcotest.test_case "do-while and switch/case bodies" `Quick (fun () ->
+        let code =
+          "int f(int x)\n{\n\tint acc;\n\n\tacc = 0;\n\tdo{\n\t\tacc++;\n\t}while(acc < x);\n\tswitch(x){\n\tcase 1:\n\t\tacc = 2;\n\t\tbreak;\n\tdefault:\n\t\tacc = 3;\n\t}\n\treturn acc;\n}\n"
+        in
+        check_int "no errors" 0 (List.length (errors code));
+        match decl_in code ~line:7 ~name:"acc" with
+        | Some (_, 3, _) -> ()
+        | other ->
+            Alcotest.failf "acc resolved to %s"
+              (match other with
+              | Some (f, l, k) -> Printf.sprintf "%s:%d (%s)" f l k
+              | None -> "nothing"));
+    Alcotest.test_case "function pointers in declarations" `Quick (fun () ->
+        let code = "int (*handler)(int sig);\nint g(void)\n{\n\treturn (*handler)(2);\n}\n" in
+        check_int "no errors" 0 (List.length (errors code));
+        match decl_in code ~line:4 ~name:"handler" with
+        | Some (_, 1, _) -> ()
+        | _ -> Alcotest.fail "handler unresolved");
+    Alcotest.test_case "nested blocks shadow correctly" `Quick (fun () ->
+        let code =
+          "int v;\nint f(void)\n{\n\tint v;\n\n\tv = 1;\n\t{\n\t\tint v;\n\n\t\tv = 2;\n\t}\n\treturn v;\n}\n"
+        in
+        (match decl_in code ~line:10 ~name:"v" with
+        | Some (_, 8, _) -> ()
+        | _ -> Alcotest.fail "inner v should win at line 10");
+        (match decl_in code ~line:12 ~name:"v" with
+        | Some (_, 4, _) -> ()
+        | _ -> Alcotest.fail "function v should win at line 12");
+        match decl_in code ~line:6 ~name:"v" with
+        | Some (_, 4, _) -> ()
+        | _ -> Alcotest.fail "function v should win at line 6");
+    Alcotest.test_case "initializer lists and arrays" `Quick (fun () ->
+        let code =
+          "int table[] = { 1, 2, 3 };\nchar *names[2] = { \"a\", \"b\" };\nint use(void)\n{\n\treturn table[1];\n}\n"
+        in
+        check_int "no errors" 0 (List.length (errors code));
+        match decl_in code ~line:5 ~name:"table" with
+        | Some (_, 1, _) -> ()
+        | _ -> Alcotest.fail "table unresolved");
+    Alcotest.test_case "enum values and casts in expressions" `Quick (fun () ->
+        let code =
+          "enum { Small = 1, Big = Small + 10 };\n\
+           typedef unsigned char uchar;\n\
+           int f(void)\n{\n\treturn (int)(uchar)Big;\n}\n"
+        in
+        check_int "no errors" 0 (List.length (errors code));
+        match decl_in code ~line:5 ~name:"Big" with
+        | Some (_, 1, "enum") -> ()
+        | _ -> Alcotest.fail "Big unresolved");
+    Alcotest.test_case "member names are not identifier uses" `Quick (fun () ->
+        let code =
+          "typedef struct P P;\nstruct P { int x; };\nint x;\nint f(P *p)\n{\n\treturn p->x;\n}\n"
+        in
+        let p = analyze_snippet code in
+        let uses = Cbr.uses_of p ~file:"t.c" ~line:3 ~name:"x" in
+        check_bool "no line-6 reference" true (not (List.mem ("t.c", 6) uses)));
+    Alcotest.test_case "garbage input terminates with errors" `Quick (fun () ->
+        let code = "int ((( {{{ ;;; broken ***\n" in
+        check_bool "errors reported" true (errors code <> []));
+  ]
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "cpp | rcc decl through the shell" `Quick (fun () ->
+        let ns = fresh () in
+        let sh = Rc.create ns in
+        Coreutils.install sh;
+        Cbr.install sh;
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "errs((uchar*)n)" in
+        let r =
+          Rc.run sh ~cwd:Corpus.src_dir
+            (Printf.sprintf "cpp exec.c | rcc -w -g -in -n%d -sexec.c | sed 1q" line)
+        in
+        check_int "status" 0 r.Rc.r_status;
+        check_bool "points into dat.h" true
+          (String.length r.Rc.r_out > 8 && String.sub r.Rc.r_out 0 8 = "./dat.h:");
+        ignore r);
+    Alcotest.test_case "rcc -u lists references" `Quick (fun () ->
+        let ns = fresh () in
+        let sh = Rc.create ns in
+        Coreutils.install sh;
+        Cbr.install sh;
+        let line = Corpus.line_of ns (Corpus.src_dir ^ "/exec.c") "errs((uchar*)n)" in
+        let r =
+          Rc.run sh ~cwd:Corpus.src_dir
+            (Printf.sprintf "cpp *.c | rcc -u -in -n%d -sexec.c" line)
+        in
+        check_int "status" 0 r.Rc.r_status;
+        check_bool "several lines" true
+          (List.length (String.split_on_char '\n' (String.trim r.Rc.r_out)) >= 4));
+    Alcotest.test_case "rcc errors for unknown identifiers" `Quick (fun () ->
+        let ns = fresh () in
+        let sh = Rc.create ns in
+        Coreutils.install sh;
+        Cbr.install sh;
+        let r = Rc.run sh ~cwd:Corpus.src_dir "cpp exec.c | rcc -izzz" in
+        check_bool "fails" true (r.Rc.r_status <> 0));
+  ]
+
+let () =
+  Alcotest.run "cbr"
+    [
+      ("lexer", lexer_tests);
+      ("cpp", cpp_tests);
+      ("analysis", analysis_tests);
+      ("snippets", snippet_tests);
+      ("pipeline", pipeline_tests);
+    ]

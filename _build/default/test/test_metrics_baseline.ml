@@ -1,0 +1,106 @@
+(* Metrics (gesture accounting, connectivity) and the baseline cost
+   models behind experiment E2. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let ns = Vfs.create () in
+  let sh = Rc.create ns in
+  Coreutils.install sh;
+  Vfs.mkdir_p ns "/src";
+  Vfs.write_file ns "/src/f.txt" "some text\n";
+  let help = Help.create ~w:80 ~h:24 ns sh in
+  let m = Metrics.attach help in
+  (help, m)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "presses, releases, keys, travel are counted" `Quick
+      (fun () ->
+        let help, m = fresh () in
+        Help.events help
+          [ Move (10, 5); Press Left; Release Left; Move (13, 9) ];
+        Help.event help (Help.Type "ab");
+        let c = Metrics.total m in
+        check_int "clicks" 1 c.Metrics.clicks;
+        check_int "releases" 1 c.Metrics.releases;
+        check_int "keys" 2 c.Metrics.keys;
+        check_int "travel" (10 + 5 + 3 + 4) c.Metrics.travel);
+    Alcotest.test_case "mark slices the ledger into steps" `Quick (fun () ->
+        let help, m = fresh () in
+        Help.event help (Help.Press Help.Left);
+        Help.event help (Help.Release Help.Left);
+        let s1 = Metrics.mark m "one" in
+        Help.event help (Help.Type "xyz");
+        let s2 = Metrics.mark m "two" in
+        check_int "step1 clicks" 1 s1.Metrics.clicks;
+        check_int "step2 keys" 3 s2.Metrics.keys;
+        check_int "two steps logged" 2 (List.length (Metrics.steps m)));
+    Alcotest.test_case "execs counted via the hook" `Quick (fun () ->
+        let help, m = fresh () in
+        let w = Help.new_window help ~name:"/x" () in
+        Help.execute help w "echo hi";
+        check_int "one exec" 1 (Metrics.total m).Metrics.execs);
+    Alcotest.test_case "connectivity counts actionable tokens" `Quick (fun () ->
+        let help, _ = fresh () in
+        let before = Metrics.connectivity help in
+        let _ =
+          Help.new_window help ~name:"/x"
+            ~body:"plain words here\n/usr/rob/file.c:12 exec.c Open\n" ()
+        in
+        let after = Metrics.connectivity help in
+        check_bool "grew by the references" true (after >= before + 3));
+    Alcotest.test_case "visible_windows" `Quick (fun () ->
+        let help, _ = fresh () in
+        let _ = Help.new_window help ~name:"/a" () in
+        let _ = Help.new_window help ~name:"/b" () in
+        check_int "two" 2 (Metrics.visible_windows help));
+  ]
+
+let baseline_tests =
+  [
+    Alcotest.test_case "typed shell pays keys for everything" `Quick (fun () ->
+        let c = Baseline.cost Baseline.Typed_shell (Baseline.Execute_word "headers") in
+        check_int "no clicks" 0 c.Baseline.c_clicks;
+        check_int "word + newline" 8 c.Baseline.c_keys);
+    Alcotest.test_case "popup wm pays a menu per action" `Quick (fun () ->
+        let c = Baseline.cost Baseline.Popup_wm (Baseline.Execute_word "headers") in
+        check_bool "clicks for point and menu" true (c.Baseline.c_clicks >= 2));
+    Alcotest.test_case "open-at-line is expensive without integration" `Quick
+      (fun () ->
+        let t = Baseline.Open_at ("/usr/rob/src/help/text.c", Some 32) in
+        let shell = Baseline.cost Baseline.Typed_shell t in
+        let popup = Baseline.cost Baseline.Popup_wm t in
+        (* typing "vi +32 /usr/rob/src/help/text.c" *)
+        check_bool "shell types the path" true (shell.Baseline.c_keys > 25);
+        check_bool "popup types into a dialog" true (popup.Baseline.c_keys > 20));
+    Alcotest.test_case "totals accumulate" `Quick (fun () ->
+        let tasks = List.map snd Baseline.demo_tasks in
+        let t = Baseline.total Baseline.Typed_shell tasks in
+        check_bool "many keys" true (t.Baseline.c_keys > 100);
+        check_int "no clicks at all" 0 t.Baseline.c_clicks);
+    Alcotest.test_case "E2: help beats both baselines on the demo" `Quick
+      (fun () ->
+        (* measured help cost for the full demo *)
+        let o = Demo.run ~keep_screens:false () in
+        let help_cost =
+          List.fold_left
+            (fun acc (s : Demo.step) -> Metrics.add acc s.s_counts)
+            Metrics.zero o.Demo.steps
+        in
+        let tasks = List.map snd Baseline.demo_tasks in
+        let shell = Baseline.total Baseline.Typed_shell tasks in
+        let popup = Baseline.total Baseline.Popup_wm tasks in
+        (* help: no keys at all; the shell types throughout *)
+        check_int "help keys" 0 help_cost.Metrics.keys;
+        check_bool "shell keys dominate" true (shell.Baseline.c_keys > 100);
+        (* popup needs more clicks than help for the same work *)
+        check_bool "help fewer clicks than popup" true
+          (help_cost.Metrics.clicks < popup.Baseline.c_clicks
+          + List.length tasks));
+  ]
+
+let () =
+  Alcotest.run "metrics-baseline"
+    [ ("metrics", metrics_tests); ("baseline", baseline_tests) ]

@@ -1,0 +1,106 @@
+(* mk: parsing, dependency-driven builds, and the paper's proposed
+   "-modified" inversion (build what changed sources affect). *)
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let ns = Vfs.create () in
+  let sh = Rc.create ns in
+  Coreutils.install sh;
+  Mk.install sh;
+  Vfs.mkdir_p ns "/proj";
+  Vfs.write_file ns "/proj/in1" "first\n";
+  Vfs.write_file ns "/proj/in2" "second\n";
+  Vfs.write_file ns "/proj/mkfile"
+    "SRC=in1 in2\n\
+     done: out\n\
+     \techo linked > done\n\
+     out: $SRC\n\
+     \tcat in1 in2 > out\n";
+  (ns, sh)
+
+let parse_tests =
+  [
+    Alcotest.test_case "variables expand in targets and deps" `Quick (fun () ->
+        let mk = Mk.parse "V=a b\nx: $V\n\tcmd $V\n" in
+        match mk.Mk.rules with
+        | [ { targets = [ "x" ]; deps = [ "a"; "b" ]; recipe = [ "cmd a b" ] } ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    Alcotest.test_case "comments and blank lines ignored" `Quick (fun () ->
+        let mk = Mk.parse "# header\n\nx: y\n\tdo\n" in
+        check_int "one rule" 1 (List.length mk.Mk.rules));
+    Alcotest.test_case "multiple targets on one rule" `Quick (fun () ->
+        let mk = Mk.parse "a b: c\n\tdo\n" in
+        match mk.Mk.rules with
+        | [ { targets = [ "a"; "b" ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    Alcotest.test_case "braced variables" `Quick (fun () ->
+        let mk = Mk.parse "V=z\nx: ${V}1\n\tdo\n" in
+        match mk.Mk.rules with
+        | [ { deps = [ "z1" ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+  ]
+
+let build_tests =
+  [
+    Alcotest.test_case "builds the default target chain" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let r = Rc.run sh ~cwd:"/proj" "mk" in
+        check_int "status" 0 r.Rc.r_status;
+        check_str "out built" "first\nsecond\n" (Vfs.read_file ns "/proj/out");
+        check_bool "all ran" true (Vfs.exists ns "/proj/done"));
+    Alcotest.test_case "second run is a no-op" `Quick (fun () ->
+        let _, sh = fresh () in
+        let _ = Rc.run sh ~cwd:"/proj" "mk" in
+        let r2 = Rc.run sh ~cwd:"/proj" "mk" in
+        check_str "quiet" "" r2.Rc.r_out);
+    Alcotest.test_case "touching a source rebuilds" `Quick (fun () ->
+        let _, sh = fresh () in
+        let _ = Rc.run sh ~cwd:"/proj" "mk" in
+        let _ = Rc.run sh ~cwd:"/proj" "touch in1" in
+        let r = Rc.run sh ~cwd:"/proj" "mk" in
+        check_bool "recipe echoed" true
+          (String.length r.Rc.r_out > 0));
+    Alcotest.test_case "explicit goal" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let r = Rc.run sh ~cwd:"/proj" "mk out" in
+        check_int "status" 0 r.Rc.r_status;
+        check_bool "only out" false (Vfs.exists ns "/proj/done"));
+    Alcotest.test_case "unknown target errors" `Quick (fun () ->
+        let _, sh = fresh () in
+        let r = Rc.run sh ~cwd:"/proj" "mk nothing" in
+        check_int "status" 1 r.Rc.r_status);
+    Alcotest.test_case "missing mkfile errors" `Quick (fun () ->
+        let _, sh = fresh () in
+        let r = Rc.run sh ~cwd:"/" "mk" in
+        check_int "status" 1 r.Rc.r_status);
+    Alcotest.test_case "failing recipe stops the build" `Quick (fun () ->
+        let ns, sh = fresh () in
+        Vfs.write_file ns "/proj/mkfile" "x: in1\n\tfalse\n\techo never > x\n";
+        let r = Rc.run sh ~cwd:"/proj" "mk" in
+        check_int "status" 1 r.Rc.r_status;
+        check_bool "second recipe line skipped" false (Vfs.exists ns "/proj/x"));
+    Alcotest.test_case "mk -modified cascades to dependents" `Quick (fun () ->
+        (* the paper's tool: find what changed, rebuild what depends *)
+        let ns, sh = fresh () in
+        let _ = Rc.run sh ~cwd:"/proj" "mk" in
+        let _ = Rc.run sh ~cwd:"/proj" "touch in2" in
+        let r = Rc.run sh ~cwd:"/proj" "mk -modified" in
+        check_int "status" 0 r.Rc.r_status;
+        (* out rebuilt, and the 'all' marker that depends on out too *)
+        let mt p = (Vfs.stat ns p).Vfs.st_mtime in
+        check_bool "out newer than in2" true (mt "/proj/out" > mt "/proj/in2"));
+    Alcotest.test_case "mk -modified with nothing changed does nothing" `Quick
+      (fun () ->
+        let _, sh = fresh () in
+        let _ = Rc.run sh ~cwd:"/proj" "mk" in
+        let r = Rc.run sh ~cwd:"/proj" "mk -modified" in
+        check_int "status" 0 r.Rc.r_status;
+        check_bool "no recipes" true
+          (not (String.exists (fun c -> c = '>') r.Rc.r_out)));
+  ]
+
+let () =
+  Alcotest.run "mk" [ ("parse", parse_tests); ("build", build_tests) ]

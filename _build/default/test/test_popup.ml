@@ -1,0 +1,141 @@
+(* The measured comparison system: ed(1) and the 8½-flavoured popup
+   window system. *)
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec f i = i + n <= m && (String.sub hay i n = needle || f (i + 1)) in
+  n = 0 || f 0
+
+let fresh () =
+  let ns = Vfs.create () in
+  let sh = Rc.create ns in
+  Coreutils.install sh;
+  Ed.install sh;
+  Vfs.mkdir_p ns "/d";
+  Vfs.write_file ns "/d/f" "one\ntwo\nthree\nfour\n";
+  (ns, sh)
+
+let ed ?(file = "/d/f") script =
+  let _, sh = fresh () in
+  Rc.run sh ~stdin:script ("ed " ^ file)
+
+let ed_tests =
+  [
+    Alcotest.test_case "opening reports the byte count" `Quick (fun () ->
+        let r = ed "q\n" in
+        check_str "count" "19\n" r.Rc.r_out);
+    Alcotest.test_case "p prints addressed lines" `Quick (fun () ->
+        let r = ed "2p\nq\n" in
+        check_bool "line two" true (contains r.Rc.r_out "two"));
+    Alcotest.test_case "ranges and $" `Quick (fun () ->
+        let r = ed "2,3p\nq\n" in
+        check_bool "both" true (contains r.Rc.r_out "two\nthree");
+        let r2 = ed "$p\nq\n" in
+        check_bool "last" true (contains r2.Rc.r_out "four"));
+    Alcotest.test_case "n numbers lines" `Quick (fun () ->
+        let r = ed "1,2n\nq\n" in
+        check_bool "numbered" true (contains r.Rc.r_out "1\tone\n2\ttwo"));
+    Alcotest.test_case "search addresses wrap" `Quick (fun () ->
+        let r = ed "/three/p\nq\n" in
+        check_bool "found" true (contains r.Rc.r_out "three");
+        let r2 = ed "3\n/one/p\nq\n" in
+        check_bool "wrapped to the top" true (contains r2.Rc.r_out "one"));
+    Alcotest.test_case "d deletes and w writes" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let r = Rc.run sh ~stdin:"/two/d\nw\nq\n" "ed /d/f" in
+        check_int "status" 0 r.Rc.r_status;
+        check_str "file" "one\nthree\nfour\n" (Vfs.read_file ns "/d/f"));
+    Alcotest.test_case "a appends text until a dot" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let _ = Rc.run sh ~stdin:"$a\nfive\nsix\n.\nw\nq\n" "ed /d/f" in
+        check_bool "appended" true
+          (contains (Vfs.read_file ns "/d/f") "four\nfive\nsix\n"));
+    Alcotest.test_case "i inserts before" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let _ = Rc.run sh ~stdin:"1i\nzero\n.\nw\nq\n" "ed /d/f" in
+        check_bool "inserted" true
+          (contains (Vfs.read_file ns "/d/f") "zero\none"));
+    Alcotest.test_case "c changes a range" `Quick (fun () ->
+        let ns, sh = fresh () in
+        let _ = Rc.run sh ~stdin:"2,3c\nTWO-THREE\n.\nw\nq\n" "ed /d/f" in
+        check_str "changed" "one\nTWO-THREE\nfour\n" (Vfs.read_file ns "/d/f"));
+    Alcotest.test_case "s substitutes, with g" `Quick (fun () ->
+        let ns, sh = fresh () in
+        Vfs.write_file ns "/d/f" "aXbXc\n";
+        let _ = Rc.run sh ~stdin:"1s/X/-/\nw\nq\n" "ed /d/f" in
+        check_str "first only" "a-bXc\n" (Vfs.read_file ns "/d/f");
+        let _ = Rc.run sh ~stdin:"1s/X/-/g\nw\nq\n" "ed /d/f" in
+        check_str "global" "a-b-c\n" (Vfs.read_file ns "/d/f"));
+    Alcotest.test_case "errors answer with ?" `Quick (fun () ->
+        let r = ed "99p\nq\n" in
+        check_bool "question mark" true (contains r.Rc.r_out "?\n");
+        let r2 = ed "zzz\nq\n" in
+        check_bool "unknown command" true (contains r2.Rc.r_out "?\n"));
+    Alcotest.test_case "= reports a line number" `Quick (fun () ->
+        let r = ed "$=\nq\n" in
+        check_bool "four lines" true (contains r.Rc.r_out "4\n"));
+  ]
+
+let popup_tests =
+  [
+    Alcotest.test_case "menu actions and focus are priced" `Quick (fun () ->
+        let ns, sh = fresh () in
+        ignore ns;
+        let t = Popup.create (Rc.ns sh) sh in
+        let w1 = Popup.menu_new_window t ~cwd:"/" in
+        let w2 = Popup.menu_new_window t ~cwd:"/" in
+        Popup.focus t w1;
+        ignore w2;
+        let c = Popup.counts t in
+        (* two window sweeps (2 clicks each) + one focus click *)
+        check_int "clicks" 5 c.Popup.clicks;
+        check_bool "travel accrued" true (c.Popup.travel > 0));
+    Alcotest.test_case "commands run and fill the typescript" `Quick (fun () ->
+        let _, sh = fresh () in
+        let t = Popup.create (Rc.ns sh) sh in
+        let w = Popup.menu_new_window t ~cwd:"/d" in
+        let r = Popup.type_command t "cat f" in
+        check_int "status" 0 r.Rc.r_status;
+        check_bool "echoed" true (contains (Popup.typescript w) "% cat f");
+        check_bool "output" true (contains (Popup.typescript w) "three"));
+    Alcotest.test_case "keystrokes include typed standard input" `Quick
+      (fun () ->
+        let _, sh = fresh () in
+        let t = Popup.create (Rc.ns sh) sh in
+        let _ = Popup.menu_new_window t ~cwd:"/d" in
+        let before = (Popup.counts t).Popup.keys in
+        ignore (Popup.type_command t ~input:"1p\nq\n" "ed f");
+        let after = (Popup.counts t).Popup.keys in
+        check_int "cmd + newline + script" (5 + 5) (after - before));
+    Alcotest.test_case "typing without focus is an error" `Quick (fun () ->
+        let _, sh = fresh () in
+        let t = Popup.create (Rc.ns sh) sh in
+        let w = Popup.menu_new_window t ~cwd:"/" in
+        Popup.menu_delete t w;
+        check_bool "raises" true
+          (match Popup.type_command t "echo x" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "cd tracks the typescript directory" `Quick (fun () ->
+        let _, sh = fresh () in
+        let t = Popup.create (Rc.ns sh) sh in
+        let w = Popup.menu_new_window t ~cwd:"/" in
+        ignore (Popup.type_command t "cd /d");
+        let r = Popup.type_command t "cat f" in
+        ignore w;
+        check_bool "relative path resolved" true (contains r.Rc.r_out "one"));
+    Alcotest.test_case "the measured demo fixes the bug by typing" `Quick
+      (fun () ->
+        let t, fixed = Popup.demo () in
+        check_bool "fixed" true fixed;
+        let c = Popup.counts t in
+        check_bool "heavy typing" true (c.Popup.keys > 100);
+        check_bool "few clicks (all window management)" true (c.Popup.clicks < 10));
+  ]
+
+let () =
+  Alcotest.run "popup" [ ("ed", ed_tests); ("window-system", popup_tests) ]

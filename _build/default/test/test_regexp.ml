@@ -1,0 +1,154 @@
+(* Regexp: unit tests of the dialect plus a qcheck comparison against a
+   reference backtracking matcher over randomly generated small
+   patterns. *)
+
+let check_bool = Alcotest.(check bool)
+
+let matches pat s = Regexp.matches (Regexp.compile pat) s
+
+let search pat s = Regexp.search (Regexp.compile pat) s 0
+
+let unit_tests =
+  [
+    Alcotest.test_case "literal" `Quick (fun () ->
+        check_bool "hit" true (matches "abc" "xxabcxx");
+        check_bool "miss" false (matches "abc" "ab c"));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        check_bool "any" true (matches "a.c" "abc");
+        check_bool "not newline-restricted" true (matches "a.c" "a\nc"));
+    Alcotest.test_case "star" `Quick (fun () ->
+        check_bool "zero" true (matches "ab*c" "ac");
+        check_bool "many" true (matches "ab*c" "abbbbc"));
+    Alcotest.test_case "plus" `Quick (fun () ->
+        check_bool "zero fails" false (matches "^ab+c$" "ac");
+        check_bool "one" true (matches "ab+c" "abc"));
+    Alcotest.test_case "opt" `Quick (fun () ->
+        check_bool "with" true (matches "^ab?c$" "abc");
+        check_bool "without" true (matches "^ab?c$" "ac"));
+    Alcotest.test_case "alternation" `Quick (fun () ->
+        check_bool "left" true (matches "^(cat|dog)$" "cat");
+        check_bool "right" true (matches "^(cat|dog)$" "dog");
+        check_bool "neither" false (matches "^(cat|dog)$" "cow"));
+    Alcotest.test_case "classes" `Quick (fun () ->
+        check_bool "range" true (matches "^[a-z]+$" "abc");
+        check_bool "negated" true (matches "^[^0-9]+$" "abc");
+        check_bool "negated miss" false (matches "^[^0-9]+$" "ab1");
+        check_bool "multi-range" true (matches "^[a-zA-Z_][a-zA-Z0-9_]*$" "Xdie2"));
+    Alcotest.test_case "anchors" `Quick (fun () ->
+        check_bool "bol" true (matches "^abc" "abcdef");
+        check_bool "bol miss" false (matches "^bcd" "abcdef");
+        check_bool "eol" true (matches "def$" "abcdef");
+        check_bool "line-internal anchors" true (matches "^second$" "first\nsecond\nthird"));
+    Alcotest.test_case "escapes" `Quick (fun () ->
+        check_bool "dot" true (matches "a\\.c" "a.c");
+        check_bool "dot literal" false (matches "a\\.c" "abc");
+        check_bool "star" true (matches "a\\*" "a*");
+        check_bool "tab" true (matches "a\\tb" "a\tb"));
+    Alcotest.test_case "leftmost-longest search" `Quick (fun () ->
+        Alcotest.(check (option (pair int int)))
+          "leftmost" (Some (2, 5)) (search "ab+" "xxabbyabbb");
+        Alcotest.(check (option (pair int int)))
+          "longest at position" (Some (0, 4)) (search "a*" "aaaab"));
+    Alcotest.test_case "search_all non-overlapping" `Quick (fun () ->
+        let re = Regexp.compile "ab" in
+        Alcotest.(check int) "three" 3 (List.length (Regexp.search_all re "ababxab")));
+    Alcotest.test_case "empty-match progress" `Quick (fun () ->
+        (* a pattern matching empty must not loop forever *)
+        let re = Regexp.compile "x*" in
+        check_bool "terminates" true (List.length (Regexp.search_all re "aaa") > 0));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        let bad p =
+          match Regexp.compile p with
+          | exception Regexp.Parse_error _ -> true
+          | _ -> false
+        in
+        check_bool "unmatched paren" true (bad "(ab");
+        check_bool "stray close" true (bad "ab)");
+        check_bool "leading star" true (bad "*ab");
+        check_bool "unterminated class" true (bad "[ab");
+        check_bool "trailing backslash" true (bad "ab\\"));
+    Alcotest.test_case "paper patterns" `Quick (fun () ->
+        (* the grep of the worked example *)
+        check_bool "main" true (matches "main" "void\nmain(int argc, char *argv[])");
+        check_bool "file:line shape" true
+          (matches "^[a-z./]+\\.c:[0-9]+$" "exec.c:213"));
+  ]
+
+(* Reference matcher: naive backtracking over the same AST. *)
+let rec ref_match_here ast s i k =
+  match ast with
+  | Regexp.Empty -> k i
+  | Regexp.Char c -> i < String.length s && s.[i] = c && k (i + 1)
+  | Regexp.Any -> i < String.length s && k (i + 1)
+  | Regexp.Class (neg, ranges) ->
+      i < String.length s
+      && (let inside = List.exists (fun (lo, hi) -> s.[i] >= lo && s.[i] <= hi) ranges in
+          if neg then not inside else inside)
+      && k (i + 1)
+  | Regexp.Seq (a, b) -> ref_match_here a s i (fun j -> ref_match_here b s j k)
+  | Regexp.Alt (a, b) -> ref_match_here a s i k || ref_match_here b s i k
+  | Regexp.Opt a -> ref_match_here a s i k || k i
+  | Regexp.Star a ->
+      let rec star i depth =
+        k i
+        || (depth < 50
+           && ref_match_here a s i (fun j -> j > i && star j (depth + 1)))
+      in
+      star i 0
+  | Regexp.Plus a -> ref_match_here a s i (fun j -> ref_match_here (Regexp.Star a) s j k)
+  | Regexp.Bol -> (i = 0 || s.[i - 1] = '\n') && k i
+  | Regexp.Eol -> (i = String.length s || s.[i] = '\n') && k i
+
+let ref_matches pat s =
+  let ast = Regexp.parse pat in
+  let n = String.length s in
+  let rec try_at i =
+    i <= n && (ref_match_here ast s i (fun _ -> true) || try_at (i + 1))
+  in
+  try_at 0
+
+(* small random patterns built from a safe grammar *)
+let pattern_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [ map (String.make 1) (map Char.chr (int_range 97 100));
+        return "."; return "[ab]"; return "[^a]"; return "a"; return "b" ]
+  in
+  let rep a = oneof [ return a; map (fun a -> a ^ "*") (return a);
+                      map (fun a -> a ^ "?") (return a);
+                      map (fun a -> a ^ "+") (return a) ] in
+  let seq = list_size (int_range 1 4) (atom >>= rep) >|= String.concat "" in
+  oneof [ seq; map2 (fun a b -> "(" ^ a ^ "|" ^ b ^ ")") seq seq ]
+
+let input_gen = QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 97 100)) (int_range 0 12))
+
+let prop_vs_reference =
+  QCheck.Test.make ~name:"NFA agrees with backtracking reference" ~count:1000
+    (QCheck.make ~print:(fun (p, s) -> Printf.sprintf "pat=%S input=%S" p s)
+       (QCheck.Gen.pair pattern_gen input_gen))
+    (fun (pat, s) ->
+      match Regexp.compile pat with
+      | exception Regexp.Parse_error _ -> QCheck.assume_fail ()
+      | re -> Regexp.matches re s = ref_matches pat s)
+
+let prop_search_bounds =
+  QCheck.Test.make ~name:"search returns in-bounds leftmost ranges" ~count:500
+    (QCheck.make ~print:(fun (p, s) -> Printf.sprintf "pat=%S input=%S" p s)
+       (QCheck.Gen.pair pattern_gen input_gen))
+    (fun (pat, s) ->
+      match Regexp.compile pat with
+      | exception Regexp.Parse_error _ -> QCheck.assume_fail ()
+      | re -> (
+          match Regexp.search re s 0 with
+          | None -> true
+          | Some (a, b) -> 0 <= a && a <= b && b <= String.length s))
+
+let () =
+  Alcotest.run "regexp"
+    [
+      ("unit", unit_tests);
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_vs_reference; prop_search_bounds ] );
+    ]
