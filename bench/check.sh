@@ -1,0 +1,8 @@
+#!/bin/sh
+# Smoke gate for the bench harness: build, run the test suites, then
+# run the experiment sections (quick mode skips E10 + microbenches).
+set -e
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/main.exe -- quick

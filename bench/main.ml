@@ -12,6 +12,43 @@ let section id title =
 let row fmt = Printf.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable ledger (--json <path>)                             *)
+
+(* Collected as the sections run; written at exit so the perf
+   trajectory can be tracked across changes without scraping stdout. *)
+let j_e7 : (string * float) list ref = ref []  (* ns per operation *)
+let j_e10 : (string * float) list ref = ref []  (* wall milliseconds *)
+
+let j7 name v = j_e7 := (name, v) :: !j_e7
+let j10 name v = j_e10 := (name, v) :: !j_e10
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  let table entries =
+    String.concat ",\n"
+      (List.map
+         (fun (k, v) -> Printf.sprintf "    \"%s\": %.3f" (json_escape k) v)
+         (List.rev entries))
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"help-bench-1\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \"e10_ms\": {\n%s\n  }\n}\n"
+    (table !j_e7) (table !j_e10);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d e7 rows, %d e10 rows)\n" path
+    (List.length !j_e7) (List.length !j_e10)
+
+(* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
 
 let e1_demo () =
@@ -319,12 +356,8 @@ let e9_remote () =
   let disk =
     Vfs.read_file remote.Demo.session.Session.ns (Corpus.src_dir ^ "/exec.c")
   in
-  let has s hay =
-    let n = String.length s and m = String.length hay in
-    let rec f i = i + n <= m && (String.sub hay i n = s || f (i + 1)) in
-    f 0
-  in
-  row "bug fixed on the terminal's disk: %b\n" (not (has "\tn = 0;" disk));
+  row "bug fixed on the terminal's disk: %b\n"
+    (not (Hstr.contains disk ~sub:"\tn = 0;"));
   (match remote.Demo.session.Session.cpu with
   | Some c ->
       let stats = Cpu.link_stats c in
@@ -412,7 +445,9 @@ let microbenches () =
   in
   row "%-40s %16s\n" "operation" "ns/op";
   List.iter
-    (fun (name, est) -> row "%-40s %16.0f\n" name est)
+    (fun (name, est) ->
+      row "%-40s %16.0f\n" name est;
+      j7 name est)
     (List.sort compare rows);
   row "every interactive-path operation is far below perceptible latency.\n"
 
@@ -433,6 +468,7 @@ let e10_scale () =
     200_000;
   let rope, t_build = time (fun () -> Rope.of_string big) in
   row "  %-44s %8.1f ms\n" "build rope" (t_build *. 1000.);
+  j10 "build rope" (t_build *. 1000.);
   let _, t_edit =
     time (fun () ->
         let r = ref rope in
@@ -442,12 +478,15 @@ let e10_scale () =
         done)
   in
   row "  %-44s %8.3f ms\n" "1000 edits (insert+delete)" (t_edit *. 1000.);
+  j10 "1000 edits" (t_edit *. 1000.);
   let _, t_line = time (fun () -> Rope.line_start rope 150_000) in
   row "  %-44s %8.3f ms\n" "seek line 150000" (t_line *. 1000.);
+  j10 "seek line 150000" (t_line *. 1000.);
   let _, t_frame =
     time (fun () -> Frame.layout rope ~org:(Rope.line_start rope 150_000) ~w:60 ~h:40)
   in
   row "  %-44s %8.3f ms\n" "lay out a 60x40 frame there" (t_frame *. 1000.);
+  j10 "60x40 frame layout" (t_frame *. 1000.);
   (* a large build through vc/vl/mk *)
   let ns = Vfs.create () in
   Corpus.install ns;
@@ -462,18 +501,32 @@ let e10_scale () =
   row "synthetic project of 100 modules:\n";
   row "  %-44s %8.1f ms (status %d)\n" "full mk build (parse+link every unit)"
     (t_mk *. 1000.) r.Rc.r_status;
+  j10 "full mk" (t_mk *. 1000.);
   let _ = Rc.run sh ~cwd:dir "touch mod050.c" in
   let r2, t_inc = time (fun () -> Rc.run sh ~cwd:dir "mk -modified") in
   row "  %-44s %8.1f ms (status %d)\n" "incremental mk -modified after 1 touch"
     (t_inc *. 1000.) r2.Rc.r_status;
-  let p, t_uses =
-    time (fun () ->
-        Cbr.analyze ns ~cwd:dir
-          (List.init 100 (fun i -> Printf.sprintf "mod%03d.c" i)))
-  in
+  j10 "incremental mk" (t_inc *. 1000.);
+  let files = List.init 100 (fun i -> Printf.sprintf "mod%03d.c" i) in
+  let p, t_uses = time (fun () -> Cbr.analyze ns ~cwd:dir files) in
   row "  %-44s %8.1f ms (%d decls)\n" "whole-program analysis for uses"
     (t_uses *. 1000.)
     (List.length p.C_symbols.p_decls);
+  j10 "analysis fresh" (t_uses *. 1000.);
+  (* incremental analysis: per-unit cache keyed by content digest *)
+  let idx = Cbr.create_index () in
+  let _, t_cold = time (fun () -> Cbr.analyze ~index:idx ns ~cwd:dir files) in
+  let _, t_warm = time (fun () -> Cbr.analyze ~index:idx ns ~cwd:dir files) in
+  Vfs.append_file ns (dir ^ "/mod050.c") "\nint extra050;\n";
+  let p3, t_one = time (fun () -> Cbr.analyze ~index:idx ns ~cwd:dir files) in
+  let hits, misses = Cbr.index_stats idx in
+  row "  %-44s %8.1f ms\n" "analysis, cold cache" (t_cold *. 1000.);
+  row "  %-44s %8.1f ms\n" "analysis, warm cache (0 edits)" (t_warm *. 1000.);
+  row "  %-44s %8.1f ms (%d decls; %d hits/%d misses)\n"
+    "analysis after editing 1 of 100 files" (t_one *. 1000.)
+    (List.length p3.C_symbols.p_decls) hits misses;
+  j10 "analysis warm" (t_warm *. 1000.);
+  j10 "analysis 1 edit" (t_one *. 1000.);
   (* a crowded screen *)
   let help = Help.create ~w:100 ~h:48 ns sh in
   let _, t_open =
@@ -486,14 +539,96 @@ let e10_scale () =
   in
   row "40 windows:\n";
   row "  %-44s %8.1f ms\n" "open all" (t_open *. 1000.);
+  j10 "open 40 windows" (t_open *. 1000.);
   let _, t_draw = time (fun () -> ignore (Help.draw help)) in
   row "  %-44s %8.3f ms\n" "draw the whole screen" (t_draw *. 1000.);
+  j10 "draw whole screen" (t_draw *. 1000.);
+  (* damage-tracked drawing: a keystroke into one window should repaint
+     that window alone, several times faster than repainting all 40.
+     Both strategies are timed against the same damage — one typed
+     character per frame — so each pays the same layout recompute of
+     the edited body; only the painting differs.  The keystroke lands
+     in the smallest window that shows a body. *)
+  let kx, ky =
+    let best = ref None in
+    List.iter
+      (fun col ->
+        List.iter
+          (fun g ->
+            if g.Hcol.g_h > 1 then
+              match !best with
+              | Some (_, _, h) when h <= g.Hcol.g_h -> ()
+              | _ -> best := Some (Hcol.x col + 2, g.Hcol.g_y + 1, g.Hcol.g_h))
+          (Hcol.geoms col ~h:(Help.height help)))
+      (Help.columns help);
+    match !best with Some (x, y, _) -> (x, y) | None -> (2, 2)
+  in
+  Help.event help (Help.Move (kx, ky));
+  ignore (Help.redraw help);
+  let kiters = 1000 in
+  let _, t_ev =
+    time (fun () ->
+        for _ = 1 to kiters do
+          Help.event help (Help.Key 'x')
+        done)
+  in
+  let t_ev1 = t_ev /. float_of_int kiters in
+  ignore (Help.redraw help);
+  let _, t_evfull =
+    time (fun () ->
+        for _ = 1 to kiters do
+          Help.event help (Help.Key 'x');
+          ignore (Help.draw_full help)
+        done)
+  in
+  let t_full1 = max 0. (t_evfull /. float_of_int kiters -. t_ev1) *. 1000. in
+  ignore (Help.redraw help);
+  let _, t_evdraw =
+    time (fun () ->
+        for _ = 1 to kiters do
+          Help.event help (Help.Key 'x');
+          ignore (Help.redraw help)
+        done)
+  in
+  let t_incr1 = max 0. (t_evdraw /. float_of_int kiters -. t_ev1) *. 1000. in
+  let _, t_clean =
+    time (fun () ->
+        for _ = 1 to kiters do
+          ignore (Help.redraw help)
+        done)
+  in
+  let t_clean1 = t_clean /. float_of_int kiters *. 1000. in
+  let identical =
+    Screen.equal (Screen.copy (Help.redraw help)) (Help.draw_full help)
+  in
+  let draws, full, cols, wins, clean = Help.draw_stats help in
+  row "  %-44s %8.4f ms\n" "keystroke + full draw from scratch (avg)" t_full1;
+  row "  %-44s %8.4f ms\n" "keystroke redraw, damage-tracked (avg)" t_incr1;
+  row "  %-44s %8.4f ms\n" "redraw with no damage (avg)" t_clean1;
+  row "  %-44s %8.1fx\n" "single-keystroke speedup vs full draw"
+    (t_full1 /. max 1e-9 t_incr1);
+  row "  incremental screen identical to from-scratch draw: %b\n" identical;
+  row "  draw ledger: %d draws = %d full + %d column + %d window repaints + %d clean\n"
+    draws full cols wins clean;
+  j10 "full draw avg" t_full1;
+  j10 "keystroke redraw avg" t_incr1;
+  j10 "clean redraw avg" t_clean1;
+  j10 "keystroke speedup x" (t_full1 /. max 1e-9 t_incr1);
   row "nothing on the interactive path grows past a few milliseconds.\n"
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let json_path =
+    let n = Array.length Sys.argv in
+    let rec go i =
+      if i >= n then None
+      else if Sys.argv.(i) = "--json" && i + 1 < n then Some Sys.argv.(i + 1)
+      else go (i + 1)
+    in
+    go 1
+  in
   print_endline
     "help: experiment harness for \"A Minimalist Global User Interface\" (Pike, 1991)";
   let demo = e1_demo () in
@@ -508,4 +643,5 @@ let () =
     e10_scale ();
     microbenches ()
   end;
+  (match json_path with Some path -> write_json path | None -> ());
   print_newline ()

@@ -47,6 +47,22 @@ type program = {
   p_errors : (string * C_lexer.pos) list;
 }
 
+(* Incremental analysis support.  A translation unit parsed in
+   isolation cannot know what earlier units bound, so besides its
+   decls/occurrences it records an ordered event log capturing exactly
+   the points where cross-unit state could have changed the outcome:
+   every new declaration, and every occurrence together with how far
+   local resolution got.  {!link} later replays the logs in unit order
+   against program-wide tables, reproducing the shared-state result. *)
+type eres =
+  | R_id of int  (* resolved within the unit: local decl id *)
+  | R_value  (* unresolved locally; re-resolve in the value scope *)
+  | R_tag  (* unresolved locally; re-resolve in the tag namespace *)
+
+type ev =
+  | E_decl of decl  (* a new declaration; [d_id] is unit-local *)
+  | E_occ of { e_name : string; e_pos : C_lexer.pos; e_res : eres; e_is_decl : bool }
+
 type state = {
   toks : C_lexer.spanned array;
   mutable at : int;
@@ -57,6 +73,8 @@ type state = {
   mutable occs : occurrence list;
   mutable errors : (string * C_lexer.pos) list;
   mutable next_id : int;
+  track : bool;  (* record the event log (isolated-unit parses only) *)
+  mutable events : ev list;  (* newest first *)
 }
 
 let peek st = st.toks.(st.at).C_lexer.tok
@@ -67,6 +85,7 @@ let pos st = st.toks.(st.at).C_lexer.pos
 let advance st = if st.at < Array.length st.toks - 1 then st.at <- st.at + 1
 
 let error st msg = st.errors <- (msg, pos st) :: st.errors
+let emit st e = if st.track then st.events <- e :: st.events
 
 let push_scope st = st.scopes <- Hashtbl.create 16 :: st.scopes
 let pop_scope st =
@@ -98,6 +117,7 @@ let declare st name kind p =
       st.occs <-
         { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = true }
         :: st.occs;
+      emit st (E_occ { e_name = name; e_pos = p; e_res = R_id d.d_id; e_is_decl = true });
       d
   | None ->
       let d =
@@ -120,6 +140,7 @@ let declare st name kind p =
       st.occs <-
         { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = true }
         :: st.occs;
+      emit st (E_decl d);
       d
 
 let resolve st name =
@@ -141,18 +162,23 @@ let record_use st name p =
       o_decl = Option.map (fun d -> d.d_id) d;
       o_is_decl = false;
     }
-    :: st.occs
+    :: st.occs;
+  let res = match d with Some d -> R_id d.d_id | None -> R_value in
+  emit st (E_occ { e_name = name; e_pos = p; e_res = res; e_is_decl = false })
 
 let record_tag_use st name p =
   match Hashtbl.find_opt st.tags name with
   | Some d ->
       st.occs <-
         { o_name = name; o_pos = p; o_decl = Some d.d_id; o_is_decl = false }
-        :: st.occs
+        :: st.occs;
+      emit st
+        (E_occ { e_name = name; e_pos = p; e_res = R_id d.d_id; e_is_decl = false })
   | None ->
       st.occs <-
         { o_name = name; o_pos = p; o_decl = None; o_is_decl = false }
-        :: st.occs
+        :: st.occs;
+      emit st (E_occ { e_name = name; e_pos = p; e_res = R_tag; e_is_decl = false })
 
 let is_typedef st name = Hashtbl.mem st.typedefs name
 
@@ -507,7 +533,7 @@ and parse_statement st =
       scan_expr st [ ";" ];
       (match peek st with C_lexer.Punct ";" -> advance st | _ -> ())
 
-let create_state () =
+let create_state ?(track = false) () =
   {
     toks = [||];
     at = 0;
@@ -518,6 +544,8 @@ let create_state () =
     occs = [];
     errors = [];
     next_id = 0;
+    track;
+    events = [];
   }
 
 (* Parse one translation unit's tokens into shared global state
@@ -545,11 +573,126 @@ let parse_unit st toks =
   st.decls <- st'.decls;
   st.occs <- st'.occs;
   st.errors <- st'.errors;
-  st.next_id <- st'.next_id
+  st.next_id <- st'.next_id;
+  st.events <- st'.events
 
 let finish st =
   {
     p_decls = List.rev st.decls;
     p_occs = List.rev st.occs;
     p_errors = List.rev st.errors;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Isolated units and linking                                          *)
+
+type cunit = {
+  u_events : ev list;  (* in parse order *)
+  u_errors : (string * C_lexer.pos) list;  (* in parse order *)
+  u_typedefs : string list;  (* typedef names this unit contributes *)
+}
+
+(* Parse one unit with no cross-unit state except the inherited typedef
+   name set — the only earlier-unit state that can change how tokens
+   are consumed (see {!starts_decl} and {!parse_specifiers}).  Value
+   and tag bindings from earlier units affect only resolution, which
+   the event log defers to {!link}.  The result is a pure function of
+   (tokens, typedef set), hence cacheable by content digest. *)
+let parse_unit_isolated ~typedefs toks =
+  let st = create_state ~track:true () in
+  List.iter (fun n -> Hashtbl.replace st.typedefs n ()) typedefs;
+  parse_unit st toks;
+  let contributed =
+    List.rev
+      (List.filter_map
+         (function
+           | E_decl d when d.d_kind = Ktypedef -> Some d.d_name
+           | _ -> None)
+         st.events)
+  in
+  {
+    u_events = List.rev st.events;
+    u_errors = List.rev st.errors;
+    u_typedefs = contributed;
+  }
+
+(* Replay unit event logs in order against program-wide tables,
+   assigning final decl ids.  This mirrors {!declare}'s shared-state
+   behaviour exactly: a global declaration deduplicates only against
+   the *current* binding of its name when the position matches (header
+   re-inclusion); bindings are replaced, never stacked; tags live in
+   their own always-fresh namespace but persist as resolution targets
+   across units. *)
+let link units =
+  let scope : (string, decl) Hashtbl.t = Hashtbl.create 64 in
+  let tags : (string, decl) Hashtbl.t = Hashtbl.create 32 in
+  let decls = ref [] and occs = ref [] and errors = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun u ->
+      let map : (int, decl) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (function
+          | E_decl d ->
+              let existing =
+                if d.d_global then
+                  match Hashtbl.find_opt scope d.d_name with
+                  | Some pd when pd.d_pos = d.d_pos -> Some pd
+                  | _ -> None
+                else None
+              in
+              let pd =
+                match existing with
+                | Some pd ->
+                    Hashtbl.replace map d.d_id pd;
+                    pd
+                | None ->
+                    let pd = { d with d_id = !next_id } in
+                    incr next_id;
+                    decls := pd :: !decls;
+                    Hashtbl.replace map d.d_id pd;
+                    if pd.d_global then Hashtbl.replace scope pd.d_name pd;
+                    if pd.d_kind = Kstruct_tag then
+                      Hashtbl.replace tags pd.d_name pd;
+                    pd
+              in
+              occs :=
+                {
+                  o_name = pd.d_name;
+                  o_pos = d.d_pos;
+                  o_decl = Some pd.d_id;
+                  o_is_decl = true;
+                }
+                :: !occs
+          | E_occ o ->
+              let resolved =
+                match o.e_res with
+                | R_id local -> (
+                    match Hashtbl.find_opt map local with
+                    | Some pd -> Some pd.d_id
+                    | None -> None)
+                | R_value ->
+                    Option.map
+                      (fun (pd : decl) -> pd.d_id)
+                      (Hashtbl.find_opt scope o.e_name)
+                | R_tag ->
+                    Option.map
+                      (fun (pd : decl) -> pd.d_id)
+                      (Hashtbl.find_opt tags o.e_name)
+              in
+              occs :=
+                {
+                  o_name = o.e_name;
+                  o_pos = o.e_pos;
+                  o_decl = resolved;
+                  o_is_decl = o.e_is_decl;
+                }
+                :: !occs)
+        u.u_events;
+      errors := List.rev_append u.u_errors !errors)
+    units;
+  {
+    p_decls = List.rev !decls;
+    p_occs = List.rev !occs;
+    p_errors = List.rev !errors;
   }

@@ -3,9 +3,7 @@ type program = C_symbols.program
 (* ------------------------------------------------------------------ *)
 (* Preprocessor-lite                                                   *)
 
-let starts_with prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+let starts_with prefix s = Hstr.starts_with ~prefix s
 
 (* Parse an #include line; returns (name, system?) or None. *)
 let include_of line =
@@ -72,15 +70,63 @@ let preprocess ns ~dir path =
 (* ------------------------------------------------------------------ *)
 (* Analysis                                                            *)
 
-let analyze ns ~cwd files =
-  let st = C_symbols.create_state () in
-  List.iter
-    (fun file ->
-      let text = preprocess ns ~dir:cwd file in
-      let toks = C_lexer.tokenize ~file text in
-      C_symbols.parse_unit st toks)
-    files;
-  C_symbols.finish st
+(* Per-file cache of isolated-unit parses.  A unit's parse is a pure
+   function of its preprocessed text and the typedef names inherited
+   from earlier units, so entries are keyed on a digest of both;
+   preprocessing itself (string splicing) is redone every time, which
+   also makes edits to headers invalidate every includer for free. *)
+type index = {
+  units : (string, Digest.t * C_symbols.cunit) Hashtbl.t;  (* by file *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_index () = { units = Hashtbl.create 16; hits = 0; misses = 0 }
+let index_stats idx = (idx.hits, idx.misses)
+
+let analyze ?index ns ~cwd files =
+  match index with
+  | None ->
+      (* reference path: one shared symbol-table state across units *)
+      let st = C_symbols.create_state () in
+      List.iter
+        (fun file ->
+          let text = preprocess ns ~dir:cwd file in
+          let toks = C_lexer.tokenize ~file text in
+          C_symbols.parse_unit st toks)
+        files;
+      C_symbols.finish st
+  | Some idx ->
+      (* incremental path: per-unit parses from the cache, then link *)
+      let typedefs = ref [] in  (* inherited names, newest first *)
+      let units =
+        List.map
+          (fun file ->
+            let text = preprocess ns ~dir:cwd file in
+            let key =
+              Digest.string
+                (String.concat "\x00"
+                   (file :: text :: List.sort compare !typedefs))
+            in
+            let u =
+              match Hashtbl.find_opt idx.units file with
+              | Some (k, u) when k = key ->
+                  idx.hits <- idx.hits + 1;
+                  u
+              | _ ->
+                  idx.misses <- idx.misses + 1;
+                  let toks = C_lexer.tokenize ~file text in
+                  let u =
+                    C_symbols.parse_unit_isolated ~typedefs:!typedefs toks
+                  in
+                  Hashtbl.replace idx.units file (key, u);
+                  u
+            in
+            typedefs := List.rev_append u.C_symbols.u_typedefs !typedefs;
+            u)
+          files
+      in
+      C_symbols.link units
 
 let file_eq a b =
   let strip s = if starts_with "./" s then String.sub s 2 (String.length s - 2) else s in
@@ -150,11 +196,8 @@ let grep_count ns ~cwd files pattern =
           let hits = ref 0 in
           List.iter
             (fun line ->
-              let nl = String.length line and np = String.length pattern in
-              let rec find i =
-                i + np <= nl && (String.sub line i np = pattern || find (i + 1))
-              in
-              if np > 0 && find 0 then incr hits)
+              if pattern <> "" && Hstr.contains line ~sub:pattern then
+                incr hits)
             (String.split_on_char '\n' content);
           acc + !hits)
     0 files
@@ -178,6 +221,25 @@ let cpp_native proc args =
         files;
       0
 
+(* [decl] then [uses] of the same identifier pipe the same preprocessed
+   text through rcc twice; memoize the analysis on a digest of stdin.
+   Programs are immutable, so sharing the value is safe.  Bounded: the
+   table is dropped wholesale when it grows past a handful of builds. *)
+let rcc_memo : (Digest.t, program) Hashtbl.t = Hashtbl.create 8
+
+let rcc_program text =
+  let key = Digest.string text in
+  match Hashtbl.find_opt rcc_memo key with
+  | Some p -> p
+  | None ->
+      let st = C_symbols.create_state () in
+      let toks = C_lexer.tokenize ~file:"<stdin>" text in
+      C_symbols.parse_unit st toks;
+      let p = C_symbols.finish st in
+      if Hashtbl.length rcc_memo >= 32 then Hashtbl.reset rcc_memo;
+      Hashtbl.add rcc_memo key p;
+      p
+
 (* rcc -w -g -i<ident> -n<line> -s<file> [-u]: the compiler without a
    code generator.  Reads preprocessed C on stdin; prints the
    declaration coordinate of <ident> at <file>:<line> (or all its
@@ -197,10 +259,7 @@ let rcc_native proc args =
     1
   end
   else begin
-    let st = C_symbols.create_state () in
-    let toks = C_lexer.tokenize ~file:"<stdin>" (Rc.proc_stdin proc) in
-    C_symbols.parse_unit st toks;
-    let p = C_symbols.finish st in
+    let p = rcc_program (Rc.proc_stdin proc) in
     (* If no position was given, use the identifier's first occurrence. *)
     let file, line =
       if !line > 0 && !file <> "" then (!file, !line)

@@ -17,9 +17,23 @@ type program = C_symbols.program
     [# line "file"] markers; each header is included once. *)
 val preprocess : Vfs.t -> dir:string -> string -> string
 
+(** Cache of per-file analyses for {!analyze}.  Entries are keyed on a
+    digest of each unit's preprocessed text plus the typedef names
+    inherited from earlier units, so touching one file re-parses only
+    that file (and any file including it) and re-links the rest from
+    cache — the analysis analogue of [mk -modified]. *)
+type index
+
+val create_index : unit -> index
+
+(** [(hits, misses)] — cached vs. parsed units since {!create_index}. *)
+val index_stats : index -> int * int
+
 (** Analyze source files as one program (shared globals, as the linker
-    would arrange). *)
-val analyze : Vfs.t -> cwd:string -> string list -> program
+    would arrange).  With [?index], units are parsed in isolation,
+    cached by content digest, and linked by event replay; the result is
+    equal to the uncached analysis. *)
+val analyze : ?index:index -> Vfs.t -> cwd:string -> string list -> program
 
 (** The declaration position of the identifier [name] occurring at
     [file]:[line].  File names compare modulo a leading [./]. *)

@@ -53,9 +53,50 @@ type t = {
   mutable executor : executor option;
       (* when set, external commands run here instead of the local
          shell — the paper's "invisible call to the CPU server" *)
+  mutable render : render option;
+      (* persistent screen + damage signatures; None until first draw *)
+  stats : draw_stats;
 }
 
 and executor = cwd:string -> helpsel:string list -> string -> Rc.result
+
+(* Damage tracking.  Rather than a push-based dirty flag wired through
+   every mutation site, each draw pulls cheap signatures and compares
+   them with the previous frame's: a window whose signature is unchanged
+   cannot render differently, so its cells are left alone.
+
+   - [wsig] covers everything a window's rectangle depends on: the tag
+     and body view generations (bumped by edits, selection changes and
+     origin moves — see {!Htext.view_gen}) and whether either holds the
+     current selection.
+   - [csig] covers the column chrome: position, width, the tab tower
+     (window ids in order) and each visible window's (id, y, height).
+     A change repaints the whole column.
+   - The hover popup can overflow its column onto a neighbour, where the
+     full-draw paint order decides which cells survive; frames where it
+     is (or was) visible therefore fall back to a full repaint. *)
+and wsig = { s_tag : int; s_body : int; s_cur_tag : bool; s_cur_body : bool }
+
+and csig = {
+  s_x : int;
+  s_w : int;
+  s_tabs : int list;  (* tab tower: window ids *)
+  s_geoms : (int * int * int) list;  (* visible windows: (id, y, h) *)
+}
+
+and render = {
+  r_scr : Screen.t;
+  mutable r_cols : (csig * wsig array) array;  (* indexed like t.cols *)
+  mutable r_hover : bool;  (* the popup was visible in the last frame *)
+}
+
+and draw_stats = {
+  mutable d_draws : int;  (* draw calls *)
+  mutable d_full : int;  (* frames repainted from scratch *)
+  mutable d_cols : int;  (* whole-column repaints *)
+  mutable d_wins : int;  (* single-window repaints *)
+  mutable d_clean : int;  (* windows left untouched *)
+}
 
 let default_w = 100
 let default_h = 36
@@ -85,6 +126,8 @@ let create ?(w = default_w) ?(h = default_h) ?(place = Hplace.Refined) ns sh =
     expanded = None;
     auto_count = 0;
     executor = None;
+    render = None;
+    stats = { d_draws = 0; d_full = 0; d_cols = 0; d_wins = 0; d_clean = 0 };
   }
 
 let ns t = t.namespace
@@ -186,14 +229,8 @@ let cell_of t win part q =
                    (Hcol.x col + 2 + cx, g.Hcol.g_y + 1 + cy)))
 
 let find_in_body _t win needle =
-  let hay = Htext.string (Hwin.body win) in
-  let n = String.length needle and m = String.length hay in
-  let rec go i =
-    if i + n > m then None
-    else if String.sub hay i n = needle then Some i
-    else go (i + 1)
-  in
-  if n = 0 then None else go 0
+  if needle = "" then None
+  else Hstr.find (Htext.string (Hwin.body win)) ~sub:needle
 
 let show_offset t win q =
   match geom_of t win with
@@ -503,13 +540,11 @@ let do_search t win ~pattern ~literal =
   let _, q1 = Htext.sel ht in
   let find_from pos =
     if literal then begin
-      let n = String.length pattern and m = String.length hay in
-      let rec go i =
-        if i + n > m then None
-        else if String.sub hay i n = pattern then Some (i, i + n)
-        else go (i + 1)
-      in
-      if n = 0 then None else go pos
+      if pattern = "" then None
+      else
+        Option.map
+          (fun i -> (i, i + String.length pattern))
+          (Hstr.find hay ~start:pos ~sub:pattern)
     end
     else
       match Regexp.compile pattern with
@@ -912,67 +947,192 @@ let events t evs = List.iter (event t) evs
 (* ------------------------------------------------------------------ *)
 (* Drawing                                                             *)
 
-let draw t =
-  let scr = Screen.create t.w t.h in
+(* Paint one window (tag row, scroll bar, body) into [scr].  This is
+   the only code that puts window cells on the screen: the full redraw
+   and the damage-tracked repaint both call it, which is what makes
+   them byte-identical by construction. *)
+let paint_window t scr ~cx ~tw g =
   let cursel_ht = Option.map snd t.cursel in
+  let win = g.Hcol.g_win in
+  let gy = g.Hcol.g_y in
+  (* tag row (spans the scroll-bar column too) *)
+  Screen.fill_rect scr ~x:(cx + 1) ~y:gy ~w:(tw + 1) ~h:1 ' ' Screen.Tag;
+  let tag = Hwin.tag win in
+  let tagf = Htext.layout tag ~w:tw ~h:1 in
+  let sel_attr =
+    if cursel_ht == Some (Hwin.tag win) then Screen.Reverse
+    else Screen.Outline
+  in
+  Frame.draw tagf scr ~x:(cx + 2) ~y:gy ~sel:(Htext.sel tag) ~sel_attr;
+  (* body *)
+  if g.Hcol.g_h > 1 then begin
+    let body = Hwin.body win in
+    let body_h = g.Hcol.g_h - 1 in
+    let bodyf = Htext.layout body ~w:tw ~h:body_h in
+    (* scroll bar: track with a thumb covering the visible fraction of
+       the text *)
+    let len = max 1 (Htext.length body) in
+    let frac_top = float_of_int (Frame.org bodyf) /. float_of_int len in
+    let frac_bot = float_of_int (Frame.last bodyf) /. float_of_int len in
+    let th_top = int_of_float (frac_top *. float_of_int body_h) in
+    let th_bot =
+      max (th_top + 1) (int_of_float (ceil (frac_bot *. float_of_int body_h)))
+    in
+    for j = 0 to body_h - 1 do
+      let ch = if j >= th_top && j < th_bot then '|' else ' ' in
+      Screen.set scr ~x:(cx + 1) ~y:(gy + 1 + j) ch Screen.Border
+    done;
+    let sel_attr =
+      if cursel_ht == Some body then Screen.Reverse else Screen.Outline
+    in
+    Frame.draw bodyf scr ~x:(cx + 2) ~y:(gy + 1) ~sel:(Htext.sel body) ~sel_attr
+  end
+
+(* Paint a column's chrome and windows (no hover popup). *)
+let paint_column t scr col geoms =
+  let cx = Hcol.x col in
+  let tw = Hcol.text_w col in
+  (* column tab in the top row *)
+  Screen.set scr ~x:cx ~y:0 '#' Screen.Tab;
+  (* tab tower: one square per window, visible or not *)
+  List.iteri
+    (fun i _win -> Screen.set scr ~x:cx ~y:(1 + i) '#' Screen.Tab)
+    (Hcol.windows col);
+  List.iter (paint_window t scr ~cx ~tw) geoms
+
+(* hovering over a tab square pops the window's name up alongside it —
+   the improvement the paper suggests for the tab problem *)
+let paint_hover t scr col =
+  let cx = Hcol.x col in
+  if t.mx = cx && t.my >= 1 then
+    List.iteri
+      (fun i win ->
+        if t.my = 1 + i then
+          Screen.draw_string scr ~x:(cx + 2) ~y:(1 + i)
+            ("[" ^ Hwin.name win ^ "]")
+            Screen.Outline)
+      (Hcol.windows col)
+
+(* Is the hover popup visible anywhere?  Its cells can spill into the
+   neighbouring column, whose own painting then decides which cells
+   survive — entangling two columns' damage.  The popup only exists
+   while the pointer sits exactly on a tab square, so such frames (and
+   the first frame after) simply repaint everything. *)
+let hover_active t =
+  t.my >= 1
+  && List.exists
+       (fun col ->
+         t.mx = Hcol.x col && t.my - 1 < List.length (Hcol.windows col))
+       t.cols
+
+(* From-scratch render onto a fresh screen: the reference
+   implementation the damage-tracked path is tested against. *)
+let draw_full t =
+  let scr = Screen.create t.w t.h in
   List.iter
     (fun col ->
-      let cx = Hcol.x col in
-      let tw = Hcol.text_w col in
-      (* column tab in the top row *)
-      Screen.set scr ~x:cx ~y:0 '#' Screen.Tab;
-      (* tab tower: one square per window, visible or not *)
-      List.iteri
-        (fun i _win -> Screen.set scr ~x:cx ~y:(1 + i) '#' Screen.Tab)
-        (Hcol.windows col);
-      List.iter
-        (fun g ->
-          let win = g.Hcol.g_win in
-          let gy = g.Hcol.g_y in
-          (* tag row (spans the scroll-bar column too) *)
-          Screen.fill_rect scr ~x:(cx + 1) ~y:gy ~w:(tw + 1) ~h:1 ' ' Screen.Tag;
-          let tag = Hwin.tag win in
-          let tagf = Htext.layout tag ~w:tw ~h:1 in
-          let sel_attr =
-            if cursel_ht == Some (Hwin.tag win) then Screen.Reverse
-            else Screen.Outline
-          in
-          Frame.draw tagf scr ~x:(cx + 2) ~y:gy ~sel:(Htext.sel tag) ~sel_attr;
-          (* body *)
-          if g.Hcol.g_h > 1 then begin
-            let body = Hwin.body win in
-            let body_h = g.Hcol.g_h - 1 in
-            let bodyf = Htext.layout body ~w:tw ~h:body_h in
-            (* scroll bar: track with a thumb covering the visible
-               fraction of the text *)
-            let len = max 1 (Htext.length body) in
-            let frac_top = float_of_int (Frame.org bodyf) /. float_of_int len in
-            let frac_bot = float_of_int (Frame.last bodyf) /. float_of_int len in
-            let th_top = int_of_float (frac_top *. float_of_int body_h) in
-            let th_bot =
-              max (th_top + 1)
-                (int_of_float (ceil (frac_bot *. float_of_int body_h)))
-            in
-            for j = 0 to body_h - 1 do
-              let ch = if j >= th_top && j < th_bot then '|' else ' ' in
-              Screen.set scr ~x:(cx + 1) ~y:(gy + 1 + j) ch Screen.Border
-            done;
-            let sel_attr =
-              if cursel_ht == Some body then Screen.Reverse else Screen.Outline
-            in
-            Frame.draw bodyf scr ~x:(cx + 2) ~y:(gy + 1) ~sel:(Htext.sel body)
-              ~sel_attr
-          end)
-        (Hcol.geoms col ~h:t.h);
-      (* hovering over a tab square pops the window's name up alongside
-         it — the improvement the paper suggests for the tab problem *)
-      if t.mx = cx && t.my >= 1 then
-        List.iteri
-          (fun i win ->
-            if t.my = 1 + i then
-              Screen.draw_string scr ~x:(cx + 2) ~y:(1 + i)
-                ("[" ^ Hwin.name win ^ "]")
-                Screen.Outline)
-          (Hcol.windows col))
+      paint_column t scr col (Hcol.geoms col ~h:t.h);
+      paint_hover t scr col)
     t.cols;
   scr
+
+let col_sig col geoms =
+  {
+    s_x = Hcol.x col;
+    s_w = Hcol.w col;
+    s_tabs = List.map Hwin.id (Hcol.windows col);
+    s_geoms =
+      List.map
+        (fun g -> (Hwin.id g.Hcol.g_win, g.Hcol.g_y, g.Hcol.g_h))
+        geoms;
+  }
+
+let win_sig t g =
+  let win = g.Hcol.g_win in
+  let tag = Hwin.tag win and body = Hwin.body win in
+  let cur ht = match t.cursel with Some (_, h) -> h == ht | None -> false in
+  {
+    s_tag = Htext.view_gen tag;
+    s_body = Htext.view_gen body;
+    s_cur_tag = cur tag;
+    s_cur_body = cur body;
+  }
+
+let repaint_all t r hover =
+  t.stats.d_full <- t.stats.d_full + 1;
+  Screen.clear r.r_scr;
+  List.iter
+    (fun col ->
+      paint_column t r.r_scr col (Hcol.geoms col ~h:t.h);
+      paint_hover t r.r_scr col)
+    t.cols;
+  r.r_cols <-
+    Array.of_list
+      (List.map
+         (fun col ->
+           let geoms = Hcol.geoms col ~h:t.h in
+           (col_sig col geoms, Array.of_list (List.map (win_sig t) geoms)))
+         t.cols);
+  r.r_hover <- hover
+
+(* Bring the persistent screen up to date, repainting only what the
+   signatures say changed, and return it (borrowed: valid until the
+   next draw). *)
+let redraw t =
+  t.stats.d_draws <- t.stats.d_draws + 1;
+  let r, fresh =
+    match t.render with
+    | Some r -> (r, false)
+    | None ->
+        let r =
+          { r_scr = Screen.create t.w t.h; r_cols = [||]; r_hover = false }
+        in
+        t.render <- Some r;
+        repaint_all t r (hover_active t);
+        (r, true)
+  in
+  (if not fresh then
+     let hover = hover_active t in
+     if hover || r.r_hover || List.length t.cols <> Array.length r.r_cols then
+       repaint_all t r hover
+     else
+       List.iteri
+         (fun ci col ->
+           let geoms = Hcol.geoms col ~h:t.h in
+           let cs = col_sig col geoms in
+           let ws = Array.of_list (List.map (win_sig t) geoms) in
+           let old_cs, old_ws = r.r_cols.(ci) in
+           if cs <> old_cs then begin
+             t.stats.d_cols <- t.stats.d_cols + 1;
+             Screen.fill_rect r.r_scr ~x:cs.s_x ~y:0 ~w:cs.s_w ~h:t.h ' '
+               Screen.Plain;
+             paint_column t r.r_scr col geoms
+           end
+           else begin
+             let cx = Hcol.x col in
+             let tw = Hcol.text_w col in
+             List.iteri
+               (fun wi g ->
+                 if ws.(wi) = old_ws.(wi) then
+                   t.stats.d_clean <- t.stats.d_clean + 1
+                 else begin
+                   t.stats.d_wins <- t.stats.d_wins + 1;
+                   (* the window's rectangle: tag row through body,
+                      scroll bar included, tab tower excluded *)
+                   Screen.fill_rect r.r_scr ~x:(cx + 1) ~y:g.Hcol.g_y
+                     ~w:(cs.s_w - 1) ~h:g.Hcol.g_h ' ' Screen.Plain;
+                   paint_window t r.r_scr ~cx ~tw g
+                 end)
+               geoms
+           end;
+           r.r_cols.(ci) <- (cs, ws))
+         t.cols);
+  r.r_scr
+
+(* Render the screen.  Incremental under the hood; the returned screen
+   is a snapshot the caller may keep across further draws. *)
+let draw t = Screen.copy (redraw t)
+
+let draw_stats t =
+  (t.stats.d_draws, t.stats.d_full, t.stats.d_cols, t.stats.d_wins,
+   t.stats.d_clean)

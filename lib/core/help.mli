@@ -118,8 +118,27 @@ val snarf_buffer : t -> string
 
 (** {1 Geometry, drawing, and scripted pointing} *)
 
-(** Render the screen. *)
+(** Render the screen.  Incremental under the hood: a persistent screen
+    is kept and only windows whose damage signature changed (edits,
+    selection or origin moves, geometry, the hover popup) are
+    repainted.  The result is an independent snapshot the caller may
+    keep across further draws. *)
 val draw : t -> Screen.t
+
+(** Like {!draw} but returns the live persistent screen without
+    snapshotting it — valid only until the next draw.  This is the
+    zero-copy path for an interactive main loop (pair with
+    {!Screen.diff} to ship damage to a remote display). *)
+val redraw : t -> Screen.t
+
+(** From-scratch render onto a fresh screen, bypassing damage tracking.
+    Reference implementation for tests and benchmarks; [draw] is
+    guaranteed byte-identical to it. *)
+val draw_full : t -> Screen.t
+
+(** Cumulative counters [(draws, full_repaints, column_repaints,
+    window_repaints, windows_skipped)] since {!create}. *)
+val draw_stats : t -> int * int * int * int * int
 
 (** Screen cell of a text offset in a window's body ([`Body]) or tag
     ([`Tag]); [None] when not visible. *)

@@ -1,9 +1,16 @@
+(* A single-entry layout cache.  [c_gen] is the buffer generation the
+   frame was computed at; equal generation + origin + box means the
+   frame is still exact, so redraws of unchanged windows skip
+   [Frame.layout] entirely. *)
+type cache = { c_gen : int; c_org : int; c_w : int; c_h : int; c_frame : Frame.t }
+
 type t = {
   buf : Buffer0.t;
   mutable org : int;
   mutable q0 : int;
   mutable q1 : int;
-  mutable frame : Frame.t option;
+  mutable vgen : int;  (* bumped whenever the view could look different *)
+  mutable cache : cache option;
 }
 
 (* Shift a view position right by inserts / left by deletes that land
@@ -17,28 +24,40 @@ let adjust_pos ~inclusive pos = function
       if at + len <= pos then pos - len else if at < pos then at else pos
 
 let create buf =
-  let t = { buf; org = 0; q0 = 0; q1 = 0; frame = None } in
+  let t = { buf; org = 0; q0 = 0; q1 = 0; vgen = 0; cache = None } in
   Buffer0.on_edit buf (fun e ->
       t.org <- adjust_pos ~inclusive:false t.org e;
       t.q0 <- adjust_pos ~inclusive:true t.q0 e;
       t.q1 <- adjust_pos ~inclusive:true t.q1 e;
-      t.frame <- None);
+      t.vgen <- t.vgen + 1);
   t
 
 let buffer t = t.buf
 let length t = Buffer0.length t.buf
 let string t = Buffer0.to_string t.buf
 let sel t = (t.q0, t.q1)
+let view_gen t = t.vgen
+let touch t = t.vgen <- t.vgen + 1
 
 let clamp t q = max 0 (min q (length t))
 
 let set_sel t q0 q1 =
   let q0 = clamp t q0 and q1 = clamp t q1 in
-  t.q0 <- min q0 q1;
-  t.q1 <- max q0 q1
+  let q0, q1 = (min q0 q1, max q0 q1) in
+  if q0 <> t.q0 || q1 <> t.q1 then begin
+    t.q0 <- q0;
+    t.q1 <- q1;
+    t.vgen <- t.vgen + 1
+  end
 
 let org t = t.org
-let set_org t o = t.org <- clamp t o
+
+let set_org t o =
+  let o = clamp t o in
+  if o <> t.org then begin
+    t.org <- o;
+    t.vgen <- t.vgen + 1
+  end
 
 let read t q0 q1 =
   let q0 = clamp t q0 and q1 = clamp t (max q0 q1) in
@@ -65,11 +84,22 @@ let paste t s =
   t.q1 <- q0 + String.length s
 
 let layout t ~w ~h =
-  let f = Frame.layout (Buffer0.text t.buf) ~org:t.org ~w ~h in
-  t.frame <- Some f;
-  f
+  let gen = Buffer0.generation t.buf in
+  match t.cache with
+  | Some c when c.c_gen = gen && c.c_org = t.org && c.c_w = w && c.c_h = h ->
+      c.c_frame
+  | _ ->
+      let f = Frame.layout (Buffer0.text t.buf) ~org:t.org ~w ~h in
+      t.cache <- Some { c_gen = gen; c_org = t.org; c_w = w; c_h = h; c_frame = f };
+      f
 
-let last_frame t = t.frame
+(* Like the original mutable-[frame] field: the most recent layout,
+   still reported after origin moves (callers re-layout before trusting
+   geometry) but dropped once the text changes under it. *)
+let last_frame t =
+  match t.cache with
+  | Some c when c.c_gen = Buffer0.generation t.buf -> Some c.c_frame
+  | _ -> None
 
 let line_start_of t q =
   let text = Buffer0.text t.buf in
@@ -86,7 +116,7 @@ let show t ~w ~h q =
     let target_line = Rope.line_of_offset text q in
     let first = max 1 (target_line - (h / 3)) in
     let org = try Rope.line_start text first with Not_found -> 0 in
-    t.org <- org;
+    set_org t org;
     ignore (layout t ~w ~h)
   end
 

@@ -44,22 +44,12 @@ let put_token = " Put!"
 
 let sync_put_token t =
   let line = tag_text t in
-  let has =
-    let n = String.length line and m = String.length put_token in
-    let rec find i = i + m <= n && (String.sub line i m = put_token || find (i + 1)) in
-    find 0
-  in
+  let at = Hstr.find line ~sub:put_token in
   let want = dirty t in
-  if want && not has then set_tag t (line ^ put_token)
-  else if (not want) && has then begin
-    (* remove the first occurrence *)
-    let n = String.length line and m = String.length put_token in
-    let rec pos i =
-      if i + m > n then None
-      else if String.sub line i m = put_token then Some i
-      else pos (i + 1)
-    in
-    match pos 0 with
-    | Some i -> set_tag t (String.sub line 0 i ^ String.sub line (i + m) (n - i - m))
-    | None -> ()
-  end
+  match (want, at) with
+  | true, None -> set_tag t (line ^ put_token)
+  | false, Some i ->
+      (* remove the first occurrence *)
+      let n = String.length line and m = String.length put_token in
+      set_tag t (String.sub line 0 i ^ String.sub line (i + m) (n - i - m))
+  | _ -> ()

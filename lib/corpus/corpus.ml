@@ -140,10 +140,7 @@ let line_of ns path needle =
   let rec go i = function
     | [] -> raise Not_found
     | line :: rest ->
-        let nl = String.length line and np = String.length needle in
-        let rec find j =
-          j + np <= nl && (String.sub line j np = needle || find (j + 1))
-        in
-        if np > 0 && find 0 then i else go (i + 1) rest
+        if needle <> "" && Hstr.contains line ~sub:needle then i
+        else go (i + 1) rest
   in
   go 1 (String.split_on_char '\n' text)

@@ -69,8 +69,28 @@ let dump_attrs s =
   done;
   Buffer.contents b
 
-let contains s needle =
-  let hay = dump s in
-  let n = String.length needle and m = String.length hay in
-  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
-  n = 0 || go 0
+let contains s needle = Hstr.contains (dump s) ~sub:needle
+
+let copy s =
+  { w = s.w; h = s.h; chars = Bytes.copy s.chars; attrs = Array.copy s.attrs }
+
+let blit ~src ~dst =
+  if src.w <> dst.w || src.h <> dst.h then invalid_arg "Screen.blit";
+  Bytes.blit src.chars 0 dst.chars 0 (Bytes.length src.chars);
+  Array.blit src.attrs 0 dst.attrs 0 (Array.length src.attrs)
+
+let diff a b =
+  if a.w <> b.w || a.h <> b.h then invalid_arg "Screen.diff";
+  let out = ref [] in
+  for y = b.h - 1 downto 0 do
+    for x = b.w - 1 downto 0 do
+      let i = (y * b.w) + x in
+      let ch = Bytes.get b.chars i and at = b.attrs.(i) in
+      if ch <> Bytes.get a.chars i || at <> a.attrs.(i) then
+        out := (x, y, ch, at) :: !out
+    done
+  done;
+  !out
+
+let equal a b =
+  a.w = b.w && a.h = b.h && Bytes.equal a.chars b.chars && a.attrs = b.attrs

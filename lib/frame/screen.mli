@@ -44,3 +44,18 @@ val row_text : t -> int -> string
 
 (** Does [needle] appear anywhere in the dumped text? *)
 val contains : t -> string -> bool
+
+(** Independent snapshot of the screen. *)
+val copy : t -> t
+
+(** [blit ~src ~dst] overwrites [dst] with [src]'s cells.  The screens
+    must have equal dimensions. *)
+val blit : src:t -> dst:t -> unit
+
+(** [diff old now] lists the cells of [now] that differ from [old], in
+    row-major order, as [(x, y, char, attr)].  Raises [Invalid_argument]
+    on a dimension mismatch.  This is the damage a remote display would
+    need to catch up. *)
+val diff : t -> t -> (int * int * char * attr) list
+
+val equal : t -> t -> bool

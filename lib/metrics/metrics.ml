@@ -102,10 +102,56 @@ let visible_text win =
   in
   tag ^ "\n" ^ body
 
-let connectivity help =
+let actionable sh ~dir tok =
+  String.contains tok '/'
+  || looks_like_address tok
+  || looks_like_source tok
+  || List.mem tok builtins
+  || (String.length tok > 1 && Rc.resolve sh ~cwd:dir tok <> None)
+
+(* Per-window memo of the (token, actionable?) list.  [Rc.resolve] per
+   token is the expensive part; an unchanged window re-contributes its
+   scored tokens for free.  Validity: the tag and body view generations
+   (text, selection, origin), the visible body span (catches column
+   resizes, which change the span without touching the views), and the
+   namespace mutation generation (resolution reads the namespace) — the
+   whole cache is flushed when the latter moves.  Changes to the
+   shell's [$path] variable itself are not tracked; callers mutating it
+   should use a fresh cache. *)
+type conn_entry = {
+  ce_tag : int;
+  ce_body : int;
+  ce_span : int * int;
+  ce_dir : string;
+  ce_toks : (string * bool) list;  (* (token, actionable) *)
+}
+
+type conn_cache = {
+  mutable cc_gen : int;  (* namespace generation the entries assume *)
+  cc_wins : (int, conn_entry) Hashtbl.t;
+  mutable cc_hits : int;
+  mutable cc_misses : int;
+}
+
+let create_conn_cache () =
+  { cc_gen = -1; cc_wins = Hashtbl.create 32; cc_hits = 0; cc_misses = 0 }
+
+let conn_cache_stats c = (c.cc_hits, c.cc_misses)
+
+let body_span win =
+  match Htext.last_frame (Hwin.body win) with
+  | Some f -> (Frame.org f, Frame.last f)
+  | None -> (0, 0)
+
+let connectivity ?cache help =
   (* Drawing refreshes every frame so "visible" is current. *)
   let _ = Help.draw help in
   let sh = Help.shell help in
+  (match cache with
+  | Some c when c.cc_gen <> Vfs.generation (Help.ns help) ->
+      Hashtbl.reset c.cc_wins;
+      c.cc_gen <- Vfs.generation (Help.ns help)
+  | _ -> ());
   let seen = Hashtbl.create 64 in
   let count = ref 0 in
   List.iter
@@ -114,22 +160,45 @@ let connectivity help =
         (fun g ->
           let win = g.Hcol.g_win in
           let dir = Hwin.dir win in
+          let score () =
+            List.map
+              (fun tok -> (tok, actionable sh ~dir tok))
+              (tokens_of (visible_text win))
+          in
+          let toks =
+            match cache with
+            | None -> score ()
+            | Some c -> (
+                let tag_gen = Htext.view_gen (Hwin.tag win) in
+                let body_gen = Htext.view_gen (Hwin.body win) in
+                let span = body_span win in
+                match Hashtbl.find_opt c.cc_wins (Hwin.id win) with
+                | Some e
+                  when e.ce_tag = tag_gen && e.ce_body = body_gen
+                       && e.ce_span = span && e.ce_dir = dir ->
+                    c.cc_hits <- c.cc_hits + 1;
+                    e.ce_toks
+                | _ ->
+                    c.cc_misses <- c.cc_misses + 1;
+                    let toks = score () in
+                    Hashtbl.replace c.cc_wins (Hwin.id win)
+                      {
+                        ce_tag = tag_gen;
+                        ce_body = body_gen;
+                        ce_span = span;
+                        ce_dir = dir;
+                        ce_toks = toks;
+                      };
+                    toks)
+          in
           List.iter
-            (fun tok ->
+            (fun (tok, act) ->
               let key = (dir, tok) in
               if not (Hashtbl.mem seen key) then begin
                 Hashtbl.add seen key ();
-                let actionable =
-                  String.contains tok '/'
-                  || looks_like_address tok
-                  || looks_like_source tok
-                  || List.mem tok builtins
-                  || (String.length tok > 1
-                     && Rc.resolve sh ~cwd:dir tok <> None)
-                in
-                if actionable then incr count
+                if act then incr count
               end)
-            (tokens_of (visible_text win)))
+            toks)
         (Hcol.geoms col ~h:(Help.height help)))
     (Help.columns help);
   !count

@@ -41,10 +41,25 @@ val add : counts -> counts -> counts
     is created ... it is filled with text that points to new and old
     text, and a kind of exponential connectivity results." *)
 
+(** Memo of per-window token scans for {!connectivity}.  Entries are
+    keyed on window id and validated against the tag/body view
+    generations and visible span; the whole cache is flushed when the
+    namespace mutation generation moves (token actionability consults
+    the namespace).  Mutating the shell's [$path] directly is not
+    tracked — use a fresh cache after doing so. *)
+type conn_cache
+
+val create_conn_cache : unit -> conn_cache
+
+(** [(hits, misses)] — window scans served from cache vs. recomputed. *)
+val conn_cache_stats : conn_cache -> int * int
+
 (** Distinct actionable tokens visible on screen: paths, file:line
     addresses, built-in command words, and words that resolve to
-    executables in the window's context. *)
-val connectivity : Help.t -> int
+    executables in the window's context.  [?cache] makes repeated calls
+    over a mostly-unchanged screen cheap; the result is identical with
+    or without it. *)
+val connectivity : ?cache:conn_cache -> Help.t -> int
 
 (** Number of visible windows. *)
 val visible_windows : Help.t -> int

@@ -153,10 +153,5 @@ let demo () =
   run "mk";
 
   let disk = Vfs.read_file ns (Corpus.src_dir ^ "/exec.c") in
-  let still_there =
-    let needle = "\tn = 0;" in
-    let n = String.length needle and m = String.length disk in
-    let rec f i = i + n <= m && (String.sub disk i n = needle || f (i + 1)) in
-    f 0
-  in
+  let still_there = Hstr.contains disk ~sub:"\tn = 0;" in
   (t, not still_there)

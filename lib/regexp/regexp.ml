@@ -152,7 +152,7 @@ type t = { pattern : string; states : trans array; start : int }
 
 let pattern re = re.pattern
 
-let compile pat =
+let compile_uncached pat =
   let ast = parse pat in
   let states = ref (Array.make 16 T_match) in
   let count = ref 0 in
@@ -199,6 +199,39 @@ let compile pat =
   let match_id = emit T_match in
   let start = go ast match_id in
   { pattern = pat; states = Array.sub !states 0 !count; start }
+
+(* Compilation memo.  Address evaluation and searches re-compile the
+   same handful of patterns on every interaction, so a small LRU pays
+   for itself; compiled programs are immutable and safely shared.
+   Capacity is bounded so pathological pattern churn cannot hold memory;
+   eviction scans the table, which at 64 entries is cheaper than
+   maintaining a recency list.  Parse errors escape and are not
+   cached. *)
+let lru_capacity = 64
+let lru_tick = ref 0
+let lru : (string, t * int ref) Hashtbl.t = Hashtbl.create 64
+
+let compile pat =
+  incr lru_tick;
+  match Hashtbl.find_opt lru pat with
+  | Some (re, stamp) ->
+      stamp := !lru_tick;
+      re
+  | None ->
+      let re = compile_uncached pat in
+      if Hashtbl.length lru >= lru_capacity then begin
+        let victim =
+          Hashtbl.fold
+            (fun k (_, s) acc ->
+              match acc with
+              | Some (_, best) when best <= !s -> acc
+              | _ -> Some (k, !s))
+            lru None
+        in
+        match victim with Some (k, _) -> Hashtbl.remove lru k | None -> ()
+      end;
+      Hashtbl.add lru pat (re, ref !lru_tick);
+      re
 
 let in_class c neg ranges =
   let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in

@@ -10,8 +10,14 @@ type t
 
 exception Parse_error of string
 
-(** Compile a pattern.  @raise Parse_error on malformed input. *)
+(** Compile a pattern.  Memoized behind a small LRU (compiled programs
+    are immutable): recompiling a recently seen pattern returns the
+    same value, so interactive searches pay the NFA construction once.
+    @raise Parse_error on malformed input (never cached). *)
 val compile : string -> t
+
+(** Compile without consulting the memo (benchmark baseline). *)
+val compile_uncached : string -> t
 
 (** Original pattern text. *)
 val pattern : t -> string

@@ -8,6 +8,7 @@ type prim =
 type t = {
   mutable name : string;
   mutable text : Rope.t;
+  mutable gen : int;  (* bumped on every applied edit, incl. undo/redo *)
   mutable dirty : bool;
   mutable undo_log : prim list list;  (* groups, newest first *)
   mutable redo_log : prim list list;
@@ -19,6 +20,7 @@ let create ?(name = "") s =
   {
     name;
     text = Rope.of_string s;
+    gen = 0;
     dirty = false;
     undo_log = [];
     redo_log = [];
@@ -35,17 +37,20 @@ let dirty b = b.dirty
 let clean b = b.dirty <- false
 let taint b = b.dirty <- true
 let on_edit b f = b.observers <- b.observers @ [ f ]
+let generation b = b.gen
 
 let notify b e = List.iter (fun f -> f e) b.observers
 
 let apply_insert b pos s =
   b.text <- Rope.insert b.text pos s;
+  b.gen <- b.gen + 1;
   b.dirty <- true;
   notify b (Inserted (pos, String.length s))
 
 let apply_delete b pos len =
   let removed = Rope.to_substring b.text pos len in
   b.text <- Rope.delete b.text pos len;
+  b.gen <- b.gen + 1;
   b.dirty <- true;
   notify b (Deleted (pos, len));
   removed

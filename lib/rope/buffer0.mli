@@ -55,4 +55,9 @@ val redo : t -> edit list
     (including those performed by undo/redo). *)
 val on_edit : t -> (edit -> unit) -> unit
 
+(** Monotonic edit counter: bumped once per applied edit (including
+    undo/redo primitives).  Equal generations imply equal text, so it is
+    a sound cache key for layout and analysis results. *)
+val generation : t -> int
+
 val read : t -> int -> int -> string

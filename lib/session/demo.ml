@@ -14,6 +14,7 @@ let run ?w ?(h = 48) ?(keep_screens = true) ?remote () =
   let ns = t.Session.ns in
   let src = Corpus.src_dir in
   let steps = ref [] in
+  let conn_cache = Metrics.create_conn_cache () in
   let snap label =
     let counts = Metrics.mark t.Session.metrics label in
     let dump = if keep_screens then Session.dump t else "" in
@@ -22,7 +23,7 @@ let run ?w ?(h = 48) ?(keep_screens = true) ?remote () =
         s_label = label;
         s_dump = dump;
         s_counts = counts;
-        s_connectivity = Metrics.connectivity t.Session.help;
+        s_connectivity = Metrics.connectivity ~cache:conn_cache t.Session.help;
       }
       :: !steps
   in

@@ -245,13 +245,11 @@ let exec_word t w needle =
 
 let exec_tag_word t w needle =
   let tagtext = Hwin.tag_text w in
-  let rec find i =
-    let n = String.length needle and m = String.length tagtext in
-    if i + n > m then invalid_arg ("Session: " ^ needle ^ " not in tag")
-    else if String.sub tagtext i n = needle then i
-    else find (i + 1)
+  let q =
+    match Hstr.find tagtext ~sub:needle with
+    | Some i -> i
+    | None -> invalid_arg ("Session: " ^ needle ^ " not in tag")
   in
-  let q = find 0 in
   let _ = Help.draw t.help in
   match Help.cell_of t.help w `Tag q with
   | Some (x, y) -> Help.events t.help [ Move (x, y); Press Middle; Release Middle ]

@@ -78,10 +78,16 @@ type t = {
   mutable mounts : (string list * filesystem list ref) list;
       (* longest prefixes first; each point is a union stack *)
   mutable root : filesystem option;  (* set right after creation *)
+  mutable mutations : int;
+      (* bumped on every namespace mutation (writes, creates, removes,
+         mounts) but not on reads or opens — unlike [clock], so it is a
+         usable invalidation key for caches over namespace contents *)
 }
 
 let now t = t.clock
 let tick t = t.clock <- t.clock + 1
+let generation t = t.mutations
+let mutated t = t.mutations <- t.mutations + 1
 
 (* ------------------------------------------------------------------ *)
 (* RAM file system                                                     *)
@@ -201,7 +207,7 @@ let ramfs t =
   { fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
 
 let create () =
-  let t = { clock = 0; mounts = []; root = None } in
+  let t = { clock = 0; mounts = []; root = None; mutations = 0 } in
   let root = ramfs t in
   t.root <- Some root;
   t.mounts <- [ ([], ref [ root ]) ];
@@ -233,6 +239,7 @@ let resolve t path =
   | None -> assert false (* root mount always matches *)
 
 let mount t path fs =
+  mutated t;
   let comps = split_path path in
   match List.assoc_opt comps t.mounts with
   | Some stack -> stack := [ fs ]
@@ -251,6 +258,7 @@ let rebase fs prefix =
   }
 
 let bind_after t path fs =
+  mutated t;
   let comps = split_path path in
   match List.assoc_opt comps t.mounts with
   | Some stack -> stack := !stack @ [ fs ]
@@ -327,6 +335,7 @@ let read_file t path =
 
 let write_file t path data =
   tick t;
+  mutated t;
   let stack, rest = resolve t path in
   let f =
     try union_find stack (fun fs -> fs.fs_open rest Write ~trunc:true)
@@ -348,6 +357,7 @@ let write_file t path data =
 
 let append_file t path data =
   tick t;
+  mutated t;
   let stack, rest = resolve t path in
   let f, off =
     try
@@ -371,6 +381,7 @@ let append_file t path data =
 
 let mkdir t path =
   tick t;
+  mutated t;
   let stack, rest = resolve t path in
   let rec create_in = function
     | [] -> err Eperm
@@ -394,6 +405,7 @@ let mkdir_p t path =
 
 let remove t path =
   tick t;
+  mutated t;
   let stack, rest = resolve t path in
   union_find stack (fun fs -> fs.fs_remove rest)
 
@@ -474,6 +486,7 @@ let open_file t path mode =
 
 let create_file t path =
   tick t;
+  mutated t;
   if not (exists t path) then begin
     let stack, rest = resolve t path in
     let rec create_in = function
@@ -494,6 +507,7 @@ let read h count =
 
 let write h data =
   tick h.ns;
+  mutated h.ns;
   let n = h.file.of_write ~off:h.pos data in
   h.pos <- h.pos + n
 

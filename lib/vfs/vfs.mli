@@ -61,6 +61,12 @@ val now : t -> int
 
 val tick : t -> unit
 
+(** Monotonic mutation counter: bumped by writes, creates, removes and
+    mounts, but not by reads or opens (unlike the {!now} clock).  An
+    unchanged generation means namespace contents are unchanged, so
+    caches over them (e.g. command resolution) are still valid. *)
+val generation : t -> int
+
 (** {1 Mount table} *)
 
 (** [mount t path fs] attaches [fs] at [path], replacing anything bound
