@@ -1,8 +1,10 @@
 #!/bin/sh
-# Smoke gate for the bench harness: build, run the test suites, then
-# run the experiment sections (quick mode skips E10 + microbenches).
+# Smoke gate for the bench harness: build, run the test suites, check
+# the observability pipeline, then run the experiment sections (quick
+# mode skips E10 + microbenches).
 set -e
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+dune exec bench/main.exe -- trace-smoke
 dune exec bench/main.exe -- quick

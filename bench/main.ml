@@ -33,20 +33,43 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* The caches report to the global observability registry as the
+   sections run; their hit-rates go into the ledger alongside the
+   timings. *)
+let cache_hit_rates () =
+  List.filter_map
+    (fun (label, hit, miss) ->
+      match (Trace.find_value hit, Trace.find_value miss) with
+      | Some h, Some m when h + m > 0 ->
+          Some (label, float_of_int h /. float_of_int (h + m))
+      | _ -> None)
+    [
+      ("help.layout", "help.layout.hit", "help.layout.miss");
+      ("cbr.unit", "cbr.unit.hit", "cbr.unit.miss");
+      ("regexp.compile", "regexp.compile.hit", "regexp.compile.miss");
+      ("metrics.conn", "metrics.conn.hit", "metrics.conn.miss");
+    ]
+
 let write_json path =
   let oc = open_out path in
-  let table entries =
+  let table ?(fmt = format_of_string "%.3f") entries =
     String.concat ",\n"
       (List.map
-         (fun (k, v) -> Printf.sprintf "    \"%s\": %.3f" (json_escape k) v)
-         (List.rev entries))
+         (fun (k, v) ->
+           Printf.sprintf "    \"%s\": %s" (json_escape k)
+             (Printf.sprintf fmt v))
+         entries)
   in
+  let rates = cache_hit_rates () in
   Printf.fprintf oc
-    "{\n  \"schema\": \"help-bench-1\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \"e10_ms\": {\n%s\n  }\n}\n"
-    (table !j_e7) (table !j_e10);
+    "{\n  \"schema\": \"help-bench-2\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
+     \"e10_ms\": {\n%s\n  },\n  \"cache_hit_rates\": {\n%s\n  }\n}\n"
+    (table (List.rev !j_e7))
+    (table (List.rev !j_e10))
+    (table ~fmt:(format_of_string "%.4f") rates);
   close_out oc;
-  Printf.printf "\nwrote %s (%d e7 rows, %d e10 rows)\n" path
-    (List.length !j_e7) (List.length !j_e10)
+  Printf.printf "\nwrote %s (%d e7 rows, %d e10 rows, %d hit-rates)\n" path
+    (List.length !j_e7) (List.length !j_e10) (List.length rates)
 
 (* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
@@ -617,8 +640,62 @@ let e10_scale () =
   row "nothing on the interactive path grows past a few milliseconds.\n"
 
 (* ------------------------------------------------------------------ *)
+(* trace-smoke: the observability gate.  Boot a session, read the
+   ledger back through the paper's own interface, replay the figure
+   session, and validate the Chrome export.  Exits nonzero on any
+   failure so check.sh can gate on it. *)
+
+let trace_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let t = Session.boot () in
+  ignore (Session.screen t);
+  (* one read through the mount first: stats snapshots at open, so the
+     reads fetching it are not yet in its own content *)
+  ignore (Rc.run t.Session.sh "cat /mnt/help/index");
+  let stats = Rc.run t.Session.sh "cat /mnt/help/stats" in
+  check "cat /mnt/help/stats succeeds" (stats.Rc.r_status = 0);
+  let nonzero key =
+    List.exists
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i -> (
+            String.sub line 0 i = key
+            &&
+            match
+              int_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some v -> v > 0
+            | None -> false)
+        | None -> false)
+      (String.split_on_char '\n' stats.Rc.r_out)
+  in
+  List.iter
+    (fun k -> check ("stats shows nonzero " ^ k) (nonzero k))
+    [
+      "help.draw.draws"; "help.layout.miss"; "nine.rpc.walk"; "nine.rpc.read";
+      "rc.runs"; "vfs.walk";
+    ];
+  let tr = Rc.run t.Session.sh "cat /mnt/help/trace" in
+  check "cat /mnt/help/trace succeeds"
+    (tr.Rc.r_status = 0 && String.length tr.Rc.r_out > 0);
+  ignore (Demo.run ~keep_screens:false ());
+  let spans, _ = Trace.drain () in
+  check "figure replay produced spans" (spans <> []);
+  check "chrome export is well-formed JSON"
+    (Jsonv.well_formed (Trace.spans_json spans));
+  match List.rev !failed with
+  | [] ->
+      Printf.printf "trace-smoke: ok (%d spans from the figure replay)\n"
+        (List.length spans);
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "trace-smoke FAIL: %s\n" f) fs;
+      exit 1
 
 let () =
+  if Array.exists (fun a -> a = "trace-smoke") Sys.argv then trace_smoke ();
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json_path =
     let n = Array.length Sys.argv in

@@ -77,12 +77,23 @@ let preprocess ns ~dir path =
    also makes edits to headers invalidate every includer for free. *)
 type index = {
   units : (string, Digest.t * C_symbols.cunit) Hashtbl.t;  (* by file *)
-  mutable hits : int;
-  mutable misses : int;
+  base : int * int;  (* registry (hit, miss) at creation *)
 }
 
-let create_index () = { units = Hashtbl.create 16; hits = 0; misses = 0 }
-let index_stats idx = (idx.hits, idx.misses)
+(* The unit-cache ledger lives in the global observability registry;
+   an index snapshots it at creation and [index_stats] reports deltas
+   (process-wide if several indexes run interleaved). *)
+let m_hit = Trace.counter "cbr.unit.hit"
+let m_miss = Trace.counter "cbr.unit.miss"
+let m_link_us = Trace.histogram "cbr.link.us"
+
+let create_index () =
+  { units = Hashtbl.create 16;
+    base = (Trace.value m_hit, Trace.value m_miss) }
+
+let index_stats idx =
+  let bh, bm = idx.base in
+  (Trace.value m_hit - bh, Trace.value m_miss - bm)
 
 let analyze ?index ns ~cwd files =
   match index with
@@ -98,6 +109,8 @@ let analyze ?index ns ~cwd files =
       C_symbols.finish st
   | Some idx ->
       (* incremental path: per-unit parses from the cache, then link *)
+      Trace.with_span_result "cbr.analyze" (fun () ->
+      let h0 = Trace.value m_hit and m0 = Trace.value m_miss in
       let typedefs = ref [] in  (* inherited names, newest first *)
       let units =
         List.map
@@ -111,10 +124,10 @@ let analyze ?index ns ~cwd files =
             let u =
               match Hashtbl.find_opt idx.units file with
               | Some (k, u) when k = key ->
-                  idx.hits <- idx.hits + 1;
+                  Trace.incr m_hit;
                   u
               | _ ->
-                  idx.misses <- idx.misses + 1;
+                  Trace.incr m_miss;
                   let toks = C_lexer.tokenize ~file text in
                   let u =
                     C_symbols.parse_unit_isolated ~typedefs:!typedefs toks
@@ -126,7 +139,18 @@ let analyze ?index ns ~cwd files =
             u)
           files
       in
-      C_symbols.link units
+      (* the replay/link step, timed on its own *)
+      let program =
+        Trace.with_span "cbr.link" (fun () ->
+            let t0 = Trace.now_us () in
+            let program = C_symbols.link units in
+            Trace.observe m_link_us (Trace.now_us () - t0);
+            program)
+      in
+      ( program,
+        [ ("units", string_of_int (List.length files));
+          ("hit", string_of_int (Trace.value m_hit - h0));
+          ("miss", string_of_int (Trace.value m_miss - m0)) ] ))
 
 let file_eq a b =
   let strip s = if starts_with "./" s then String.sub s 2 (String.length s - 2) else s in

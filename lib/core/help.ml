@@ -55,7 +55,8 @@ type t = {
          shell — the paper's "invisible call to the CPU server" *)
   mutable render : render option;
       (* persistent screen + damage signatures; None until first draw *)
-  stats : draw_stats;
+  stats_base : int * int * int * int * int;
+      (* registry values at creation; draw_stats reports deltas *)
 }
 
 and executor = cwd:string -> helpsel:string list -> string -> Rc.result
@@ -90,13 +91,19 @@ and render = {
   mutable r_hover : bool;  (* the popup was visible in the last frame *)
 }
 
-and draw_stats = {
-  mutable d_draws : int;  (* draw calls *)
-  mutable d_full : int;  (* frames repainted from scratch *)
-  mutable d_cols : int;  (* whole-column repaints *)
-  mutable d_wins : int;  (* single-window repaints *)
-  mutable d_clean : int;  (* windows left untouched *)
-}
+(* The draw ledger lives in the global observability registry
+   (lib/trace) — the single set of cells behind [draw_stats], the
+   [help.draw] spans, and /mnt/help/stats.  Each instance snapshots the
+   values at creation and reports deltas. *)
+let m_draws = Trace.counter "help.draw.draws"
+let m_full = Trace.counter "help.draw.full"
+let m_cols = Trace.counter "help.draw.cols"
+let m_wins = Trace.counter "help.draw.wins"
+let m_clean = Trace.counter "help.draw.clean"
+
+let draw_ledger () =
+  (Trace.value m_draws, Trace.value m_full, Trace.value m_cols,
+   Trace.value m_wins, Trace.value m_clean)
 
 let default_w = 100
 let default_h = 36
@@ -127,7 +134,7 @@ let create ?(w = default_w) ?(h = default_h) ?(place = Hplace.Refined) ns sh =
     auto_count = 0;
     executor = None;
     render = None;
-    stats = { d_draws = 0; d_full = 0; d_cols = 0; d_wins = 0; d_clean = 0 };
+    stats_base = draw_ledger ();
   }
 
 let ns t = t.namespace
@@ -1059,7 +1066,7 @@ let win_sig t g =
   }
 
 let repaint_all t r hover =
-  t.stats.d_full <- t.stats.d_full + 1;
+  Trace.incr m_full;
   Screen.clear r.r_scr;
   List.iter
     (fun col ->
@@ -1078,8 +1085,8 @@ let repaint_all t r hover =
 (* Bring the persistent screen up to date, repainting only what the
    signatures say changed, and return it (borrowed: valid until the
    next draw). *)
-let redraw t =
-  t.stats.d_draws <- t.stats.d_draws + 1;
+let redraw_plain t =
+  Trace.incr m_draws;
   let r, fresh =
     match t.render with
     | Some r -> (r, false)
@@ -1103,7 +1110,7 @@ let redraw t =
            let ws = Array.of_list (List.map (win_sig t) geoms) in
            let old_cs, old_ws = r.r_cols.(ci) in
            if cs <> old_cs then begin
-             t.stats.d_cols <- t.stats.d_cols + 1;
+             Trace.incr m_cols;
              Screen.fill_rect r.r_scr ~x:cs.s_x ~y:0 ~w:cs.s_w ~h:t.h ' '
                Screen.Plain;
              paint_column t r.r_scr col geoms
@@ -1114,9 +1121,9 @@ let redraw t =
              List.iteri
                (fun wi g ->
                  if ws.(wi) = old_ws.(wi) then
-                   t.stats.d_clean <- t.stats.d_clean + 1
+                   Trace.incr m_clean
                  else begin
-                   t.stats.d_wins <- t.stats.d_wins + 1;
+                   Trace.incr m_wins;
                    (* the window's rectangle: tag row through body,
                       scroll bar included, tab tower excluded *)
                    Screen.fill_rect r.r_scr ~x:(cx + 1) ~y:g.Hcol.g_y
@@ -1129,10 +1136,24 @@ let redraw t =
          t.cols);
   r.r_scr
 
+(* The damage pipeline under a span: each frame records how many
+   windows were repainted vs skipped (the per-frame deltas of the
+   ledger cells). *)
+let redraw t =
+  let _, f0, c0, w0, k0 = draw_ledger () in
+  Trace.with_span_result "help.draw" (fun () ->
+      let scr = redraw_plain t in
+      let _, f1, c1, w1, k1 = draw_ledger () in
+      let arg name a b = (name, string_of_int (b - a)) in
+      ( scr,
+        [ arg "full" f0 f1; arg "cols" c0 c1; arg "wins" w0 w1;
+          arg "clean" k0 k1 ] ))
+
 (* Render the screen.  Incremental under the hood; the returned screen
    is a snapshot the caller may keep across further draws. *)
 let draw t = Screen.copy (redraw t)
 
 let draw_stats t =
-  (t.stats.d_draws, t.stats.d_full, t.stats.d_cols, t.stats.d_wins,
-   t.stats.d_clean)
+  let bd, bf, bc, bw, bk = t.stats_base in
+  let d, f, c, w, k = draw_ledger () in
+  (d - bd, f - bf, c - bc, w - bw, k - bk)

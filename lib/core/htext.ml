@@ -4,6 +4,10 @@
    [Frame.layout] entirely. *)
 type cache = { c_gen : int; c_org : int; c_w : int; c_h : int; c_frame : Frame.t }
 
+(* Layout-cache effectiveness, on the global observability ledger. *)
+let m_hit = Trace.counter "help.layout.hit"
+let m_miss = Trace.counter "help.layout.miss"
+
 type t = {
   buf : Buffer0.t;
   mutable org : int;
@@ -87,8 +91,10 @@ let layout t ~w ~h =
   let gen = Buffer0.generation t.buf in
   match t.cache with
   | Some c when c.c_gen = gen && c.c_org = t.org && c.c_w = w && c.c_h = h ->
+      Trace.incr m_hit;
       c.c_frame
   | _ ->
+      Trace.incr m_miss;
       let f = Frame.layout (Buffer0.text t.buf) ~org:t.org ~w ~h in
       t.cache <- Some { c_gen = gen; c_org = t.org; c_w = w; c_h = h; c_frame = f };
       f

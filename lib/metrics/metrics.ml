@@ -113,11 +113,16 @@ let actionable sh ~dir tok =
    token is the expensive part; an unchanged window re-contributes its
    scored tokens for free.  Validity: the tag and body view generations
    (text, selection, origin), the visible body span (catches column
-   resizes, which change the span without touching the views), and the
-   namespace mutation generation (resolution reads the namespace) — the
-   whole cache is flushed when the latter moves.  Changes to the
-   shell's [$path] variable itself are not tracked; callers mutating it
-   should use a fresh cache. *)
+   resizes, which change the span without touching the views), the
+   namespace mutation generation (resolution reads the namespace), and
+   the shell environment generation (resolution reads [$path],
+   functions and natives — see {!Rc.env_generation}) — the whole cache
+   is flushed when either generation moves. *)
+(* The memo ledger lives in the global observability registry; each
+   cache snapshots it at creation and reports deltas. *)
+let m_hit = Trace.counter "metrics.conn.hit"
+let m_miss = Trace.counter "metrics.conn.miss"
+
 type conn_entry = {
   ce_tag : int;
   ce_body : int;
@@ -128,15 +133,18 @@ type conn_entry = {
 
 type conn_cache = {
   mutable cc_gen : int;  (* namespace generation the entries assume *)
+  mutable cc_env : int;  (* shell environment generation ditto *)
   cc_wins : (int, conn_entry) Hashtbl.t;
-  mutable cc_hits : int;
-  mutable cc_misses : int;
+  cc_base : int * int;  (* registry (hit, miss) at creation *)
 }
 
 let create_conn_cache () =
-  { cc_gen = -1; cc_wins = Hashtbl.create 32; cc_hits = 0; cc_misses = 0 }
+  { cc_gen = -1; cc_env = -1; cc_wins = Hashtbl.create 32;
+    cc_base = (Trace.value m_hit, Trace.value m_miss) }
 
-let conn_cache_stats c = (c.cc_hits, c.cc_misses)
+let conn_cache_stats c =
+  let bh, bm = c.cc_base in
+  (Trace.value m_hit - bh, Trace.value m_miss - bm)
 
 let body_span win =
   match Htext.last_frame (Hwin.body win) with
@@ -148,9 +156,15 @@ let connectivity ?cache help =
   let _ = Help.draw help in
   let sh = Help.shell help in
   (match cache with
-  | Some c when c.cc_gen <> Vfs.generation (Help.ns help) ->
+  | Some c
+    when c.cc_gen <> Vfs.generation (Help.ns help)
+         || c.cc_env <> Rc.env_generation sh ->
+      (* token actionability consults both the namespace and the
+         shell's resolution state ($path, functions, natives); either
+         generation moving flushes the whole memo *)
       Hashtbl.reset c.cc_wins;
-      c.cc_gen <- Vfs.generation (Help.ns help)
+      c.cc_gen <- Vfs.generation (Help.ns help);
+      c.cc_env <- Rc.env_generation sh
   | _ -> ());
   let seen = Hashtbl.create 64 in
   let count = ref 0 in
@@ -176,10 +190,10 @@ let connectivity ?cache help =
                 | Some e
                   when e.ce_tag = tag_gen && e.ce_body = body_gen
                        && e.ce_span = span && e.ce_dir = dir ->
-                    c.cc_hits <- c.cc_hits + 1;
+                    Trace.incr m_hit;
                     e.ce_toks
                 | _ ->
-                    c.cc_misses <- c.cc_misses + 1;
+                    Trace.incr m_miss;
                     let toks = score () in
                     Hashtbl.replace c.cc_wins (Hwin.id win)
                       {

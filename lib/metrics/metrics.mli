@@ -44,14 +44,16 @@ val add : counts -> counts -> counts
 (** Memo of per-window token scans for {!connectivity}.  Entries are
     keyed on window id and validated against the tag/body view
     generations and visible span; the whole cache is flushed when the
-    namespace mutation generation moves (token actionability consults
-    the namespace).  Mutating the shell's [$path] directly is not
-    tracked — use a fresh cache after doing so. *)
+    namespace mutation generation or the shell environment generation
+    moves (token actionability consults the namespace and the shell's
+    resolution state, [$path] included). *)
 type conn_cache
 
 val create_conn_cache : unit -> conn_cache
 
-(** [(hits, misses)] — window scans served from cache vs. recomputed. *)
+(** [(hits, misses)] — window scans served from cache vs. recomputed
+    since this cache was created (read from the global [Trace]
+    registry's [metrics.conn.*] counters). *)
 val conn_cache_stats : conn_cache -> int * int
 
 (** Distinct actionable tokens visible on screen: paths, file:line

@@ -513,6 +513,17 @@ module Server = struct
         let st = srv.fs.fs_stat state.path in
         Rstat { stat = stat9_of_stat st state.path }
 
+  (* Per-message-type tallies and round-trip latency on the global
+     observability ledger; [stats] stays per-server (each link keeps
+     its own tally on top of the aggregate). *)
+  let rpc_counters =
+    List.map
+      (fun k -> (k, Trace.counter ("nine.rpc." ^ k)))
+      [ "version"; "attach"; "walk"; "open"; "create"; "read"; "write";
+        "clunk"; "remove"; "stat" ]
+
+  let rpc_us = Trace.histogram "nine.rpc.us"
+
   let kind_of = function
     | Tversion _ -> "version"
     | Tattach _ -> "attach"
@@ -527,11 +538,17 @@ module Server = struct
 
   let rpc srv packet =
     let tag, msg = decode_t packet in
-    count srv (kind_of msg);
+    let kind = kind_of msg in
+    count srv kind;
+    (match List.assoc_opt kind rpc_counters with
+    | Some c -> Trace.incr c
+    | None -> ());
+    let t0 = Trace.now_us () in
     let reply =
       try exec srv msg
       with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
     in
+    Trace.observe rpc_us (Trace.now_us () - t0);
     encode_r ~tag reply
 end
 

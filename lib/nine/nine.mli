@@ -80,7 +80,11 @@ module Server : sig
       {!Bad_message}. *)
   val rpc : t -> string -> string
 
-  (** Number of requests served, by message kind; used by benches. *)
+  (** Number of requests served by {e this} server, by message kind
+      (walk, open, read, ...); used by benches and [Cpu.link_stats].
+      Every message also feeds the global observability ledger: the
+      [nine.rpc.<kind>] counters and the [nine.rpc.us] round-trip
+      latency histogram (see [Trace]). *)
   val stats : t -> (string * int) list
 end
 

@@ -208,6 +208,8 @@ let compile_uncached pat =
    maintaining a recency list.  Parse errors escape and are not
    cached. *)
 let lru_capacity = 64
+let lru_hit = Trace.counter "regexp.compile.hit"
+let lru_miss = Trace.counter "regexp.compile.miss"
 let lru_tick = ref 0
 let lru : (string, t * int ref) Hashtbl.t = Hashtbl.create 64
 
@@ -215,9 +217,11 @@ let compile pat =
   incr lru_tick;
   match Hashtbl.find_opt lru pat with
   | Some (re, stamp) ->
+      Trace.incr lru_hit;
       stamp := !lru_tick;
       re
   | None ->
+      Trace.incr lru_miss;
       let re = compile_uncached pat in
       if Hashtbl.length lru >= lru_capacity then begin
         let victim =

@@ -108,6 +108,9 @@ let plant_crash ns db =
     }
 
 let boot ?w ?h ?place ?(remote = false) () =
+  (* each session starts a fresh observability ledger (and a fresh
+     logical trace clock), so scripted sessions trace identically *)
+  Trace.reset ();
   let ns = Vfs.create () in
   Corpus.install ns;
   let sh = Rc.create ns in

@@ -22,7 +22,12 @@ type t = {
 (** The pid of the planted broken process (Sean's crash). *)
 val crash_pid : int
 
-(** [boot ~remote:true] additionally connects a CPU server and routes
+(** Boot a session.  Starts by {!Trace.reset}ing the global
+    observability ledger, so every boot begins with zeroed metrics and
+    an empty span ring — two identical scripted sessions produce
+    identical [/mnt/help/trace] logs.
+
+    [boot ~remote:true] additionally connects a CPU server and routes
     every external command there — the paper's "invisible call to the
     CPU server".  The session behaves identically; only the 9P link
     counters differ. *)

@@ -7,6 +7,11 @@ type t = {
   globals : (string, string list) Hashtbl.t;
   funcs : (string, cmd) Hashtbl.t;
   natives : (string, native) Hashtbl.t;
+  mutable env_gen : int;
+      (* bumped by every mutation of shell state that can change what a
+         command name resolves to or expands to: global variables
+         (notably $path), function definitions, native registrations.
+         Caches over resolution (the connectivity memo) key on it. *)
 }
 
 and proc = {
@@ -21,25 +26,44 @@ and native = proc -> string list -> int
 
 exception Exit_shell of int
 
+(* Command execution on the global observability ledger: every
+   top-level [run]/[run_argv] is counted and traced as a span whose
+   [cmd] argument is the (first line of the) source text. *)
+let m_runs = Trace.counter "rc.runs"
+
+let span_cmd src =
+  let line =
+    match String.index_opt src '\n' with
+    | Some i -> String.sub src 0 i
+    | None -> src
+  in
+  if String.length line > 48 then String.sub line 0 48 ^ "..." else line
+
 let create namespace =
   {
     namespace;
     globals = Hashtbl.create 64;
     funcs = Hashtbl.create 16;
     natives = Hashtbl.create 64;
+    env_gen = 0;
   }
 
 let ns sh = sh.namespace
+let env_generation sh = sh.env_gen
+let env_mutated sh = sh.env_gen <- sh.env_gen + 1
 
 let register sh path f =
   let path = Vfs.normalize path in
+  env_mutated sh;
   Hashtbl.replace sh.natives path f;
   if not (Vfs.exists sh.namespace path) then begin
     Vfs.mkdir_p sh.namespace (Vfs.dirname path);
     Vfs.write_file sh.namespace path "#native\n"
   end
 
-let set_global sh name v = Hashtbl.replace sh.globals name v
+let set_global sh name v =
+  env_mutated sh;
+  Hashtbl.replace sh.globals name v
 let get_global sh name = Hashtbl.find_opt sh.globals name
 
 type result = { r_out : string; r_err : string; r_status : int }
@@ -59,7 +83,9 @@ let lookup proc name =
 
 let assign proc name v =
   let rec in_frames = function
-    | [] -> Hashtbl.replace proc.sh.globals name v
+    | [] ->
+        env_mutated proc.sh;
+        Hashtbl.replace proc.sh.globals name v
     | f :: rest ->
         if Hashtbl.mem f name then Hashtbl.replace f name v else in_frames rest
   in
@@ -446,6 +472,8 @@ let make_proc sh ?(cwd = "/") ?(stdin = "") () =
   }
 
 let run sh ?cwd ?stdin src =
+  Trace.incr m_runs;
+  Trace.with_span ~args:[ ("cmd", span_cmd src) ] "rc.run" @@ fun () ->
   let proc = make_proc sh ?cwd ?stdin () in
   let status =
     match Rc_parser.parse src with
@@ -461,6 +489,10 @@ let run sh ?cwd ?stdin src =
   }
 
 let run_argv sh ?cwd ?stdin argv =
+  Trace.incr m_runs;
+  Trace.with_span ~args:[ ("cmd", span_cmd (String.concat " " argv)) ]
+    "rc.run"
+  @@ fun () ->
   let proc = make_proc sh ?cwd ?stdin () in
   let status =
     match argv with
@@ -491,7 +523,9 @@ let run_in proc ?stdin src =
 
 let define_fn sh name body_src =
   match Rc_parser.parse body_src with
-  | cmd -> Hashtbl.replace sh.funcs name cmd
+  | cmd ->
+      env_mutated sh;
+      Hashtbl.replace sh.funcs name cmd
   | exception Rc_parser.Parse_error msg | exception Rc_lexer.Lex_error msg ->
       invalid_arg (Printf.sprintf "define_fn %s: %s" name msg)
 

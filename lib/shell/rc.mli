@@ -37,6 +37,13 @@ val register : t -> string -> native -> unit
 val set_global : t -> string -> string list -> unit
 val get_global : t -> string -> string list option
 
+(** Monotonic shell-environment generation: bumped by every global
+    variable assignment (including [$path]), function definition and
+    native registration — everything that can change what a command
+    name resolves to.  Caches over {!resolve} (e.g. the connectivity
+    memo) key on it. *)
+val env_generation : t -> int
+
 (** Define a shell function from source text ([fn name { body }]). *)
 val define_fn : t -> string -> string -> unit
 

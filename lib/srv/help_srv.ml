@@ -40,6 +40,8 @@ let filesystem help =
   let parse_path = function
     | [] -> `Root
     | [ "index" ] -> `Index
+    | [ "stats" ] -> `Stats
+    | [ "trace" ] -> `Trace
     | [ "new" ] -> `New
     | [ "new"; "ctl" ] -> `Newctl
     | [ id ] -> (
@@ -65,6 +67,13 @@ let filesystem help =
         stat_of ~name:"index" ~dir:false
           ~length:(String.length (index_text help))
           (now ())
+    | `Stats ->
+        stat_of ~name:"stats" ~dir:false
+          ~length:(String.length (Trace.stats_text ()))
+          (now ())
+    | `Trace ->
+        (* length unknown until the ring is drained at open *)
+        stat_of ~name:"trace" ~dir:false ~length:0 (now ())
     | `New -> stat_of ~name:"new" ~dir:true ~length:1 (now ())
     | `Newctl -> stat_of ~name:"ctl" ~dir:false ~length:0 (now ())
     | `Win id ->
@@ -91,6 +100,10 @@ let filesystem help =
         stat_of ~name:"index" ~dir:false
           ~length:(String.length (index_text help))
           (now ())
+        :: stat_of ~name:"stats" ~dir:false
+             ~length:(String.length (Trace.stats_text ()))
+             (now ())
+        :: stat_of ~name:"trace" ~dir:false ~length:0 (now ())
         :: stat_of ~name:"new" ~dir:true ~length:1 (now ())
         :: List.map
              (fun w ->
@@ -103,7 +116,8 @@ let filesystem help =
         List.map
           (fun n -> stat_of ~name:n ~dir:false ~length:0 (now ()))
           [ "tag"; "body"; "bodyapp"; "ctl" ]
-    | `Index | `Newctl | `Tag _ | `Body _ | `Bodyapp _ | `Ctl _ ->
+    | `Index | `Stats | `Trace | `Newctl | `Tag _ | `Body _ | `Bodyapp _
+    | `Ctl _ ->
         err Vfs.Enotdir
   in
   (* Fixed string semantics don't fit tag/body/ctl writes, which must
@@ -241,6 +255,15 @@ let filesystem help =
   let fs_open path _mode ~trunc =
     match parse_path path with
     | `Index -> string_file (index_text help)
+    | `Stats ->
+        (* the registry snapshot, one metric per line: the whole
+           observability ledger through the paper's own interface *)
+        string_file (Trace.stats_text ())
+    | `Trace ->
+        (* reading drains the span ring; the snapshot taken at open is
+           what this open file serves *)
+        let spans, dropped = Trace.drain () in
+        string_file (Trace.spans_text ~dropped spans)
     | `Newctl -> newctl_file ()
     | `Tag id -> tag_file id ~trunc
     | `Body id -> body_file id ~trunc

@@ -6,6 +6,10 @@
 
     {v
     /mnt/help/index        window number TAB first line of tag, per window
+    /mnt/help/stats        the observability registry, one "key value"
+                           metric per line (see {!Trace.stats_text})
+    /mnt/help/trace        reading drains the span ring (human-readable
+                           text; a trailing line marks dropped spans)
     /mnt/help/new/ctl      opening it creates a window; reading it
                            returns the new window's number
     /mnt/help/N/tag        read/write the tag line

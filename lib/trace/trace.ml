@@ -1,0 +1,272 @@
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+(* The default clock is logical: each reading advances it one
+   microsecond, so a scripted session produces the same timestamps on
+   every run.  Benchmarks swap in a wall clock with [set_clock]. *)
+
+let logical = ref 0
+
+let logical_clock () =
+  incr logical;
+  !logical
+
+let clock = ref logical_clock
+let set_clock f = clock := f
+let use_logical_clock () = clock := logical_clock
+let now_us () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type counter = { mutable c_v : int }
+type gauge = { mutable g_v : int }
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Trace: %s is already registered as another kind" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_clash name
+  | None ->
+      let c = { c_v = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.c_v <- c.c_v + by
+let value c = c.c_v
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_clash name
+  | None ->
+      let g = { g_v = 0 } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let set_gauge g v = g.g_v <- v
+let gauge_value g = g.g_v
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+      let h = { h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let observe h v =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+let histogram_stats h = (h.h_count, h.h_sum, h.h_min, h.h_max)
+
+let stats_text () =
+  let lines =
+    Hashtbl.fold
+      (fun name inst acc ->
+        match inst with
+        | Counter c -> (name, c.c_v) :: acc
+        | Gauge g -> (name, g.g_v) :: acc
+        | Histogram h ->
+            (name ^ ".count", h.h_count)
+            :: (name ^ ".sum", h.h_sum)
+            :: (name ^ ".min", h.h_min)
+            :: (name ^ ".max", h.h_max)
+            :: acc)
+      registry []
+  in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k v))
+    (List.sort compare lines);
+  Buffer.contents b
+
+let find_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c.c_v
+  | Some (Gauge g) -> Some g.g_v
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Span ring                                                           *)
+
+type span = {
+  sp_name : string;
+  sp_start : int;
+  sp_dur : int;
+  sp_depth : int;
+  sp_args : (string * string) list;
+}
+
+(* Circular buffer of completed spans; overflow drops the oldest. *)
+let default_capacity = 4096
+let ring = ref (Array.make default_capacity None)
+let ring_head = ref 0  (* index of the oldest buffered span *)
+let ring_len = ref 0
+let ring_dropped = ref 0  (* since the last drain *)
+let dropped_total = counter "trace.spans.dropped"
+let depth = ref 0
+
+let set_ring_capacity n =
+  let n = max 1 n in
+  ring := Array.make n None;
+  ring_head := 0;
+  ring_len := 0
+
+let ring_capacity () = Array.length !ring
+let pending_spans () = !ring_len
+
+let record sp =
+  let cap = Array.length !ring in
+  if !ring_len = cap then begin
+    (* overwrite the oldest *)
+    !ring.(!ring_head) <- Some sp;
+    ring_head := (!ring_head + 1) mod cap;
+    Stdlib.incr ring_dropped;
+    incr dropped_total
+  end
+  else begin
+    !ring.((!ring_head + !ring_len) mod cap) <- Some sp;
+    Stdlib.incr ring_len
+  end
+
+let drain () =
+  let cap = Array.length !ring in
+  let spans =
+    List.init !ring_len (fun i ->
+        match !ring.((!ring_head + i) mod cap) with
+        | Some sp -> sp
+        | None -> assert false)
+  in
+  Array.fill !ring 0 cap None;
+  ring_head := 0;
+  ring_len := 0;
+  let d = !ring_dropped in
+  ring_dropped := 0;
+  (spans, d)
+
+let with_span_result name f =
+  let d = !depth in
+  depth := d + 1;
+  let start = now_us () in
+  let finish args =
+    depth := d;
+    record
+      { sp_name = name; sp_start = start; sp_dur = now_us () - start;
+        sp_depth = d; sp_args = args }
+  in
+  match f () with
+  | v, args ->
+      finish args;
+      v
+  | exception e ->
+      finish [ ("error", Printexc.to_string e) ];
+      raise e
+
+let with_span ?(args = []) name f =
+  with_span_result name (fun () -> (f (), args))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let spans_text ?(dropped = 0) spans =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string b
+        (Printf.sprintf "%d +%d %s%s" sp.sp_start sp.sp_dur
+           (String.make (2 * sp.sp_depth) ' ')
+           sp.sp_name);
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v))
+        sp.sp_args;
+      Buffer.add_char b '\n')
+    spans;
+  if dropped > 0 then
+    Buffer.add_string b (Printf.sprintf "# %d spans dropped\n" dropped);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let spans_json spans =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d"
+           (json_escape sp.sp_name) sp.sp_start sp.sp_dur (sp.sp_depth + 1));
+      if sp.sp_args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          sp.sp_args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    spans;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | Counter c -> c.c_v <- 0
+      | Gauge g -> g.g_v <- 0
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- 0;
+          h.h_max <- 0)
+    registry;
+  let cap = Array.length !ring in
+  Array.fill !ring 0 cap None;
+  ring_head := 0;
+  ring_len := 0;
+  ring_dropped := 0;
+  depth := 0;
+  logical := 0

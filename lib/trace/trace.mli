@@ -1,0 +1,125 @@
+(** The observability subsystem: a span tracer and a metrics registry.
+
+    The paper's whole evaluation is measurement — click counts, lines
+    of code, connectivity curves — and its central mechanism is "the
+    application interface is a file server".  This module is the single
+    ledger behind both: every hot path (drawing, layout, analysis
+    caches, the 9P server, command execution, the namespace) reports
+    here, and [Help_srv] serves the result back through the paper's own
+    interface as [/mnt/help/stats] and [/mnt/help/trace], so a
+    session's shell can literally [cat /mnt/help/stats].
+
+    Everything is process-global: instruments are registered by name
+    (find-or-create), and components that need per-instance views keep
+    a base snapshot and report deltas.  The default clock is logical —
+    it advances by one microsecond per reading — so traces of a
+    scripted session are deterministic; benchmarks inject a wall clock
+    with {!set_clock}. *)
+
+(** {1 Clock} *)
+
+(** Replace the clock with [f], a monotonic microsecond counter. *)
+val set_clock : (unit -> int) -> unit
+
+(** Restore the default deterministic logical clock (1 us per reading). *)
+val use_logical_clock : unit -> unit
+
+(** Read the clock (advances the logical clock by one tick). *)
+val now_us : unit -> int
+
+(** {1 Counters} *)
+
+type counter
+
+(** Find or create the registered counter [name].
+    @raise Invalid_argument if [name] is registered as another kind. *)
+val counter : string -> counter
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+
+(** Record one observation (microseconds, or any unit-free value). *)
+val observe : histogram -> int -> unit
+
+(** [(count, sum, min, max)]; [(0, 0, 0, 0)] before any observation. *)
+val histogram_stats : histogram -> int * int * int * int
+
+(** {1 Registry snapshot} *)
+
+(** Every registered instrument, one metric per line, [key value],
+    sorted by key.  Histograms expand to [.count]/[.sum]/[.min]/[.max]
+    lines.  This is the content of [/mnt/help/stats]. *)
+val stats_text : unit -> string
+
+(** Current value of a registered counter or gauge by name. *)
+val find_value : string -> int option
+
+(** {1 Spans} *)
+
+type span = {
+  sp_name : string;
+  sp_start : int;  (** clock reading at entry, microseconds *)
+  sp_dur : int;  (** duration in microseconds *)
+  sp_depth : int;  (** nesting depth at entry, 0 = top level *)
+  sp_args : (string * string) list;
+}
+
+(** [with_span name f] runs [f] inside a span; the span is recorded
+    (into the bounded ring) when [f] returns or raises. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Like {!with_span} for args only known at exit: [f] returns the
+    result and the args to record (e.g. cache hits during the span). *)
+val with_span_result :
+  string -> (unit -> 'a * (string * string) list) -> 'a
+
+(** {1 The span ring}
+
+    Completed spans land in a bounded ring buffer; when it overflows,
+    the oldest spans are dropped and counted (also visible as the
+    [trace.spans.dropped] counter). *)
+
+val set_ring_capacity : int -> unit
+val ring_capacity : unit -> int
+
+(** Number of spans currently buffered. *)
+val pending_spans : unit -> int
+
+(** Remove and return all buffered spans, oldest first, together with
+    the number dropped to overflow since the previous drain.  Reading
+    [/mnt/help/trace] is a drain. *)
+val drain : unit -> span list * int
+
+(** {1 Exporters} *)
+
+(** Human-readable, one span per line ([start +dur name k=v ...]),
+    indented by nesting depth; a final [# N spans dropped] line marks
+    ring overflow. *)
+val spans_text : ?dropped:int -> span list -> string
+
+(** Chrome trace-event JSON (load in [chrome://tracing] or Perfetto):
+    an object with a [traceEvents] array of complete ([ph:"X"])
+    events. *)
+val spans_json : span list -> string
+
+(** {1 Reset}
+
+    Zero every registered instrument, empty the ring, and restart the
+    logical clock.  Registrations survive (handles held by modules stay
+    valid).  [Session.boot] resets so each session starts a fresh
+    ledger. *)
+val reset : unit -> unit

@@ -1,0 +1,107 @@
+(* Recursive-descent recognizer for the RFC 8259 grammar.  Positions
+   thread through explicitly; [None] means a syntax error. *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let well_formed s =
+  let n = String.length s in
+  let rec skip i = if i < n && is_ws s.[i] then skip (i + 1) else i in
+  let lit word i =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then Some (i + l) else None
+  in
+  let string_at i =
+    (* [i] is at the opening quote *)
+    if i >= n || s.[i] <> '"' then None
+    else
+      let rec go i =
+        if i >= n then None
+        else
+          match s.[i] with
+          | '"' -> Some (i + 1)
+          | '\\' ->
+              if i + 1 >= n then None
+              else (
+                match s.[i + 1] with
+                | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go (i + 2)
+                | 'u' ->
+                    if
+                      i + 5 < n && is_hex s.[i + 2] && is_hex s.[i + 3]
+                      && is_hex s.[i + 4] && is_hex s.[i + 5]
+                    then go (i + 6)
+                    else None
+                | _ -> None)
+          | c when Char.code c < 0x20 -> None
+          | _ -> go (i + 1)
+      in
+      go (i + 1)
+  in
+  let number_at i =
+    let i = if i < n && s.[i] = '-' then i + 1 else i in
+    let digits i =
+      if i < n && is_digit s.[i] then
+        let rec go i = if i < n && is_digit s.[i] then go (i + 1) else i in
+        Some (go i)
+      else None
+    in
+    let int_part =
+      if i < n && s.[i] = '0' then Some (i + 1) else digits i
+    in
+    match int_part with
+    | None -> None
+    | Some i ->
+        let i =
+          if i + 1 < n && s.[i] = '.' && is_digit s.[i + 1] then
+            Option.get (digits (i + 1))
+          else i
+        in
+        if i < n && (s.[i] = 'e' || s.[i] = 'E') then
+          let j = i + 1 in
+          let j = if j < n && (s.[j] = '+' || s.[j] = '-') then j + 1 else j in
+          digits j
+        else Some i
+  in
+  let rec value i =
+    let i = skip i in
+    if i >= n then None
+    else
+      match s.[i] with
+      | '{' -> members (skip (i + 1)) ~first:true
+      | '[' -> elements (skip (i + 1)) ~first:true
+      | '"' -> string_at i
+      | 't' -> lit "true" i
+      | 'f' -> lit "false" i
+      | 'n' -> lit "null" i
+      | '-' -> number_at i
+      | c when is_digit c -> number_at i
+      | _ -> None
+  and members i ~first =
+    if i < n && s.[i] = '}' then Some (i + 1)
+    else
+      let i = if first then Some i else if i < n && s.[i] = ',' then Some (skip (i + 1)) else None in
+      match i with
+      | None -> None
+      | Some i -> (
+          match string_at i with
+          | None -> None
+          | Some i -> (
+              let i = skip i in
+              if i >= n || s.[i] <> ':' then None
+              else
+                match value (i + 1) with
+                | None -> None
+                | Some i -> members (skip i) ~first:false))
+  and elements i ~first =
+    if i < n && s.[i] = ']' then Some (i + 1)
+    else
+      let i = if first then Some i else if i < n && s.[i] = ',' then Some (skip (i + 1)) else None in
+      match i with
+      | None -> None
+      | Some i -> (
+          match value i with
+          | None -> None
+          | Some i -> elements (skip i) ~first:false)
+  in
+  match value 0 with Some i -> skip i = n | None -> false

@@ -1,0 +1,8 @@
+(** A strict JSON well-formedness checker (RFC 8259 grammar, no value
+    construction).  Used by the trace tests and the bench smoke gate to
+    validate the Chrome trace-event export without a JSON library
+    dependency. *)
+
+(** Does [s] consist of exactly one well-formed JSON value (plus
+    surrounding whitespace)? *)
+val well_formed : string -> bool

@@ -84,6 +84,19 @@ type t = {
          usable invalidation key for caches over namespace contents *)
 }
 
+(* Namespace operation counters, registered in the global observability
+   ledger (lib/trace): every path resolution, open, read and write in
+   the system passes through here.  Increments only — nothing on this
+   path may allocate or slow down. *)
+let m_walk = Trace.counter "vfs.walk"
+let m_stat = Trace.counter "vfs.stat"
+let m_open = Trace.counter "vfs.open"
+let m_read = Trace.counter "vfs.read"
+let m_write = Trace.counter "vfs.write"
+let m_create = Trace.counter "vfs.create"
+let m_remove = Trace.counter "vfs.remove"
+let m_readdir = Trace.counter "vfs.readdir"
+
 let now t = t.clock
 let tick t = t.clock <- t.clock + 1
 let generation t = t.mutations
@@ -216,6 +229,7 @@ let create () =
 (* Longest matching mount prefix; returns the union stack and the path
    remainder. *)
 let resolve t path =
+  Trace.incr m_walk;
   let comps = split_path path in
   let rec strip prefix comps =
     match (prefix, comps) with
@@ -296,6 +310,7 @@ let mount_ancestor t comps =
     t.mounts
 
 let stat t path =
+  Trace.incr m_stat;
   let stack, rest = resolve t path in
   try union_find stack (fun fs -> fs.fs_stat rest)
   with Error Enonexist when mount_ancestor t (split_path path) ->
@@ -316,10 +331,12 @@ let is_dir t path =
   | exception Error _ -> false
 
 let open_raw t path mode ~trunc =
+  Trace.incr m_open;
   let stack, rest = resolve t path in
   union_find stack (fun fs -> fs.fs_open rest mode ~trunc)
 
 let read_file t path =
+  Trace.incr m_read;
   let f = open_raw t path Read ~trunc:false in
   let b = Buffer.create 256 in
   let rec loop off =
@@ -334,6 +351,7 @@ let read_file t path =
   Buffer.contents b
 
 let write_file t path data =
+  Trace.incr m_write;
   tick t;
   mutated t;
   let stack, rest = resolve t path in
@@ -356,6 +374,7 @@ let write_file t path data =
   f.of_close ()
 
 let append_file t path data =
+  Trace.incr m_write;
   tick t;
   mutated t;
   let stack, rest = resolve t path in
@@ -380,6 +399,7 @@ let append_file t path data =
   f.of_close ()
 
 let mkdir t path =
+  Trace.incr m_create;
   tick t;
   mutated t;
   let stack, rest = resolve t path in
@@ -404,12 +424,14 @@ let mkdir_p t path =
   go [] comps
 
 let remove t path =
+  Trace.incr m_remove;
   tick t;
   mutated t;
   let stack, rest = resolve t path in
   union_find stack (fun fs -> fs.fs_remove rest)
 
 let readdir t path =
+  Trace.incr m_readdir;
   let stack, rest = resolve t path in
   (* Union view: entries of every member that has the directory, earlier
      members shadowing later ones by name. *)
@@ -485,6 +507,7 @@ let open_file t path mode =
   { file = open_raw t path mode ~trunc:false; pos = 0; ns = t }
 
 let create_file t path =
+  Trace.incr m_create;
   tick t;
   mutated t;
   if not (exists t path) then begin
@@ -501,11 +524,13 @@ let create_file t path =
   { file = open_raw t path Rdwr ~trunc:true; pos = 0; ns = t }
 
 let read h count =
+  Trace.incr m_read;
   let data = h.file.of_read ~off:h.pos ~count in
   h.pos <- h.pos + String.length data;
   data
 
 let write h data =
+  Trace.incr m_write;
   tick h.ns;
   mutated h.ns;
   let n = h.file.of_write ~off:h.pos data in

@@ -87,6 +87,10 @@ let connectivity_memo () =
   eq "after a body edit the memo still agrees";
   ignore (Help.open_file help ~dir:"/" "/lib/news");
   eq "after a namespace change the memo still agrees";
+  (* mutating $path directly changes what resolves — the env generation
+     must flush the memo even though the namespace did not move *)
+  Rc.set_global (Help.shell help) "path" [];
+  eq "after a direct $path change the memo still agrees";
   let hits, misses = Metrics.conn_cache_stats cache in
   check_bool "the memo did real work" true (hits > 0 && misses > 0)
 

@@ -1,0 +1,216 @@
+(* The observability layer: registry semantics, deterministic span
+   logs, ring truncation, exporter well-formedness, and the paper's
+   own interface — reading the ledger back as /mnt/help/stats and
+   /mnt/help/trace from an in-session shell. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec f i = i + n <= m && (String.sub hay i n = needle || f (i + 1)) in
+  n = 0 || f 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let registry_basics () =
+  Trace.reset ();
+  let c = Trace.counter "test.ctr" in
+  Trace.incr c;
+  Trace.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Trace.value c);
+  Trace.incr (Trace.counter "test.ctr");
+  check_int "find-or-create returns the same cell" 6 (Trace.value c);
+  check_bool "find_value sees it" true (Trace.find_value "test.ctr" = Some 6);
+  check_bool "find_value misses politely" true
+    (Trace.find_value "test.absent" = None);
+  let g = Trace.gauge "test.g" in
+  Trace.set_gauge g 7;
+  check_int "gauge holds last value" 7 (Trace.gauge_value g);
+  let h = Trace.histogram "test.h" in
+  Trace.observe h 10;
+  Trace.observe h 2;
+  check_bool "histogram stats" true (Trace.histogram_stats h = (2, 12, 2, 10));
+  check_bool "a name cannot change kind" true
+    (match Trace.gauge "test.ctr" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let text = Trace.stats_text () in
+  check_bool "stats_text has the counter" true (contains text "test.ctr 6");
+  check_bool "stats_text expands histograms" true
+    (contains text "test.h.count 2" && contains text "test.h.sum 12");
+  Trace.reset ();
+  check_int "reset zeroes but keeps the cell" 0 (Trace.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Span ring *)
+
+let ring_truncation () =
+  Trace.reset ();
+  let old = Trace.ring_capacity () in
+  Trace.set_ring_capacity 8;
+  for i = 1 to 20 do
+    Trace.with_span "tick" (fun () -> ignore i)
+  done;
+  check_int "ring holds only the capacity" 8 (Trace.pending_spans ());
+  let spans, dropped = Trace.drain () in
+  check_int "newest spans survive" 8 (List.length spans);
+  check_int "overflow is counted" 12 dropped;
+  check_bool "cumulative dropped counter" true
+    (Trace.find_value "trace.spans.dropped" = Some 12);
+  check_int "drain empties the ring" 0 (Trace.pending_spans ());
+  let text = Trace.spans_text ~dropped spans in
+  check_bool "the text export marks the truncation" true
+    (contains text "# 12 spans dropped");
+  Trace.set_ring_capacity old
+
+let json_well_formed () =
+  Trace.reset ();
+  Trace.with_span
+    ~args:[ ("file", "a\"b\\c\n"); ("n", "3") ]
+    "outer"
+    (fun () -> Trace.with_span "inner" (fun () -> ()));
+  let spans, _ = Trace.drain () in
+  check_int "nested spans recorded" 2 (List.length spans);
+  let json = Trace.spans_json spans in
+  check_bool "chrome export is well-formed JSON" true (Jsonv.well_formed json);
+  check_bool "it is a traceEvents object" true (contains json "\"traceEvents\"");
+  check_bool "empty export is well-formed too" true
+    (Jsonv.well_formed (Trace.spans_json []))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the same scripted session yields the same span log. *)
+
+let scripted_log () =
+  let t = Session.boot () in
+  let edit = Session.win t "/help/edit/stf" in
+  Session.exec_word t edit "New";
+  ignore (Rc.run t.Session.sh "echo traced");
+  ignore (Session.screen t);
+  let spans, dropped = Trace.drain () in
+  Trace.spans_text ~dropped spans
+
+let deterministic_sessions () =
+  let a = scripted_log () in
+  let b = scripted_log () in
+  check_bool "the log is nonempty" true (String.length a > 0);
+  check_str "identical sessions trace identically" a b
+
+(* ------------------------------------------------------------------ *)
+(* The figure-session replay exports a loadable Chrome trace. *)
+
+let replay_export () =
+  ignore (Demo.run ());
+  let spans, _ = Trace.drain () in
+  check_bool "the replay produced spans" true (spans <> []);
+  check_bool "its chrome export is valid JSON" true
+    (Jsonv.well_formed (Trace.spans_json spans))
+
+(* ------------------------------------------------------------------ *)
+(* The paper's interface: cat the ledger from the session's shell. *)
+
+let metric_lines out =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i -> (
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          match int_of_string_opt v with Some v -> Some (k, v) | None -> None)
+      | None -> None)
+    (String.split_on_char '\n' out)
+
+let stats_over_the_mount () =
+  let t = Session.boot () in
+  ignore (Session.screen t);
+  ignore (Session.screen t);
+  (* one read through the mount first: the stats file snapshots at open,
+     so the reads that fetch it are not yet in its own content *)
+  ignore (Rc.run t.Session.sh "cat /mnt/help/index");
+  let r = Rc.run t.Session.sh "cat /mnt/help/stats" in
+  check_int "cat succeeds" 0 r.Rc.r_status;
+  let m = metric_lines r.Rc.r_out in
+  let nonzero key =
+    check_bool (key ^ " is live") true
+      (match List.assoc_opt key m with Some v -> v > 0 | None -> false)
+  in
+  List.iter nonzero
+    [
+      "help.draw.draws"; "help.draw.full"; "help.layout.hit";
+      "help.layout.miss"; "nine.rpc.walk"; "nine.rpc.read"; "rc.runs";
+      "vfs.walk"; "vfs.read";
+    ]
+
+let trace_over_the_mount () =
+  let t = Session.boot () in
+  ignore (Session.screen t);
+  let r = Rc.run t.Session.sh "cat /mnt/help/trace" in
+  check_int "cat succeeds" 0 r.Rc.r_status;
+  check_bool "draw spans are in the log" true (contains r.Rc.r_out "help.draw");
+  check_bool "exec spans are in the log" true (contains r.Rc.r_out "rc.run");
+  (* reading drained the ring: a second cat sees only the spans the
+     first cat itself produced, not the boot's *)
+  let r2 = Rc.run t.Session.sh "cat /mnt/help/trace" in
+  check_bool "the drain drained" true
+    (String.length r2.Rc.r_out < String.length r.Rc.r_out)
+
+(* ------------------------------------------------------------------ *)
+(* 9P per-message tallies (the aggregate ledger vs the per-link view). *)
+
+let nine_tallies () =
+  Trace.reset ();
+  let ns = Vfs.create () in
+  let srv = Nine.serve_mount ns "/mnt/nine" (Vfs.ramfs ns) in
+  Vfs.write_file ns "/mnt/nine/f" "tally";
+  check_str "read back" "tally" (Vfs.read_file ns "/mnt/nine/f");
+  ignore (Vfs.readdir ns "/mnt/nine");
+  let global k =
+    Option.value ~default:0 (Trace.find_value ("nine.rpc." ^ k))
+  in
+  List.iter
+    (fun k -> check_bool ("nine.rpc." ^ k ^ " tallied") true (global k > 0))
+    [ "version"; "attach"; "walk"; "open"; "read"; "write"; "clunk" ];
+  (* only one server has run since the reset, so the global ledger must
+     equal its per-link view exactly *)
+  let per_link = Nine.Server.stats srv in
+  List.iter
+    (fun (k, v) -> check_int ("ledger agrees on " ^ k) v (global k))
+    per_link;
+  let rpcs = List.fold_left (fun a (_, v) -> a + v) 0 per_link in
+  let cnt, _, _, _ = Trace.histogram_stats (Trace.histogram "nine.rpc.us") in
+  check_int "every rpc fed the latency histogram" rpcs cnt
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick
+            registry_basics;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "ring truncation marks dropped spans" `Quick
+            ring_truncation;
+          Alcotest.test_case "chrome export is well-formed" `Quick
+            json_well_formed;
+          Alcotest.test_case "scripted sessions trace deterministically"
+            `Quick deterministic_sessions;
+          Alcotest.test_case "figure replay exports valid JSON" `Quick
+            replay_export;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "cat /mnt/help/stats shows the ledger" `Quick
+            stats_over_the_mount;
+          Alcotest.test_case "cat /mnt/help/trace drains the ring" `Quick
+            trace_over_the_mount;
+        ] );
+      ( "nine",
+        [
+          Alcotest.test_case "per-message tallies feed the registry" `Quick
+            nine_tallies;
+        ] );
+    ]
