@@ -7,4 +7,5 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune exec bench/main.exe -- trace-smoke
+dune exec bench/main.exe -- search-smoke
 dune exec bench/main.exe -- quick

@@ -217,13 +217,9 @@ let grep_count ns ~cwd files pattern =
       match Vfs.read_file ns abs with
       | exception Vfs.Error _ -> acc
       | content ->
-          let hits = ref 0 in
-          List.iter
-            (fun line ->
-              if pattern <> "" && Hstr.contains line ~sub:pattern then
-                incr hits)
-            (String.split_on_char '\n' content);
-          acc + !hits)
+          if pattern = "" then acc
+          else
+            acc + Hsearch.count_matching_lines (Hsearch.Literal pattern) content)
     0 files
 
 (* ------------------------------------------------------------------ *)

@@ -444,7 +444,7 @@ let open_file t ~dir name =
             match Regexp.compile pat with
             | exception Regexp.Parse_error msg -> report t ("Open: " ^ msg)
             | re -> (
-                match Regexp.search re (Htext.string body) 0 with
+                match Hsearch.search_rope re (Htext.rope body) 0 with
                 | Some (a, b) -> select a b
                 | None ->
                     report t (Printf.sprintf "Open: %s: pattern not found" pat))))
@@ -543,27 +543,29 @@ let strip_quotes s =
 
 let do_search t win ~pattern ~literal =
   let selw, ht = cursel_or t win in
-  let hay = Htext.string ht in
+  let rope = Htext.rope ht in
   let _, q1 = Htext.sel ht in
-  let find_from pos =
-    if literal then begin
-      if pattern = "" then None
-      else
-        Option.map
-          (fun i -> (i, i + String.length pattern))
-          (Hstr.find hay ~start:pos ~sub:pattern)
-    end
+  let needle =
+    if literal then
+      if pattern = "" then None else Some (Hsearch.Literal pattern)
     else
       match Regexp.compile pattern with
       | exception Regexp.Parse_error msg ->
           report t ("Pattern: " ^ msg);
           None
-      | re -> (
-          match Regexp.search re hay pos with
-          | Some (a, b) when b > a -> Some (a, b)
-          | _ -> None)
+      | re -> Some (Hsearch.Pattern re)
   in
-  match (match find_from q1 with Some r -> Some r | None -> find_from 0) with
+  let find nd pos =
+    (* zero-width pattern matches never select anything *)
+    match Hsearch.find_rope nd ~start:pos rope with
+    | Some (a, b) when b > a -> Some (a, b)
+    | _ -> None
+  in
+  match
+    match needle with
+    | None -> None
+    | Some nd -> Hsearch.wrapped_find (find nd) q1
+  with
   | Some (a, b) ->
       Htext.set_sel ht a b;
       t.cursel <- Some (selw, ht);

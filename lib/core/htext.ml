@@ -39,6 +39,7 @@ let create buf =
 let buffer t = t.buf
 let length t = Buffer0.length t.buf
 let string t = Buffer0.to_string t.buf
+let rope t = Buffer0.text t.buf
 let sel t = (t.q0, t.q1)
 let view_gen t = t.vgen
 let touch t = t.vgen <- t.vgen + 1

@@ -12,6 +12,10 @@ val buffer : t -> Buffer0.t
 val length : t -> int
 val string : t -> string
 
+(** The buffer's text as a rope, without flattening — the streaming
+    search path ({!Hsearch}) iterates its chunks in place. *)
+val rope : t -> Rope.t
+
 (** Selection; always [q0 <= q1]. *)
 val sel : t -> int * int
 

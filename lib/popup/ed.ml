@@ -34,7 +34,10 @@ let parse_addr st s i =
                   if k > total then None
                   else
                     let idx = ((st.cur + k - 1) mod total) + 1 in
-                    if total > 0 && Regexp.matches re st.lines.(idx - 1) then
+                    if
+                      total > 0
+                      && Hsearch.matches (Hsearch.Pattern re) st.lines.(idx - 1)
+                    then
                       Some (idx, stop + 1)
                     else hunt (k + 1)
                 in
@@ -84,18 +87,14 @@ let substitute st a b re repl global =
   for k = a to b do
     if valid st k then begin
       let line = st.lines.(k - 1) in
-      let rec subst line pos count =
-        match Regexp.search re line pos with
-        | Some (x, y) when y >= x ->
-            let line' =
-              String.sub line 0 x ^ repl ^ String.sub line y (String.length line - y)
-            in
-            changed := true;
-            let next = x + String.length repl + if y = x then 1 else 0 in
-            if global && count < 100 then subst line' next (count + 1) else line'
-        | _ -> line
+      (* ed replaces empty matches too, advancing one byte past them;
+         the historical cap is 101 replacements per line *)
+      let line', count =
+        Hsearch.subst re ~repl ~global ~empty_ok:true ~empty_advance:1
+          ~limit:(if global then 101 else 1)
+          line
       in
-      let line' = subst line 0 0 in
+      if count > 0 then changed := true;
       if line' <> line then begin
         st.lines.(k - 1) <- line';
         st.cur <- k

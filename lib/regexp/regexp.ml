@@ -148,9 +148,123 @@ type trans =
   | T_split of int * int
   | T_match
 
-type t = { pattern : string; states : trans array; start : int }
+(* A lazily built DFA state: the deterministic closure of a kernel of
+   raw (pre-epsilon) NFA states at a boundary.  [d_cons]/[d_accept]
+   hold the closure under "the next byte is ordinary"; [d_cons_eol]/
+   [d_accept_eol] hold what [$] additionally unlocks when the next byte
+   is '\n' (end-of-input is handled by the caller at finish).  The
+   record is immutable apart from the [d_next] transition cache, so a
+   cursor can keep a reference across a cache flush. *)
+type dstate = {
+  d_kernel : int array;  (* sorted raw NFA state ids; identity key *)
+  d_bol : bool;  (* boundary-at-BOL component of the identity *)
+  d_cons : int array;  (* consuming states in the closure *)
+  d_cons_eol : int array;  (* extra consuming states when next is '\n' *)
+  d_accept : bool;
+  d_accept_eol : bool;
+  d_next : int array;  (* 256 cached transitions, -1 = not computed *)
+}
+
+type dfa = {
+  mutable df_states : dstate array;
+  mutable df_n : int;
+  df_tbl : (string, int) Hashtbl.t;  (* kernel key -> state id *)
+  df_mark : int array;  (* per NFA state, generation marks for closure *)
+  mutable df_gen : int;
+  df_has_bol : bool;  (* pattern uses ^; otherwise bol is canonical false *)
+  mutable df_flushes : int;
+}
+
+type t = {
+  pattern : string;
+  states : trans array;
+  start : int;
+  rx_prefix : string;  (* required literal prefix of every match *)
+  rx_literal : string;  (* required literal substring of every match *)
+  rx_lit_skip : int array;  (* Horspool table for rx_literal; [||] if short *)
+  rx_has_bol : bool;
+  mutable rx_dfa : dfa option;  (* built on demand, shared via the LRU *)
+}
 
 let pattern re = re.pattern
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time literal analyses for the prefilters.  Soundness is the
+   only requirement: [req_prefix] must be a prefix of every match and
+   [req_literal] a substring of every match; both may be "".  A
+   nonempty required prefix implies the pattern cannot match the empty
+   string (only non-nullable atoms contribute), which the skip-ahead
+   relies on.                                                          *)
+
+let lcp a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  String.sub a 0 !i
+
+let lit_char = function
+  | Char c -> Some c
+  | Class (false, [ (lo, hi) ]) when lo = hi -> Some lo
+  | _ -> None
+
+(* (prefix, exact): [exact] means the subtree contributes exactly
+   [prefix] and nothing after it is cut off, so a Seq may keep
+   concatenating the next factor's prefix. *)
+let rec req_prefix a =
+  match lit_char a with
+  | Some c -> (String.make 1 c, true)
+  | None -> (
+      match a with
+      | Empty | Bol | Eol -> ("", true)
+      | Char _ -> assert false (* handled by lit_char *)
+      | Any | Class _ | Star _ | Opt _ -> ("", false)
+      | Seq (x, y) ->
+          let px, ex = req_prefix x in
+          if ex then
+            let py, ey = req_prefix y in
+            (px ^ py, ey)
+          else (px, false)
+      | Alt (x, y) -> (lcp (fst (req_prefix x)) (fst (req_prefix y)), false)
+      | Plus x -> (fst (req_prefix x), false))
+
+(* Longest literal run that must appear in every match.  Walks the Seq
+   spine accumulating adjacent literal atoms; anything that breaks
+   adjacency flushes the run.  [Plus] of a literal [c] guarantees the
+   run so far followed by one [c], and (because the last repetition is
+   also a [c]) a fresh run starting with [c] adjacent to what follows. *)
+let req_literal ast =
+  let best = ref "" in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > String.length !best then best := Buffer.contents buf;
+    Buffer.clear buf
+  in
+  let rec walk a =
+    match lit_char a with
+    | Some c -> Buffer.add_char buf c
+    | None -> (
+        match a with
+        | Empty | Bol | Eol -> ()
+        | Seq (x, y) ->
+            walk x;
+            walk y
+        | Plus x -> (
+            match lit_char x with
+            | Some c ->
+                Buffer.add_char buf c;
+                flush ();
+                Buffer.add_char buf c
+            | None ->
+                flush ();
+                walk x;
+                flush ())
+        | _ -> flush ())
+  in
+  walk ast;
+  flush ();
+  !best
 
 let compile_uncached pat =
   let ast = parse pat in
@@ -198,7 +312,40 @@ let compile_uncached pat =
   in
   let match_id = emit T_match in
   let start = go ast match_id in
-  { pattern = pat; states = Array.sub !states 0 !count; start }
+  let states = Array.sub !states 0 !count in
+  let prefix = fst (req_prefix ast) in
+  let literal =
+    let l = req_literal ast in
+    if String.length l >= String.length prefix then l else prefix
+  in
+  (* Horspool bad-character table: when byte [c] ends a mismatching
+     window, the window slides by [t.(c)].  Built once per compile so
+     the existence prefilter is sublinear on haystacks where the
+     literal's bytes are rare — the very case it exists for. *)
+  let lit_skip =
+    let m = String.length literal in
+    if m < 2 then [||]
+    else begin
+      let t = Array.make 256 m in
+      for k = 0 to m - 2 do
+        t.(Char.code literal.[k]) <- m - 1 - k
+      done;
+      t
+    end
+  in
+  let has_bol =
+    Array.exists (function T_bol _ -> true | _ -> false) states
+  in
+  {
+    pattern = pat;
+    states;
+    start;
+    rx_prefix = prefix;
+    rx_literal = literal;
+    rx_lit_skip = lit_skip;
+    rx_has_bol = has_bol;
+    rx_dfa = None;
+  }
 
 (* Compilation memo.  Address evaluation and searches re-compile the
    same handful of patterns on every interaction, so a small LRU pays
@@ -241,64 +388,772 @@ let in_class c neg ranges =
   let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
   if neg then not inside else inside
 
-(* Thompson simulation with eager epsilon expansion.  [mark] holds the
-   generation at which a state was last added, avoiding a set per step. *)
+(* ------------------------------------------------------------------ *)
+(* Search metrics.  Per-byte [Trace.incr] would dominate the scan, so
+   hot loops accumulate into module-level ints and public entry points
+   flush them on exit.                                                 *)
+
+let c_dfa_hit = Trace.counter "regexp.dfa.cache_hit"
+let c_dfa_miss = Trace.counter "regexp.dfa.cache_miss"
+let c_dfa_flush = Trace.counter "regexp.dfa.cache_flush"
+let g_dfa_states = Trace.gauge "regexp.dfa.states"
+let c_skipped = Trace.counter "regexp.prefilter.skipped_bytes"
+let c_bytes = Trace.counter "regexp.search.bytes"
+let dfa_live = ref 0
+let m_hit = ref 0
+let m_miss = ref 0
+let m_skip = ref 0
+let m_scan = ref 0
+
+let metrics_flush () =
+  if !m_hit > 0 then begin
+    Trace.incr ~by:!m_hit c_dfa_hit;
+    m_hit := 0
+  end;
+  if !m_miss > 0 then begin
+    Trace.incr ~by:!m_miss c_dfa_miss;
+    m_miss := 0
+  end;
+  if !m_skip > 0 then begin
+    Trace.incr ~by:!m_skip c_skipped;
+    m_skip := 0
+  end;
+  if !m_scan > 0 then begin
+    Trace.incr ~by:!m_scan c_bytes;
+    m_scan := 0
+  end
+
+(* [find_lit_bounded s from bound sub]: first occurrence of [sub] fully
+   inside [from, bound).  memchr-style: let [String.index_from_opt] do
+   the byte scan, verify the tail by hand.  Local to this module so the
+   engine has no dependency on lib/util. *)
+let find_lit_bounded s from bound sub =
+  let m = String.length sub in
+  if m = 0 then Some from
+  else begin
+    let c0 = sub.[0] in
+    let limit = bound - m in
+    let rec go i =
+      if i > limit then None
+      else
+        match String.index_from_opt s i c0 with
+        | None -> None
+        | Some j ->
+            if j > limit then None
+            else begin
+              let k = ref 1 in
+              while !k < m && s.[j + !k] = sub.[!k] do
+                incr k
+              done;
+              if !k = m then Some j else go (j + 1)
+            end
+    in
+    if from > limit then None else go from
+  end
+
+(* [lit_exists re s from bound]: does the required literal occur fully
+   inside [from, bound)?  Horspool when the compile built a skip table,
+   so a 16KB haystack without the literal costs a few window probes
+   rather than a byte scan; plain memchr search otherwise. *)
+let lit_exists re s from bound =
+  let sub = re.rx_literal in
+  let m = String.length sub in
+  let skip = re.rx_lit_skip in
+  if Array.length skip = 0 then find_lit_bounded s from bound sub <> None
+  else if bound - from >= 4096 then begin
+    (* On a big haystack, let memchr do the work — but anchored on the
+       literal byte that is rarest in the text, judged by sampling the
+       first KB.  A literal whose anchor never occurs (the common case
+       for a miss) costs one memchr pass regardless of length. *)
+    let counts = Array.make 256 0 in
+    for i = from to from + 1023 do
+      let c = Char.code (String.unsafe_get s i) in
+      counts.(c) <- counts.(c) + 1
+    done;
+    let anchor = ref 0 in
+    for k = 1 to m - 1 do
+      if counts.(Char.code sub.[k]) < counts.(Char.code sub.[!anchor]) then
+        anchor := k
+    done;
+    let a = !anchor in
+    let ca = sub.[a] in
+    let rec eq i k = k >= m || (s.[i + k] = sub.[k] && eq i (k + 1)) in
+    let rec go i =
+      (* i = next haystack index where the anchor byte may sit *)
+      i < bound
+      &&
+      match String.index_from_opt s i ca with
+      | None -> false
+      | Some j ->
+          let st = j - a in
+          if st + m > bound then false
+          else if st >= from && eq st 0 then true
+          else go (j + 1)
+    in
+    go (from + a)
+  end
+  else begin
+    (* small haystack: Horspool with the compile-time skip table *)
+    let last = sub.[m - 1] in
+    let rec eq i k = k >= m - 1 || (s.[i + k] = sub.[k] && eq i (k + 1)) in
+    let rec go i =
+      i + m <= bound
+      &&
+      let c = s.[i + m - 1] in
+      if c = last && eq i 0 then true
+      else go (i + skip.(Char.code c))
+    in
+    go from
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: the one-pass Pike-VM sweep.  Threads are (state, start)
+   pairs; the start state is injected at every boundary within the same
+   pass, so the whole unanchored search is a single left-to-right scan
+   (the old engine restarted the simulation at every byte).  All thread
+   sets live in preallocated arrays; the per-step list allocation of
+   the old simulator is gone.
+
+   Leftmost-longest comes from two invariants: the raw (pre-closure)
+   kernel is always sorted by nondecreasing start label (stepping
+   preserves closure order, which follows raw order; the injected
+   thread carries the largest label and is appended last), so the
+   first-marked-wins dedup in the closure keeps the smallest start for
+   every NFA state; and once a match is recorded, threads whose start
+   exceeds it are dead (a more-leftmost match always wins, however the
+   scan continues). *)
+
+type sweep = {
+  sw_re : t;
+  sw_mark : int array;  (* per NFA state: generation last added *)
+  sw_cons : int array;  (* consuming states of the current closure *)
+  sw_slab : int array;  (* parallel start labels for sw_cons *)
+  mutable sw_ncons : int;
+  sw_raw_st : int array;  (* raw kernel awaiting closure at the boundary *)
+  sw_raw_s0 : int array;
+  mutable sw_nraw : int;
+  mutable sw_gen : int;
+  mutable sw_inject : bool;  (* keep injecting the start state? *)
+  sw_short : bool;  (* existence only: stop at first accept *)
+  mutable sw_best_s : int;  (* -1 = no match yet *)
+  mutable sw_best_e : int;
+  mutable sw_pos : int;  (* absolute offset of the current boundary *)
+  mutable sw_bol : bool;  (* boundary is at beginning-of-line *)
+  mutable sw_stop : bool;  (* no further input can change the result *)
+}
+
+let sweep_make re ~pos ~bol ~inject ~short =
+  let nstates = Array.length re.states in
+  let sw =
+    {
+      sw_re = re;
+      sw_mark = Array.make nstates (-1);
+      sw_cons = Array.make nstates 0;
+      sw_slab = Array.make nstates 0;
+      sw_ncons = 0;
+      sw_raw_st = Array.make (nstates + 1) 0;
+      sw_raw_s0 = Array.make (nstates + 1) 0;
+      sw_nraw = 0;
+      sw_gen = 0;
+      sw_inject = inject;
+      sw_short = short;
+      sw_best_s = -1;
+      sw_best_e = -1;
+      sw_pos = pos;
+      sw_bol = bol;
+      sw_stop = false;
+    }
+  in
+  sw.sw_raw_st.(0) <- re.start;
+  sw.sw_raw_s0.(0) <- pos;
+  sw.sw_nraw <- 1;
+  sw
+
+let rec sweep_close sw ~eol st s0 =
+  if
+    (sw.sw_best_s < 0 || s0 <= sw.sw_best_s)
+    && sw.sw_mark.(st) <> sw.sw_gen
+  then begin
+    sw.sw_mark.(st) <- sw.sw_gen;
+    match sw.sw_re.states.(st) with
+    | T_split (a, b) ->
+        sweep_close sw ~eol a s0;
+        sweep_close sw ~eol b s0
+    | T_bol next -> if sw.sw_bol then sweep_close sw ~eol next s0
+    | T_eol next -> if eol then sweep_close sw ~eol next s0
+    | T_match ->
+        if
+          sw.sw_best_s < 0 || s0 < sw.sw_best_s
+          || (s0 = sw.sw_best_s && sw.sw_pos > sw.sw_best_e)
+        then begin
+          sw.sw_best_s <- s0;
+          sw.sw_best_e <- sw.sw_pos;
+          sw.sw_inject <- false
+        end
+    | T_char _ | T_any _ | T_class _ ->
+        sw.sw_cons.(sw.sw_ncons) <- st;
+        sw.sw_slab.(sw.sw_ncons) <- s0;
+        sw.sw_ncons <- sw.sw_ncons + 1
+  end
+
+(* Close the raw kernel at the current boundary against the upcoming
+   byte [c], then step the consuming states over [c] into the next raw
+   kernel and advance the boundary. *)
+let sweep_feed_byte sw c =
+  let re = sw.sw_re in
+  sw.sw_gen <- sw.sw_gen + 1;
+  sw.sw_ncons <- 0;
+  let eol = c = '\n' in
+  for k = 0 to sw.sw_nraw - 1 do
+    sweep_close sw ~eol sw.sw_raw_st.(k) sw.sw_raw_s0.(k)
+  done;
+  if sw.sw_short && sw.sw_best_s >= 0 then sw.sw_stop <- true
+  else begin
+    sw.sw_nraw <- 0;
+    for k = 0 to sw.sw_ncons - 1 do
+      let st = sw.sw_cons.(k) in
+      let s0 = sw.sw_slab.(k) in
+      if sw.sw_best_s < 0 || s0 <= sw.sw_best_s then begin
+        let target =
+          match re.states.(st) with
+          | T_char (c', next) -> if c = c' then next else -1
+          | T_any next -> next
+          | T_class (neg, ranges, next) ->
+              if in_class c neg ranges then next else -1
+          | T_bol _ | T_eol _ | T_split _ | T_match -> -1
+        in
+        if target >= 0 then begin
+          sw.sw_raw_st.(sw.sw_nraw) <- target;
+          sw.sw_raw_s0.(sw.sw_nraw) <- s0;
+          sw.sw_nraw <- sw.sw_nraw + 1
+        end
+      end
+    done;
+    sw.sw_pos <- sw.sw_pos + 1;
+    sw.sw_bol <- eol;
+    if sw.sw_inject then begin
+      sw.sw_raw_st.(sw.sw_nraw) <- re.start;
+      sw.sw_raw_s0.(sw.sw_nraw) <- sw.sw_pos;
+      sw.sw_nraw <- sw.sw_nraw + 1
+    end;
+    if sw.sw_nraw = 0 then sw.sw_stop <- true
+  end
+
+(* Feed [s[off, off+len)].  When only the freshly injected start thread
+   is live (no partial match in progress) and the pattern has a
+   required prefix, jump straight to its next occurrence; a nonempty
+   required prefix implies no empty match, so the skipped positions
+   cannot start a match.  The jump is bounded by the chunk: if the
+   prefix is absent we still re-enter at the last [plen-1] bytes so an
+   occurrence straddling into the next chunk is consumed normally. *)
+let sweep_feed sw s ~off ~len ~prefix =
+  let stop_at = off + len in
+  let plen = String.length prefix in
+  let re = sw.sw_re in
+  let i = ref off in
+  let skipped = ref 0 in
+  while (not sw.sw_stop) && !i < stop_at do
+    if
+      plen > 0 && sw.sw_inject && sw.sw_best_s < 0 && sw.sw_nraw = 1
+      && sw.sw_raw_st.(0) = re.start
+    then begin
+      let j =
+        match find_lit_bounded s !i stop_at prefix with
+        | Some j -> j
+        | None -> max !i (stop_at - plen + 1)
+      in
+      if j > !i then begin
+        skipped := !skipped + (j - !i);
+        sw.sw_pos <- sw.sw_pos + (j - !i);
+        sw.sw_raw_s0.(0) <- sw.sw_pos;
+        sw.sw_bol <- s.[j - 1] = '\n';
+        i := j
+      end
+    end;
+    if (not sw.sw_stop) && !i < stop_at then begin
+      sweep_feed_byte sw s.[!i];
+      incr i
+    end
+  done;
+  m_skip := !m_skip + !skipped;
+  m_scan := !m_scan + (!i - off - !skipped)
+
+(* End of input: one last closure where [$] holds. *)
+let sweep_finish sw =
+  if not sw.sw_stop then begin
+    sw.sw_gen <- sw.sw_gen + 1;
+    sw.sw_ncons <- 0;
+    for k = 0 to sw.sw_nraw - 1 do
+      sweep_close sw ~eol:true sw.sw_raw_st.(k) sw.sw_raw_s0.(k)
+    done;
+    sw.sw_nraw <- 0;
+    sw.sw_stop <- true
+  end;
+  if sw.sw_best_s >= 0 then Some (sw.sw_best_s, sw.sw_best_e) else None
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: the lazy DFA.  Deterministic states are interned by their
+   raw kernel (always including the injected start state, so the scan
+   is unanchored) plus the boundary's BOL flag; transitions are built
+   on first use and memoized in [d_next].  The cache is bounded: when
+   full it is flushed wholesale (RE2-style) and rebuilding starts from
+   the two start states.  The DFA answers existence only — leftmost-
+   longest extraction is unsound on a forward DFA (consider [a|bc] on
+   "abc") — so [search] uses it as a fast pre-pass and the sweep for
+   exact spans. *)
+
+let dfa_capacity = ref 256
+let set_dfa_capacity n = dfa_capacity := max 8 n
+
+let dummy_dstate =
+  {
+    d_kernel = [||];
+    d_bol = false;
+    d_cons = [||];
+    d_cons_eol = [||];
+    d_accept = false;
+    d_accept_eol = false;
+    d_next = [||];
+  }
+
+let dfa_key kernel bol =
+  let n = Array.length kernel in
+  let b = Bytes.create (1 + (2 * n)) in
+  Bytes.set b 0 (if bol then '\001' else '\000');
+  for i = 0 to n - 1 do
+    let v = kernel.(i) in
+    Bytes.set b (1 + (2 * i)) (Char.chr (v land 0xff));
+    Bytes.set b (2 + (2 * i)) (Char.chr ((v lsr 8) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+(* Find or build the deterministic state for [kernel]/[bol].  The
+   closure is two-phase: phase one assumes the next byte is ordinary
+   and parks [$]-gated continuations; phase two expands them with the
+   same generation marks, so [d_cons_eol]/[d_accept_eol] record only
+   what '\n' (or end of input) adds. *)
+let dfa_intern re df kernel bol =
+  let key = dfa_key kernel bol in
+  match Hashtbl.find_opt df.df_tbl key with
+  | Some id -> id
+  | None ->
+      let cons = ref [] in
+      let cons_eol = ref [] in
+      let accept = ref false in
+      let accept_eol = ref false in
+      let pending = ref [] in
+      df.df_gen <- df.df_gen + 1;
+      let gen = df.df_gen in
+      let rec close eol st =
+        if df.df_mark.(st) <> gen then begin
+          df.df_mark.(st) <- gen;
+          match re.states.(st) with
+          | T_split (a, b) ->
+              close eol a;
+              close eol b
+          | T_bol next -> if bol then close eol next
+          | T_eol next ->
+              if eol then close eol next else pending := next :: !pending
+          | T_match -> if eol then accept_eol := true else accept := true
+          | T_char _ | T_any _ | T_class _ ->
+              if eol then cons_eol := st :: !cons_eol else cons := st :: !cons
+        end
+      in
+      Array.iter (fun st -> close false st) kernel;
+      let pend = !pending in
+      List.iter (fun st -> close true st) pend;
+      let d =
+        {
+          d_kernel = kernel;
+          d_bol = bol;
+          d_cons = Array.of_list (List.rev !cons);
+          d_cons_eol = Array.of_list (List.rev !cons_eol);
+          d_accept = !accept;
+          d_accept_eol = !accept_eol;
+          d_next = Array.make 256 (-1);
+        }
+      in
+      if df.df_n = Array.length df.df_states then begin
+        let bigger = Array.make (max 8 (2 * df.df_n)) dummy_dstate in
+        Array.blit df.df_states 0 bigger 0 df.df_n;
+        df.df_states <- bigger
+      end;
+      let id = df.df_n in
+      df.df_states.(id) <- d;
+      df.df_n <- id + 1;
+      Hashtbl.add df.df_tbl key id;
+      incr dfa_live;
+      Trace.set_gauge g_dfa_states !dfa_live;
+      id
+
+(* Drop every cached state and re-intern the start states, which land
+   at ids 0 (bol=false) and, when the pattern uses ^, 1 (bol=true). *)
+let dfa_flush re df =
+  Hashtbl.reset df.df_tbl;
+  dfa_live := !dfa_live - df.df_n;
+  Trace.set_gauge g_dfa_states !dfa_live;
+  df.df_n <- 0;
+  df.df_flushes <- df.df_flushes + 1;
+  Trace.incr c_dfa_flush;
+  ignore (dfa_intern re df [| re.start |] false);
+  if df.df_has_bol then ignore (dfa_intern re df [| re.start |] true)
+
+let dfa_get re =
+  match re.rx_dfa with
+  | Some df -> Some df
+  | None ->
+      let nstates = Array.length re.states in
+      if nstates >= 0x10000 then None (* kernel key packs ids in 2 bytes *)
+      else begin
+        let df =
+          {
+            df_states = Array.make 16 dummy_dstate;
+            df_n = 0;
+            df_tbl = Hashtbl.create 64;
+            df_mark = Array.make nstates 0;
+            df_gen = 0;
+            df_has_bol = re.rx_has_bol;
+            df_flushes = 0;
+          }
+        in
+        ignore (dfa_intern re df [| re.start |] false);
+        if df.df_has_bol then ignore (dfa_intern re df [| re.start |] true);
+        re.rx_dfa <- Some df;
+        Some df
+      end
+
+let dfa_start df ~bol = if df.df_has_bol && bol then 1 else 0
+
+(* Take the transition from state [id] on byte [c], building (and
+   caching) it on first use.  May flush the cache when full; a
+   transition computed during the step that flushed must not be cached
+   into the now-stale source record. *)
+let dfa_step re df id c =
+  let st = df.df_states.(id) in
+  let acc = ref [ re.start ] in
+  let step_one s =
+    match re.states.(s) with
+    | T_char (c', next) -> if c = c' then acc := next :: !acc
+    | T_any next -> acc := next :: !acc
+    | T_class (neg, ranges, next) ->
+        if in_class c neg ranges then acc := next :: !acc
+    | T_bol _ | T_eol _ | T_split _ | T_match -> ()
+  in
+  Array.iter step_one st.d_cons;
+  if c = '\n' then Array.iter step_one st.d_cons_eol;
+  let kernel = Array.of_list (List.sort_uniq compare !acc) in
+  let bol' = df.df_has_bol && c = '\n' in
+  let key = dfa_key kernel bol' in
+  match Hashtbl.find_opt df.df_tbl key with
+  | Some id' ->
+      st.d_next.(Char.code c) <- id';
+      id'
+  | None ->
+      let flushed = df.df_n >= !dfa_capacity in
+      if flushed then dfa_flush re df;
+      let id' = dfa_intern re df kernel bol' in
+      if not flushed then st.d_next.(Char.code c) <- id';
+      id'
+
+let dfa_state_count re =
+  match re.rx_dfa with Some df -> df.df_n | None -> 0
+
+let dfa_flush_count re =
+  match re.rx_dfa with Some df -> df.df_flushes | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Layer 3a: streaming existence scan over the DFA (module Scan).  A
+   cursor survives cache flushes triggered by other users of the same
+   compiled pattern: it holds the immutable dstate record and
+   re-interns its kernel when the flush count moved.  If a single feed
+   thrashes the cache (more than a few flushes) the cursor degrades to
+   a short-circuit NFA sweep seeded with the current kernel.           *)
+
+type scan_cursor = {
+  sc_re : t;
+  sc_df : dfa option;
+  mutable sc_id : int;
+  mutable sc_state : dstate;
+  mutable sc_flushes : int;
+  mutable sc_bol : bool;
+  mutable sc_matched : bool;
+  mutable sc_fb : sweep option;  (* fallback sweep once DFA is abandoned *)
+}
+
+(* Existence only, so the start labels of the seeded threads are
+   irrelevant; every interned kernel already contains the start state,
+   and injection keeps the scan unanchored. *)
+let scan_fallback sc kernel =
+  let sw = sweep_make sc.sc_re ~pos:0 ~bol:sc.sc_bol ~inject:true ~short:true in
+  sw.sw_nraw <- 0;
+  Array.iter
+    (fun st ->
+      sw.sw_raw_st.(sw.sw_nraw) <- st;
+      sw.sw_raw_s0.(sw.sw_nraw) <- 0;
+      sw.sw_nraw <- sw.sw_nraw + 1)
+    kernel;
+  sc.sc_fb <- Some sw
+
+module Scan = struct
+  type cursor = scan_cursor
+
+  let create ?(bol = true) re =
+    let df = dfa_get re in
+    let sc =
+      {
+        sc_re = re;
+        sc_df = df;
+        sc_id = 0;
+        sc_state = dummy_dstate;
+        sc_flushes = 0;
+        sc_bol = bol;
+        sc_matched = false;
+        sc_fb = None;
+      }
+    in
+    (match df with
+    | Some df ->
+        sc.sc_id <- dfa_start df ~bol;
+        sc.sc_state <- df.df_states.(sc.sc_id);
+        sc.sc_flushes <- df.df_flushes
+    | None -> scan_fallback sc [| re.start |]);
+    sc
+
+  let feed_fallback sc s ~pos ~len =
+    match sc.sc_fb with
+    | Some sw ->
+        if not sw.sw_stop then
+          sweep_feed sw s ~off:pos ~len ~prefix:sc.sc_re.rx_prefix;
+        if sw.sw_best_s >= 0 then sc.sc_matched <- true
+    | None -> ()
+
+  let feed sc s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Regexp.Scan.feed";
+    (if not sc.sc_matched then
+       match (sc.sc_fb, sc.sc_df) with
+       | Some _, _ -> feed_fallback sc s ~pos ~len
+       | None, None -> assert false (* create installs one of the two *)
+       | None, Some df ->
+           let re = sc.sc_re in
+           if df.df_flushes <> sc.sc_flushes then begin
+             (* someone else flushed the cache under us; the held record
+                is immutable, so re-intern its kernel *)
+             sc.sc_id <- dfa_intern re df sc.sc_state.d_kernel sc.sc_state.d_bol;
+             sc.sc_state <- df.df_states.(sc.sc_id);
+             sc.sc_flushes <- df.df_flushes
+           end;
+           let budget = df.df_flushes + 3 in
+           let stop_at = pos + len in
+           let prefix = re.rx_prefix in
+           let plen = String.length prefix in
+           let i = ref pos in
+           let skipped = ref 0 in
+           (try
+              while !i < stop_at do
+                (* From a start state (no progress) jump to the next
+                   possible occurrence of the required prefix; start
+                   states never accept when the prefix is nonempty. *)
+                if
+                  plen > 0
+                  && (sc.sc_id = 0 || (df.df_has_bol && sc.sc_id = 1))
+                then begin
+                  let j =
+                    match find_lit_bounded s !i stop_at prefix with
+                    | Some j -> j
+                    | None -> max !i (stop_at - plen + 1)
+                  in
+                  if j > !i then begin
+                    skipped := !skipped + (j - !i);
+                    sc.sc_bol <- s.[j - 1] = '\n';
+                    sc.sc_id <- dfa_start df ~bol:sc.sc_bol;
+                    sc.sc_state <- df.df_states.(sc.sc_id);
+                    i := j;
+                    if !i >= stop_at then raise Exit
+                  end
+                end;
+                let c = s.[!i] in
+                let st = sc.sc_state in
+                if st.d_accept || (st.d_accept_eol && c = '\n') then begin
+                  sc.sc_matched <- true;
+                  raise Exit
+                end;
+                let cc = Char.code c in
+                let cached = st.d_next.(cc) in
+                let nid =
+                  if cached >= 0 then begin
+                    m_hit := !m_hit + 1;
+                    cached
+                  end
+                  else begin
+                    m_miss := !m_miss + 1;
+                    let id' = dfa_step re df sc.sc_id c in
+                    sc.sc_flushes <- df.df_flushes;
+                    id'
+                  end
+                in
+                sc.sc_id <- nid;
+                sc.sc_state <- df.df_states.(nid);
+                sc.sc_bol <- df.df_has_bol && c = '\n';
+                incr i;
+                if df.df_flushes > budget then begin
+                  (* cache thrash: finish this feed on the NFA sweep *)
+                  scan_fallback sc sc.sc_state.d_kernel;
+                  raise Exit
+                end
+              done
+            with Exit -> ());
+           m_skip := !m_skip + !skipped;
+           m_scan := !m_scan + (!i - pos - !skipped);
+           if (not sc.sc_matched) && sc.sc_fb <> None && !i < stop_at then
+             feed_fallback sc s ~pos:!i ~len:(stop_at - !i));
+    metrics_flush ();
+    sc.sc_matched
+
+  let finish sc =
+    (if not sc.sc_matched then
+       match sc.sc_fb with
+       | Some sw -> if sweep_finish sw <> None then sc.sc_matched <- true
+       | None ->
+           let st = sc.sc_state in
+           if st.d_accept || st.d_accept_eol then sc.sc_matched <- true);
+    metrics_flush ();
+    sc.sc_matched
+end
+
+(* ------------------------------------------------------------------ *)
+(* Layer 3b: streaming exact search (module Stream) — the sweep fed one
+   chunk at a time, for callers that iterate a rope without flattening
+   it.  [finish] treats the current boundary as end of input, so feed
+   everything before calling it (unless [definite] already holds).     *)
+
+module Stream = struct
+  type cursor = {
+    cu_sw : sweep;
+    cu_prefix : string;
+    mutable cu_done : bool;
+    mutable cu_res : (int * int) option;
+  }
+
+  let create ?(pos = 0) ?bol re =
+    if pos < 0 then invalid_arg "Regexp.Stream.create";
+    let bol = match bol with Some b -> b | None -> pos = 0 in
+    {
+      cu_sw = sweep_make re ~pos ~bol ~inject:true ~short:false;
+      cu_prefix = re.rx_prefix;
+      cu_done = false;
+      cu_res = None;
+    }
+
+  let feed cu s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Regexp.Stream.feed";
+    if not (cu.cu_done || cu.cu_sw.sw_stop) then begin
+      sweep_feed cu.cu_sw s ~off:pos ~len ~prefix:cu.cu_prefix;
+      metrics_flush ()
+    end
+
+  let matched cu =
+    if cu.cu_done then cu.cu_res
+    else if cu.cu_sw.sw_best_s >= 0 then
+      Some (cu.cu_sw.sw_best_s, cu.cu_sw.sw_best_e)
+    else None
+
+  let definite cu = cu.cu_done || cu.cu_sw.sw_stop
+
+  let finish cu =
+    if not cu.cu_done then begin
+      cu.cu_res <- sweep_finish cu.cu_sw;
+      cu.cu_done <- true;
+      metrics_flush ()
+    end;
+    cu.cu_res
+end
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points: literal prefilter, then DFA existence, then the
+   sweep for exact spans.                                              *)
+
+let bol_at s pos = pos = 0 || s.[pos - 1] = '\n'
+
 let match_at re s pos =
   let n = String.length s in
   if pos < 0 || pos > n then invalid_arg "Regexp.match_at";
-  let nstates = Array.length re.states in
-  let best = ref (-1) in
-  let current = ref [] in
-  let mark = Array.make nstates (-1) in
-  let gen = ref 0 in
-  let rec add i at =
-    if mark.(i) <> !gen then begin
-      mark.(i) <- !gen;
-      match re.states.(i) with
-      | T_split (a, b) ->
-          add a at;
-          add b at
-      | T_bol next -> if at = 0 || s.[at - 1] = '\n' then add next at
-      | T_eol next -> if at = n || s.[at] = '\n' then add next at
-      | T_match -> if at > !best then best := at
-      | T_char _ | T_any _ | T_class _ -> current := i :: !current
-    end
-  in
-  incr gen;
-  current := [];
-  add re.start pos;
-  let rec step at live =
-    if live <> [] && at < n then begin
-      let c = s.[at] in
-      incr gen;
-      current := [];
-      List.iter
-        (fun i ->
-          match re.states.(i) with
-          | T_char (c', next) -> if c = c' then add next (at + 1)
-          | T_any next -> add next (at + 1)
-          | T_class (neg, ranges, next) ->
-              if in_class c neg ranges then add next (at + 1)
-          | T_split _ | T_bol _ | T_eol _ | T_match -> ())
-        live;
-      step (at + 1) !current
-    end
-  in
-  step pos !current;
-  if !best >= 0 then Some !best else None
+  let sw = sweep_make re ~pos ~bol:(bol_at s pos) ~inject:false ~short:false in
+  sweep_feed sw s ~off:pos ~len:(n - pos) ~prefix:"";
+  let r = sweep_finish sw in
+  metrics_flush ();
+  match r with Some (_, e) -> Some e | None -> None
+
+(* Pure NFA-sweep search, no DFA and no prefilter: the triangulation
+   reference for the property tests, and the exact layer underneath
+   [search]. *)
+let search_nfa re s pos =
+  let n = String.length s in
+  let pos = max 0 pos in
+  if pos > n then None
+  else begin
+    let sw = sweep_make re ~pos ~bol:(bol_at s pos) ~inject:true ~short:false in
+    sweep_feed sw s ~off:pos ~len:(n - pos) ~prefix:"";
+    let r = sweep_finish sw in
+    metrics_flush ();
+    r
+  end
+
+let sweep_search re s pos =
+  let n = String.length s in
+  let sw = sweep_make re ~pos ~bol:(bol_at s pos) ~inject:true ~short:false in
+  sweep_feed sw s ~off:pos ~len:(n - pos) ~prefix:re.rx_prefix;
+  sweep_finish sw
+
+let scan_string re s pos =
+  let n = String.length s in
+  let sc = Scan.create ~bol:(bol_at s pos) re in
+  if Scan.feed sc s ~pos ~len:(n - pos) then true else Scan.finish sc
 
 let search re s pos =
   let n = String.length s in
-  let rec try_at i =
-    if i > n then None
-    else
-      match match_at re s i with
-      | Some stop -> Some (i, stop)
-      | None -> try_at (i + 1)
-  in
-  try_at (max 0 pos)
+  let pos = max 0 pos in
+  if pos > n then None
+  else begin
+    let r =
+      if
+        re.rx_literal <> "" && re.rx_literal <> re.rx_prefix
+        && not (lit_exists re s pos n)
+      then begin
+        (* the literal must appear somewhere inside a match; it is at
+           least as long as the prefix, so test it first *)
+        m_skip := !m_skip + (n - pos);
+        None
+      end
+      else if re.rx_prefix <> "" then
+        (* every match starts with the prefix: jump to its first
+           occurrence, or give up if there is none *)
+        match find_lit_bounded s pos n re.rx_prefix with
+        | None ->
+            m_skip := !m_skip + (n - pos);
+            None
+        | Some j ->
+            m_skip := !m_skip + (j - pos);
+            if scan_string re s j then sweep_search re s j else None
+      else if scan_string re s pos then sweep_search re s pos
+      else None
+    in
+    metrics_flush ();
+    r
+  end
 
-let matches re s = search re s 0 <> None
+let matches re s =
+  let n = String.length s in
+  let r =
+    if re.rx_literal <> "" && not (lit_exists re s 0 n) then begin
+      m_skip := !m_skip + n;
+      false
+    end
+    else scan_string re s 0
+  in
+  metrics_flush ();
+  r
 
 let search_all re s =
   let n = String.length s in
@@ -312,3 +1167,6 @@ let search_all re s =
           loop next ((a, b) :: acc)
   in
   loop 0 []
+
+let required_prefix re = re.rx_prefix
+let required_literal re = re.rx_literal

@@ -205,6 +205,24 @@ let to_substring t pos len =
   go t pos len;
   Buffer.contents b
 
+let iter_chunks t ~pos ~len f =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Rope.iter_chunks";
+  let rec go t pos len =
+    if len > 0 then
+      match t with
+      | Leaf s -> f s pos len
+      | Node { l; r; _ } ->
+          let ll = length l in
+          if pos + len <= ll then go l pos len
+          else if pos >= ll then go r (pos - ll) len
+          else begin
+            go l pos (ll - pos);
+            go r 0 (len - (ll - pos))
+          end
+  in
+  go t pos len
+
 let iter_range t pos len f =
   if pos < 0 || len < 0 || pos + len > length t then
     invalid_arg "Rope.iter_range";

@@ -43,6 +43,12 @@ val to_substring : t -> int -> int -> string
     order without materializing a string. *)
 val iter_range : t -> int -> int -> (char -> unit) -> unit
 
+(** [iter_chunks t ~pos ~len f] calls [f leaf off n] for each leaf
+    fragment covering the range, in order, without copying — the
+    streaming-search feeder ([f] receives each leaf's backing string
+    and the in-leaf offset/length of the covered slice). *)
+val iter_chunks : t -> pos:int -> len:int -> (string -> int -> int -> unit) -> unit
+
 (** [index_from t pos c] is the offset of the first [c] at or after [pos];
     [None] when there is none. *)
 val index_from : t -> int -> char -> int option

@@ -136,6 +136,7 @@ let grep proc args =
       match Regexp.compile pattern with
       | exception Regexp.Parse_error msg -> fail proc ("grep: " ^ msg)
       | re ->
+          let needle = Hsearch.Pattern re in
           let matched = ref false in
           let scan label data =
             List.iteri
@@ -143,7 +144,7 @@ let grep proc args =
                 let subject =
                   if nocase then String.lowercase_ascii line else line
                 in
-                let hit = Regexp.matches re subject in
+                let hit = Hsearch.matches needle subject in
                 if hit <> invert then begin
                   matched := true;
                   let prefix =
@@ -220,21 +221,18 @@ let sed proc args =
                 | exception Regexp.Parse_error msg -> fail proc ("sed: " ^ msg)
                 | re ->
                     let global = flags = "g" in
+                    (* empty matches are replaced only under [g] (the
+                       historical guard [b > a || global]); the limit
+                       bounds nullable patterns that used to loop *)
                     List.iter
                       (fun l ->
-                        let rec subst l pos =
-                          match Regexp.search re l pos with
-                          | Some (a, b) when b > a || global ->
-                              let l' =
-                                String.sub l 0 a ^ repl
-                                ^ String.sub l b (String.length l - b)
-                              in
-                              if global && a + String.length repl <= String.length l'
-                              then subst l' (a + String.length repl)
-                              else l'
-                          | _ -> l
+                        let l', _ =
+                          Hsearch.subst re ~repl ~global ~empty_ok:global
+                            ~empty_advance:0
+                            ~limit:(if global then 10000 else 1)
+                            l
                         in
-                        out_line proc (subst l 0))
+                        out_line proc l')
                       ls;
                     0)
             | _ -> fail proc "sed: bad substitution"

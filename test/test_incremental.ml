@@ -73,6 +73,47 @@ let regexp_lru () =
     | exception Regexp.Parse_error _ -> true
     | _ -> false)
 
+(* The lazy DFA's bounded state cache must be deterministic: the same
+   workload after a [Trace.reset] (or a [Session.boot], which resets)
+   builds the same states, flushes at the same points, and moves the
+   regexp.dfa.* counters by the same deltas. *)
+let dfa_flush_determinism () =
+  let counters () =
+    let v name = match Trace.find_value name with Some v -> v | None -> 0 in
+    ( v "regexp.dfa.cache_hit",
+      v "regexp.dfa.cache_miss",
+      v "regexp.dfa.flush" )
+  in
+  let workload () =
+    (* fresh program so the DFA is rebuilt from nothing each run; the
+       absent 'c' forces a full scan that overflows a tiny cache *)
+    let re = Regexp.compile_uncached "a[ab][ab][ab][ab]c" in
+    let hay =
+      String.concat "" (List.init 40 (fun i -> if i mod 2 = 0 then "ab" else "ba"))
+    in
+    ignore (Regexp.search re hay 0);
+    ignore (Regexp.matches re (hay ^ "x"));
+    ignore (Regexp.search re ("zz" ^ hay) 1);
+    (Regexp.dfa_state_count re, Regexp.dfa_flush_count re, counters ())
+  in
+  Regexp.set_dfa_capacity 8;
+  Trace.reset ();
+  let base1 = counters () in
+  let r1 = workload () in
+  Trace.reset ();
+  let base2 = counters () in
+  let r2 = workload () in
+  ignore (Session.boot ());
+  let base3 = counters () in
+  let r3 = workload () in
+  Regexp.set_dfa_capacity 256;
+  check_bool "reset zeroes the regexp.dfa counters" true
+    (base1 = (0, 0, 0) && base2 = (0, 0, 0) && base3 = (0, 0, 0));
+  check_bool "identical workload after Trace.reset is identical" true (r1 = r2);
+  check_bool "identical workload after Session.boot is identical" true (r1 = r3);
+  let _, flushes, _ = r1 in
+  check_bool "the tiny cache really flushed" true (flushes > 0)
+
 let connectivity_memo () =
   let help = mk_help () in
   let cache = Metrics.create_conn_cache () in
@@ -102,6 +143,8 @@ let unit_tests =
     Alcotest.test_case "cbr cache on the real corpus" `Quick
       corpus_cached_analyze;
     Alcotest.test_case "regexp compile LRU" `Quick regexp_lru;
+    Alcotest.test_case "dfa cache flush is deterministic under reset" `Quick
+      dfa_flush_determinism;
     Alcotest.test_case "connectivity memo" `Quick connectivity_memo;
   ]
 
