@@ -8,4 +8,5 @@ dune build
 dune runtest
 dune exec bench/main.exe -- trace-smoke
 dune exec bench/main.exe -- search-smoke
+dune exec bench/main.exe -- fault-smoke
 dune exec bench/main.exe -- quick

@@ -415,6 +415,13 @@ let microbenches () =
   Vfs.write_file ns_fix "/d/f" big_text;
   ignore (Nine.serve_mount ns_fix "/mnt/nine" (Vfs.ramfs ns_fix));
   Vfs.write_file ns_fix "/mnt/nine/f" big_text;
+  (* same server shape behind a disabled fault wrapper: the pair of
+     rows shows the robustness layer costs nothing when idle *)
+  ignore
+    (Nine.serve_mount
+       ~wrap:(Fault.wrap { Fault.default with rate = 0.0 })
+       ns_fix "/mnt/nine0" (Vfs.ramfs ns_fix));
+  Vfs.write_file ns_fix "/mnt/nine0/f" big_text;
   let sh_fix = Rc.create ns_fix in
   Coreutils.install sh_fix;
   let corpus_ns = Vfs.create () in
@@ -441,6 +448,8 @@ let microbenches () =
         (Staged.stage (fun () -> Vfs.read_file ns_fix "/d/f"));
       Test.make ~name:"vfs read (9P round-trips)"
         (Staged.stage (fun () -> Vfs.read_file ns_fix "/mnt/nine/f"));
+      Test.make ~name:"vfs read (9P + disabled fault wrapper)"
+        (Staged.stage (fun () -> Vfs.read_file ns_fix "/mnt/nine0/f"));
       Test.make ~name:"shell parse+run: echo"
         (Staged.stage (fun () -> Rc.run sh_fix "echo hi"));
       Test.make ~name:"event: move+click"
@@ -898,9 +907,82 @@ let trace_smoke () =
       List.iter (fun f -> Printf.printf "trace-smoke FAIL: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* fault-smoke: the robustness gate.  Replay the paper's whole figure
+   session over a transport injecting a 10% schedule of reply faults
+   (drops, delays, truncations, corruption, duplicates, fabricated
+   errors) and require exact convergence: every step's screen identical
+   to the fault-free replay, no fids leaked in the server table, and
+   the fault/retry counters visible through the mount's own stats
+   file.  Exits nonzero on any failure so check.sh can gate on it. *)
+
+let fault_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let clean = Demo.run () in
+  let clean_dumps =
+    List.map (fun s -> (s.Demo.s_label, s.Demo.s_dump)) clean.Demo.steps
+  in
+  let clean_fids = Nine.Server.fid_count clean.Demo.session.Session.srv in
+  let config = { Fault.default with seed = 0xbead; rate = 0.1 } in
+  let faulty =
+    match Demo.run ~fault:config () with
+    | outcome -> Some outcome
+    | exception e ->
+        check
+          (Printf.sprintf "faulty replay completes (got %s)"
+             (Printexc.to_string e))
+          false;
+        None
+  in
+  (match faulty with
+  | None -> ()
+  | Some faulty ->
+      let faulty_dumps =
+        List.map (fun s -> (s.Demo.s_label, s.Demo.s_dump)) faulty.Demo.steps
+      in
+      check "every figure screen matches the fault-free replay"
+        (clean_dumps = faulty_dumps);
+      check "no leaked fids"
+        (Nine.Server.fid_count faulty.Demo.session.Session.srv = clean_fids);
+      let injected =
+        Option.value ~default:0 (Trace.find_value "nine.fault.injected")
+      in
+      let retried =
+        List.fold_left
+          (fun acc k ->
+            acc
+            + Option.value ~default:0 (Trace.find_value ("nine.retry." ^ k)))
+          0
+          [ "version"; "attach"; "walk"; "stat"; "read"; "clunk" ]
+      in
+      check "faults were actually injected" (injected > 0);
+      check "the client actually retried" (retried > 0);
+      (* the ledger is reachable through the paper's own interface *)
+      let stats =
+        Rc.run faulty.Demo.session.Session.sh "cat /mnt/help/stats"
+      in
+      check "fault counters served via /mnt/help/stats"
+        (stats.Rc.r_status = 0
+        && Hstr.contains stats.Rc.r_out ~sub:"nine.fault.injected"
+        && Hstr.contains stats.Rc.r_out ~sub:"nine.retry.");
+      match List.rev !failed with
+      | [] ->
+          Printf.printf
+            "fault-smoke: ok (%d faults injected, %d retries, screens \
+             identical, %d fids)\n"
+            injected retried clean_fids
+      | _ -> ());
+  match List.rev !failed with
+  | [] -> exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "fault-smoke FAIL: %s\n" f) fs;
+      exit 1
+
 let () =
   if Array.exists (fun a -> a = "trace-smoke") Sys.argv then trace_smoke ();
   if Array.exists (fun a -> a = "search-smoke") Sys.argv then search_smoke ();
+  if Array.exists (fun a -> a = "fault-smoke") Sys.argv then fault_smoke ();
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json_path =
     let n = Array.length Sys.argv in

@@ -600,7 +600,7 @@ let run_external t win cmd =
   if res.Rc.r_out <> "" then report t res.Rc.r_out;
   if res.Rc.r_err <> "" then report t res.Rc.r_err
 
-let execute t win cmdtext =
+let execute_inner t win cmdtext =
   let cmd = String.trim cmdtext in
   if cmd <> "" && t.alive then begin
     t.exec_hook cmd;
@@ -656,6 +656,18 @@ let execute t win cmdtext =
           | _ -> run_external t win cmd);
     sync_tags t
   end
+
+(* A built-in that dies because a mount's transport gave out (retries
+   exhausted under [Nine.Client]) degrades into help's own idiom: an
+   error note appended to the acting window's tag line, and a line in
+   Errors — never an exception out of the event loop. *)
+let execute t win cmdtext =
+  try execute_inner t win cmdtext
+  with Vfs.Error (Vfs.Eio msg) ->
+    let note = " !" ^ msg in
+    let tag = Hwin.tag_text win in
+    if not (Hstr.contains tag ~sub:note) then Hwin.set_tag win (tag ^ note);
+    report t (Printf.sprintf "%s: %s" (String.trim cmdtext) msg)
 
 (* ------------------------------------------------------------------ *)
 (* Control language (the ctl file)                                     *)

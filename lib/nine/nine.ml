@@ -38,7 +38,24 @@ type rmsg =
 
 exception Bad_message of string
 
+(* A transport may raise this to model a reply that never arrived (the
+   deterministic fault injector in [Fault] does, after advancing the
+   trace clock past the client's patience). *)
+exception Timeout
+
 let bad msg = raise (Bad_message msg)
+
+let kind_of_t = function
+  | Tversion _ -> "version"
+  | Tattach _ -> "attach"
+  | Twalk _ -> "walk"
+  | Topen _ -> "open"
+  | Tcreate _ -> "create"
+  | Tread _ -> "read"
+  | Twrite _ -> "write"
+  | Tclunk _ -> "clunk"
+  | Tremove _ -> "remove"
+  | Tstat _ -> "stat"
 
 (* ------------------------------------------------------------------ *)
 (* Little-endian primitives over Buffer / string cursor                *)
@@ -400,9 +417,13 @@ module Server = struct
     fs : Vfs.filesystem;
     fids : (int, fid_state) Hashtbl.t;
     counts : (string, int) Hashtbl.t;
+    mutable msize : int;  (* negotiated at Tversion *)
   }
 
-  let create fs = { fs; fids = Hashtbl.create 32; counts = Hashtbl.create 16 }
+  let create fs =
+    { fs; fids = Hashtbl.create 32; counts = Hashtbl.create 16; msize = 65536 }
+
+  let fid_count srv = Hashtbl.length srv.fids
 
   let count srv kind =
     Hashtbl.replace srv.counts kind
@@ -429,23 +450,32 @@ module Server = struct
     match msg with
     | Tversion { msize; version = _ } ->
         Hashtbl.reset srv.fids;
-        Rversion { msize = min msize 65536; version = "9P2000.help" }
+        srv.msize <- max 256 (min msize 65536);
+        Rversion { msize = srv.msize; version = "9P2000.help" }
     | Tattach { fid; _ } ->
         let st = srv.fs.fs_stat [] in
         Hashtbl.replace srv.fids fid { path = []; opened = None; dirdata = None };
         Rattach { qid = qid_of_stat st [] }
     | Twalk { fid; newfid; names } ->
         let state = lookup srv fid in
+        (* 9P partial-walk semantics: walk as far as possible and report
+           the qids of the components that worked.  Only a walk of the
+           whole list binds [newfid]; an error on the first component is
+           an error reply. *)
         let rec go path acc = function
           | [] -> (path, List.rev acc)
-          | name :: rest ->
+          | name :: rest -> (
               let path' = path @ [ name ] in
-              let st = srv.fs.fs_stat path' in
-              go path' (qid_of_stat st path' :: acc) rest
+              match srv.fs.fs_stat path' with
+              | st -> go path' (qid_of_stat st path' :: acc) rest
+              | exception Vfs.Error e ->
+                  if acc = [] then raise (Vfs.Error e)
+                  else (path, List.rev acc))
         in
         let path', qids = go state.path [] names in
-        Hashtbl.replace srv.fids newfid
-          { path = path'; opened = None; dirdata = None };
+        if List.length qids = List.length names then
+          Hashtbl.replace srv.fids newfid
+            { path = path'; opened = None; dirdata = None };
         Rwalk { qids }
     | Topen { fid; mode } ->
         let state = lookup srv fid in
@@ -485,6 +515,9 @@ module Server = struct
         end
     | Tread { fid; offset; count } -> (
         let state = lookup srv fid in
+        (* the reply must fit the negotiated msize: size[4] type[1]
+           tag[2] count[4] leaves msize - 11 bytes for data *)
+        let count = max 0 (min count (srv.msize - 11)) in
         match (state.opened, state.dirdata) with
         | Some f, _ -> Rread { data = f.Vfs.of_read ~off:offset ~count }
         | None, Some data ->
@@ -500,13 +533,20 @@ module Server = struct
         | None -> raise (Vfs.Error (Vfs.Eio "fid not open")))
     | Tclunk { fid } ->
         let state = lookup srv fid in
-        (match state.opened with Some f -> f.Vfs.of_close () | None -> ());
+        (* the fid is clunked even when close fails: an error reply must
+           not leave it live in the table *)
         Hashtbl.remove srv.fids fid;
+        (match state.opened with Some f -> f.Vfs.of_close () | None -> ());
         Rclunk
     | Tremove { fid } ->
         let state = lookup srv fid in
-        srv.fs.fs_remove state.path;
+        (* per 9P, remove is "clunk with the side effect of removing":
+           the fid is gone even when the removal itself fails *)
         Hashtbl.remove srv.fids fid;
+        (match state.opened with
+        | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
+        | None -> ());
+        srv.fs.fs_remove state.path;
         Rremove
     | Tstat { fid } ->
         let state = lookup srv fid in
@@ -523,32 +563,25 @@ module Server = struct
         "clunk"; "remove"; "stat" ]
 
   let rpc_us = Trace.histogram "nine.rpc.us"
-
-  let kind_of = function
-    | Tversion _ -> "version"
-    | Tattach _ -> "attach"
-    | Twalk _ -> "walk"
-    | Topen _ -> "open"
-    | Tcreate _ -> "create"
-    | Tread _ -> "read"
-    | Twrite _ -> "write"
-    | Tclunk _ -> "clunk"
-    | Tremove _ -> "remove"
-    | Tstat _ -> "stat"
+  let live_fids = Trace.gauge "nine.fids.live"
 
   let rpc srv packet =
     let tag, msg = decode_t packet in
-    let kind = kind_of msg in
+    let kind = kind_of_t msg in
     count srv kind;
     (match List.assoc_opt kind rpc_counters with
     | Some c -> Trace.incr c
     | None -> ());
     let t0 = Trace.now_us () in
     let reply =
-      try exec srv msg
-      with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
+      if String.length packet > srv.msize then
+        Rerror { ename = "message too large" }
+      else
+        try exec srv msg
+        with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
     in
     Trace.observe rpc_us (Trace.now_us () - t0);
+    Trace.set_gauge live_fids (Hashtbl.length srv.fids);
     encode_r ~tag reply
 end
 
@@ -560,6 +593,10 @@ module Client = struct
     transport : string -> string;
     mutable next_tag : int;
     mutable next_fid : int;
+    mutable msize : int;  (* negotiated at version; bounds every frame *)
+    timeout_us : int;
+    max_retries : int;
+    backoff_us : int;
   }
 
   let error_of_ename ename =
@@ -571,15 +608,78 @@ module Client = struct
     | Some e -> e
     | None -> Vfs.Eio ename
 
+  (* Losing a version/attach/walk/stat/read/clunk reply is recoverable:
+     re-executing them converges (walk re-binds the same newfid, attach
+     re-binds the root, a re-clunked fid draws a harmless error).  The
+     others mutate and are surfaced to the caller instead. *)
+  let retryable = function
+    | Tversion _ | Tattach _ | Twalk _ | Tstat _ | Tread _ | Tclunk _ -> true
+    | Topen _ | Tcreate _ | Twrite _ | Tremove _ -> false
+
+  let retry_counters =
+    List.map
+      (fun k -> (k, Trace.counter ("nine.retry." ^ k)))
+      [ "version"; "attach"; "walk"; "stat"; "read"; "clunk" ]
+
+  let failed_rpcs = Trace.counter "nine.rpc.failed"
+  let timeouts = Trace.counter "nine.rpc.timeout"
+
+  (* Tags cycle through 0..0xfffe; 0xffff is NOTAG, reserved by 9P. *)
+  let fresh_tag c =
+    let tag = if c.next_tag land 0xffff = 0xffff then 0 else c.next_tag land 0xffff in
+    c.next_tag <- (tag + 1) land 0xffff;
+    tag
+
   let rpc c msg =
-    let tag = c.next_tag in
-    c.next_tag <- (c.next_tag + 1) land 0xffff;
-    let reply = c.transport (encode_t ~tag msg) in
-    let rtag, r = decode_r reply in
-    if rtag <> tag then bad "tag mismatch";
-    match r with
-    | Rerror { ename } -> raise (Vfs.Error (error_of_ename ename))
-    | r -> r
+    let kind = kind_of_t msg in
+    let rec attempt n =
+      (* a fresh tag per attempt resynchronizes after a lost or stale
+         reply: whatever arrives for an abandoned exchange can never
+         match a tag we are still waiting on *)
+      let tag = fresh_tag c in
+      let req = encode_t ~tag msg in
+      if String.length req > c.msize then
+        bad (Printf.sprintf "%s request exceeds negotiated msize" kind);
+      let t0 = Trace.now_us () in
+      let outcome =
+        match c.transport req with
+        | exception Timeout ->
+            Trace.incr timeouts;
+            `Failed "timeout"
+        | reply -> (
+            (* a reply slower than the timeout was already given up on;
+               only idempotent requests are timed, so a slow mutation is
+               never abandoned half-acknowledged *)
+            if retryable msg && Trace.now_us () - t0 > c.timeout_us then begin
+              Trace.incr timeouts;
+              `Failed "reply after timeout"
+            end
+            else
+              match decode_r reply with
+              | exception Bad_message m -> `Failed m
+              | rtag, r ->
+                  if rtag <> tag then `Failed "tag mismatch"
+                  else `Reply r)
+      in
+      match outcome with
+      | `Reply (Rerror { ename }) -> raise (Vfs.Error (error_of_ename ename))
+      | `Reply r -> r
+      | `Failed reason ->
+          if retryable msg && n < c.max_retries then begin
+            (match List.assoc_opt kind retry_counters with
+            | Some ctr -> Trace.incr ctr
+            | None -> ());
+            (* deterministic exponential backoff on the trace clock *)
+            Trace.advance (c.backoff_us lsl n);
+            attempt (n + 1)
+          end
+          else begin
+            Trace.incr failed_rpcs;
+            raise
+              (Vfs.Error (Vfs.Eio (Printf.sprintf "9p %s: %s" kind reason)))
+          end
+    in
+    attempt 0
 
   let fresh_fid c =
     let fid = c.next_fid in
@@ -588,10 +688,16 @@ module Client = struct
 
   let root_fid = 0
 
-  let connect transport =
-    let c = { transport; next_tag = 1; next_fid = 1 } in
-    (match rpc c (Tversion { msize = 65536; version = "9P2000.help" }) with
-    | Rversion _ -> ()
+  let connect ?(timeout_us = 50_000) ?(max_retries = 3) ?(backoff_us = 1_000)
+      transport =
+    let c =
+      { transport; next_tag = 1; next_fid = 1; msize = 65536; timeout_us;
+        max_retries; backoff_us }
+    in
+    (match rpc c (Tversion { msize = c.msize; version = "9P2000.help" }) with
+    | Rversion { msize; _ } ->
+        if msize < 256 then bad "negotiated msize too small";
+        c.msize <- min c.msize msize
     | _ -> bad "expected Rversion");
     (match rpc c (Tattach { fid = root_fid; uname = "help"; aname = "" }) with
     | Rattach _ -> ()
@@ -601,10 +707,18 @@ module Client = struct
   let walk c names =
     let fid = fresh_fid c in
     match rpc c (Twalk { fid = root_fid; newfid = fid; names }) with
-    | Rwalk _ -> fid
+    | Rwalk { qids } when List.length qids = List.length names -> fid
+    | Rwalk _ ->
+        (* a short walk did not bind newfid; accepting it would leave
+           every subsequent operation on a dangling fid *)
+        raise (Vfs.Error Vfs.Enonexist)
     | _ -> bad "expected Rwalk"
 
-  let clunk c fid = ignore (rpc c (Tclunk { fid }))
+  (* A clunk error cannot be usefully handled: the fid is gone either
+     way, and a retried clunk whose first reply was lost legitimately
+     draws "unknown fid" from an honest server. *)
+  let clunk c fid =
+    try ignore (rpc c (Tclunk { fid })) with Vfs.Error _ -> ()
 
   let with_fid c names f =
     let fid = walk c names in
@@ -642,15 +756,19 @@ module Client = struct
       | Ropen _ -> ()
       | _ -> bad "expected Ropen"
     in
+    (* The negotiated msize bounds the whole frame; an Rread carries 11
+       bytes of header, a Twrite 23.  [iounit] keeps chunks small even
+       under a large msize. *)
+    let read_unit () = min iounit (c.msize - 11) in
+    let write_unit () = min iounit (c.msize - 23) in
     let openfile_of_fid fid =
       {
         Vfs.of_read =
           (fun ~off ~count ->
-            (* Honour iounit by chunking large reads. *)
             let b = Buffer.create (min count 8192) in
             let rec loop off remaining =
               if remaining > 0 then begin
-                let ask = min remaining iounit in
+                let ask = min remaining (read_unit ()) in
                 match rpc c (Tread { fid; offset = off; count = ask }) with
                 | Rread { data } when data <> "" ->
                     Buffer.add_string b data;
@@ -667,7 +785,9 @@ module Client = struct
             let total = String.length data in
             let rec loop sent =
               if sent < total then begin
-                let chunk = String.sub data sent (min iounit (total - sent)) in
+                let chunk =
+                  String.sub data sent (min (write_unit ()) (total - sent))
+                in
                 match
                   rpc c (Twrite { fid; offset = off + sent; data = chunk })
                 with
@@ -700,22 +820,31 @@ module Client = struct
     in
     let fs_remove path =
       let fid = walk c path in
+      (* "remove is clunk with a side effect": the fid is gone whether
+         or not the remove succeeded, so release it on every path *)
       match rpc c (Tremove { fid }) with
       | Rremove -> ()
-      | _ -> bad "expected Rremove"
+      | _ ->
+          clunk c fid;
+          bad "expected Rremove"
+      | exception e ->
+          (try clunk c fid with _ -> ());
+          raise e
     in
     let fs_readdir path =
       let f = fs_open path Vfs.Read ~trunc:false in
       let b = Buffer.create 512 in
-      let rec loop off =
-        let chunk = f.Vfs.of_read ~off ~count:iounit in
-        if chunk <> "" then begin
-          Buffer.add_string b chunk;
-          loop (off + String.length chunk)
-        end
-      in
-      loop 0;
-      f.Vfs.of_close ();
+      Fun.protect
+        ~finally:(fun () -> try f.Vfs.of_close () with _ -> ())
+        (fun () ->
+          let rec loop off =
+            let chunk = f.Vfs.of_read ~off ~count:iounit in
+            if chunk <> "" then begin
+              Buffer.add_string b chunk;
+              loop (off + String.length chunk)
+            end
+          in
+          loop 0);
       List.map
         (fun s9 ->
           {
@@ -730,8 +859,13 @@ module Client = struct
     { Vfs.fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
 end
 
-let serve_mount ns path fs =
+let serve_mount ?wrap ?max_retries ns path fs =
   let srv = Server.create fs in
-  let client = Client.connect (Server.rpc srv) in
+  let transport =
+    match wrap with Some w -> w (Server.rpc srv) | None -> Server.rpc srv
+  in
+  (* connect before mounting: if version/attach cannot be completed the
+     exception propagates with the namespace untouched *)
+  let client = Client.connect ?max_retries transport in
   Vfs.mount ns path (Client.filesystem client);
   srv

@@ -55,6 +55,16 @@ type rmsg =
 
 exception Bad_message of string
 
+(** Raised by a transport to model a reply that never arrived.  The
+    in-process server never raises it; the fault injector ({!Fault})
+    does, and {!Client} treats it as a timed-out request. *)
+exception Timeout
+
+(** Message kind as a short name ("version", "walk", "read", ...);
+    keys the [nine.rpc.<kind>] / [nine.retry.<kind>] counters and the
+    fault injector's per-kind configuration. *)
+val kind_of_t : tmsg -> string
+
 (** {1 Codec}  Messages carry a 16-bit tag, as on the wire. *)
 
 val encode_t : tag:int -> tmsg -> string
@@ -86,6 +96,12 @@ module Server : sig
       [nine.rpc.<kind>] counters and the [nine.rpc.us] round-trip
       latency histogram (see [Trace]). *)
   val stats : t -> (string * int) list
+
+  (** Number of live fids in the server's table — the leak detector.
+      After every client handle is closed it must return to the count
+      held right after attach (1, the root).  Also exported as the
+      [nine.fids.live] gauge after each rpc. *)
+  val fid_count : t -> int
 end
 
 (** {1 Client} *)
@@ -93,16 +109,44 @@ end
 module Client : sig
   type t
 
-  (** [connect rpc] performs version + attach over the transport. *)
-  val connect : (string -> string) -> t
+  (** [connect rpc] performs version + attach over the transport.
+
+      Requests whose replies are lost, late, corrupt, or tagged wrong
+      are retried when idempotent (version/attach/walk/stat/read/clunk)
+      up to [max_retries] times with exponential backoff ([backoff_us]
+      doubling per attempt) on the deterministic trace clock; each
+      retry increments [nine.retry.<kind>].  A reply arriving more than
+      [timeout_us] logical microseconds after such a request was sent
+      counts as lost ([nine.rpc.timeout]).  Exhausted retries — and any
+      failure of a non-idempotent request — raise
+      [Vfs.Error (Eio reason)] and count in [nine.rpc.failed].
+
+      @raise Bad_message if version/attach negotiation itself fails. *)
+  val connect :
+    ?timeout_us:int ->
+    ?max_retries:int ->
+    ?backoff_us:int ->
+    (string -> string) ->
+    t
 
   (** View the remote tree as a local {!Vfs.filesystem}: each operation
-      becomes walk/open/read/write/clunk round-trips. *)
+      becomes walk/open/read/write/clunk round-trips.  Reads and writes
+      are chunked to fit the negotiated msize. *)
   val filesystem : t -> Vfs.filesystem
 end
 
 (** [serve_mount ns path fs] wires a server for [fs] to a fresh client
     and mounts the client's view at [path] in [ns]: from then on all
     access to [path] crosses the protocol.  Returns the server (for
-    stats). *)
-val serve_mount : Vfs.t -> string -> Vfs.filesystem -> Server.t
+    stats).  [?wrap] interposes on the transport (e.g. {!Fault.wrap});
+    the client connects {e before} the mount, so a transport that
+    cannot complete version/attach raises with the namespace
+    untouched.  [?max_retries] sets the client's retry budget — raise
+    it alongside an aggressive fault schedule. *)
+val serve_mount :
+  ?wrap:((string -> string) -> string -> string) ->
+  ?max_retries:int ->
+  Vfs.t ->
+  string ->
+  Vfs.filesystem ->
+  Server.t

@@ -9,8 +9,8 @@ type outcome = { session : Session.t; steps : step list }
 
 let offending_line = "\tn = 0;\n"
 
-let run ?w ?(h = 48) ?(keep_screens = true) ?remote () =
-  let t = Session.boot ?w ~h ?remote () in
+let run ?w ?(h = 48) ?(keep_screens = true) ?remote ?fault () =
+  let t = Session.boot ?w ~h ?remote ?fault () in
   let ns = t.Session.ns in
   let src = Corpus.src_dir in
   let steps = ref [] in

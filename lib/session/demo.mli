@@ -24,8 +24,17 @@ type outcome = {
 
 (** Replay the full session.  [keep_screens] = false skips the dumps
     (for benches that only want the numbers); [remote] routes every
-    external command to the CPU server over the 9P link. *)
-val run : ?w:int -> ?h:int -> ?keep_screens:bool -> ?remote:bool -> unit -> outcome
+    external command to the CPU server over the 9P link; [fault]
+    replays the whole session over a fault-injecting transport (see
+    {!Session.boot}). *)
+val run :
+  ?w:int ->
+  ?h:int ->
+  ?keep_screens:bool ->
+  ?remote:bool ->
+  ?fault:Fault.config ->
+  unit ->
+  outcome
 
 (** The source line the demo removes, as it appears in [exec.c]. *)
 val offending_line : string

@@ -107,7 +107,7 @@ let plant_crash ns db =
       pr_frames = frames;
     }
 
-let boot ?w ?h ?place ?(remote = false) () =
+let boot ?w ?h ?place ?(remote = false) ?fault () =
   (* each session starts a fresh observability ledger (and a fresh
      logical trace clock), so scripted sessions trace identically *)
   Trace.reset ();
@@ -135,7 +135,13 @@ let boot ?w ?h ?place ?(remote = false) () =
   Vfs.write_file ns "/help/shell/run" shell_run_script;
   let help = Help.create ?w ?h ?place ns sh in
   let metrics = Metrics.attach help in
-  let srv = Help_srv.mount help in
+  (* under fault injection, give the client a deeper retry budget: at a
+     10-30% fault rate a run of max_retries+1 consecutive faulted
+     replies is otherwise reachable in a long session *)
+  let max_retries = Option.map (fun _ -> 8) fault in
+  let srv =
+    Help_srv.mount ?wrap:(Option.map Fault.wrap fault) ?max_retries help
+  in
   (* run the user's profile *)
   let _ = Rc.run sh ~cwd:Corpus.home (". " ^ Corpus.home ^ "/lib/profile") in
   (* build the demo binary so the debugger has a symbol table *)

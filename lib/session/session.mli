@@ -30,8 +30,21 @@ val crash_pid : int
     [boot ~remote:true] additionally connects a CPU server and routes
     every external command there — the paper's "invisible call to the
     CPU server".  The session behaves identically; only the 9P link
-    counters differ. *)
-val boot : ?w:int -> ?h:int -> ?place:Hplace.strategy -> ?remote:bool -> unit -> t
+    counters differ.
+
+    [boot ~fault:config] mounts [/mnt/help] through {!Fault.wrap}: a
+    seeded schedule of reply faults exercises the client's retry paths.
+    Because only idempotent kinds are faulted by default, a scripted
+    session still converges to the fault-free screen state — with
+    [nine.fault.*] and [nine.retry.*] counters to show for it. *)
+val boot :
+  ?w:int ->
+  ?h:int ->
+  ?place:Hplace.strategy ->
+  ?remote:bool ->
+  ?fault:Fault.config ->
+  unit ->
+  t
 
 (** {1 Looking around} *)
 

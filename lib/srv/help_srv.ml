@@ -362,10 +362,10 @@ let install_glue sh =
   Rc.register sh "/bin/help/parse" parse_native;
   Rc.register sh "/bin/help/buf" buf_native
 
-let mount help =
+let mount ?wrap ?max_retries help =
   let ns = Help.ns help in
   let sh = Help.shell help in
   let fs = filesystem help in
-  let srv = Nine.serve_mount ns "/mnt/help" fs in
+  let srv = Nine.serve_mount ?wrap ?max_retries ns "/mnt/help" fs in
   install_glue sh;
   srv

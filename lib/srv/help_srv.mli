@@ -31,8 +31,16 @@
 
 (** Build the server for this help instance, mount it at [/mnt/help] in
     the instance's namespace, and register the glue natives.  Returns
-    the protocol server for statistics. *)
-val mount : Help.t -> Nine.Server.t
+    the protocol server for statistics.  [?wrap] interposes on the
+    transport (e.g. [Fault.wrap] for fault injection); if the wrapped
+    transport cannot complete version/attach, the exception propagates
+    and nothing is mounted.  [?max_retries] is the client's retry
+    budget (see [Nine.serve_mount]). *)
+val mount :
+  ?wrap:((string -> string) -> string -> string) ->
+  ?max_retries:int ->
+  Help.t ->
+  Nine.Server.t
 
 (** The raw filesystem (pre-9P), for tests that want to poke it
     directly. *)

@@ -16,6 +16,11 @@ let set_clock f = clock := f
 let use_logical_clock () = clock := logical_clock
 let now_us () = !clock ()
 
+(* Model waiting (a client timeout, retry backoff, injected latency) by
+   jumping the logical clock forward.  An injected wall clock keeps its
+   own time, so this is a no-op under [set_clock]. *)
+let advance n = if n > 0 then logical := !logical + n
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 

@@ -27,6 +27,12 @@ val use_logical_clock : unit -> unit
 (** Read the clock (advances the logical clock by one tick). *)
 val now_us : unit -> int
 
+(** Jump the logical clock forward [n] microseconds without a reading —
+    how deterministic components model waiting (client RPC timeouts and
+    retry backoff, injected transport latency).  No effect on a clock
+    installed with {!set_clock}. *)
+val advance : int -> unit
+
 (** {1 Counters} *)
 
 type counter

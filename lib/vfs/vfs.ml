@@ -284,15 +284,22 @@ let bind_after t path fs =
       t.mounts <- (comps, ref (existing @ [ fs ])) :: t.mounts
 
 (* Try each fs in the union stack; first success wins, Enonexist falls
-   through to the next member. *)
+   through to the next member.  A member whose transport is broken (Eio,
+   e.g. a mount whose client exhausted its retries) also falls through —
+   a flaky mount degrades to whatever the rest of the union provides —
+   but if nothing else answers, the transport error is reported in
+   preference to a generic Enonexist. *)
 let union_find stack f =
-  let rec go = function
-    | [] -> err Enonexist
+  let rec go first_eio = function
+    | [] -> (match first_eio with Some e -> raise (Error e) | None -> err Enonexist)
     | fs :: rest -> (
         try f fs
-        with Error Enonexist when rest <> [] -> go rest)
+        with
+        | Error Enonexist when rest <> [] -> go first_eio rest
+        | Error (Eio _ as e) when rest <> [] ->
+            go (if first_eio = None then Some e else first_eio) rest)
   in
-  go stack
+  go None stack
 
 (* Is [comps] a strict prefix of some mount point?  Such paths exist as
    directories even when no file system provides them (mounting at
@@ -338,17 +345,19 @@ let open_raw t path mode ~trunc =
 let read_file t path =
   Trace.incr m_read;
   let f = open_raw t path Read ~trunc:false in
-  let b = Buffer.create 256 in
-  let rec loop off =
-    let chunk = f.of_read ~off ~count:65536 in
-    if chunk <> "" then begin
-      Buffer.add_string b chunk;
-      loop (off + String.length chunk)
-    end
-  in
-  loop 0;
-  f.of_close ();
-  Buffer.contents b
+  Fun.protect
+    ~finally:(fun () -> try f.of_close () with _ -> ())
+    (fun () ->
+      let b = Buffer.create 256 in
+      let rec loop off =
+        let chunk = f.of_read ~off ~count:65536 in
+        if chunk <> "" then begin
+          Buffer.add_string b chunk;
+          loop (off + String.length chunk)
+        end
+      in
+      loop 0;
+      Buffer.contents b)
 
 let write_file t path data =
   Trace.incr m_write;
@@ -365,13 +374,14 @@ let write_file t path data =
             try
               fs.fs_create rest ~dir:false;
               fs.fs_open rest Write ~trunc:true
-            with Error (Eperm | Enonexist | Enotdir) when more <> [] ->
+            with Error (Eperm | Enonexist | Enotdir | Eio _) when more <> [] ->
               create_in more)
       in
       create_in stack
   in
-  let _ = f.of_write ~off:0 data in
-  f.of_close ()
+  Fun.protect
+    ~finally:(fun () -> try f.of_close () with _ -> ())
+    (fun () -> ignore (f.of_write ~off:0 data))
 
 let append_file t path data =
   Trace.incr m_write;
@@ -390,13 +400,14 @@ let append_file t path data =
             try
               fs.fs_create rest ~dir:false;
               fs.fs_open rest Write ~trunc:false
-            with Error (Eperm | Enonexist | Enotdir) when more <> [] ->
+            with Error (Eperm | Enonexist | Enotdir | Eio _) when more <> [] ->
               create_in more)
       in
       (create_in stack, 0)
   in
-  let _ = f.of_write ~off data in
-  f.of_close ()
+  Fun.protect
+    ~finally:(fun () -> try f.of_close () with _ -> ())
+    (fun () -> ignore (f.of_write ~off data))
 
 let mkdir t path =
   Trace.incr m_create;
@@ -438,6 +449,7 @@ let readdir t path =
   let seen = Hashtbl.create 16 in
   let entries = ref [] in
   let any = ref false in
+  let first_eio = ref None in
   List.iter
     (fun fs ->
       match fs.fs_readdir rest with
@@ -450,6 +462,10 @@ let readdir t path =
                 entries := st :: !entries
               end)
             stats
+      | exception Error (Eio _ as e) ->
+          (* a broken member degrades to the others, but remember the
+             transport error in case nothing answers *)
+          if !first_eio = None then first_eio := Some e
       | exception Error _ -> ())
     stack;
   (* Mount points directly under this directory appear as entries too. *)
@@ -473,7 +489,8 @@ let readdir t path =
           end
       | _ -> ())
     t.mounts;
-  if not !any then err Enonexist;
+  if not !any then
+    (match !first_eio with Some e -> raise (Error e) | None -> err Enonexist);
   List.sort (fun a b -> compare a.st_name b.st_name) !entries
 
 let subtree t prefix =

@@ -75,7 +75,10 @@ val mount : t -> string -> filesystem -> unit
 
 (** [bind_after t path fs] unions [fs] after the existing trees at
     [path], as Plan 9's [bind -a]: lookups try earlier trees first,
-    directory reads union all. *)
+    directory reads union all.  A member that fails with [Eio] (a
+    broken transport) is skipped like [Enonexist] — the union degrades
+    to its healthy members — but if no member answers, the first
+    transport error is re-raised rather than a generic [Enonexist]. *)
 val bind_after : t -> string -> filesystem -> unit
 
 (** A RAM file system rooted at a fresh tree, usable with {!mount}. *)

@@ -142,9 +142,10 @@ let e2e_tests =
         Vfs.write_file ns "/mnt/nine/f" "x";
         Vfs.remove ns "/mnt/nine/f";
         check_bool "gone" false (Vfs.exists ns "/mnt/nine/f"));
-    Alcotest.test_case "a corrupted frame surfaces as Bad_message" `Quick
-      (fun () ->
-        (* failure injection: flip a byte in every server reply *)
+    Alcotest.test_case "a persistently corrupted frame fails after retries"
+      `Quick (fun () ->
+        (* failure injection: flip a byte in every server reply; the
+           client retries, then gives up with a transport error *)
         let ns = Vfs.create () in
         let srv = Nine.Server.create (Vfs.ramfs ns) in
         let corrupt packet =
@@ -156,9 +157,10 @@ let e2e_tests =
         in
         check_bool "detected" true
           (match Nine.Client.connect corrupt with
-          | exception Nine.Bad_message _ -> true
+          | exception Vfs.Error (Vfs.Eio _) -> true
           | _ -> false));
-    Alcotest.test_case "a tag mismatch is rejected" `Quick (fun () ->
+    Alcotest.test_case "a persistent tag mismatch fails after retries" `Quick
+      (fun () ->
         let ns = Vfs.create () in
         let srv = Nine.Server.create (Vfs.ramfs ns) in
         let retag packet =
@@ -170,7 +172,36 @@ let e2e_tests =
         in
         check_bool "detected" true
           (match Nine.Client.connect retag with
-          | exception Nine.Bad_message _ -> true
+          | exception Vfs.Error (Vfs.Eio _) -> true
+          | _ -> false));
+    Alcotest.test_case "a transient fault is retried transparently" `Quick
+      (fun () ->
+        (* drop exactly one read reply: the client times out, retries,
+           and the caller never notices *)
+        let ns = Vfs.create () in
+        let srv = Nine.Server.create (Vfs.ramfs ns) in
+        let dropped = ref false in
+        let flaky packet =
+          let reply = Nine.Server.rpc srv packet in
+          match Nine.decode_t packet with
+          | _, Nine.Tread _ when not !dropped ->
+              dropped := true;
+              raise Nine.Timeout
+          | _ -> reply
+        in
+        let c = Nine.Client.connect flaky in
+        let outer = Vfs.create () in
+        Vfs.mount outer "/mnt/nine" (Nine.Client.filesystem c);
+        Vfs.write_file outer "/mnt/nine/f" "survives";
+        let before = Trace.find_value "nine.retry.read" in
+        check_str "read through one drop" "survives"
+          (Vfs.read_file outer "/mnt/nine/f");
+        check_bool "dropped once" true !dropped;
+        let after = Trace.find_value "nine.retry.read" in
+        check_bool "retry counted" true
+          (match (before, after) with
+          | Some b, Some a -> a = b + 1
+          | None, Some a -> a >= 1
           | _ -> false));
     Alcotest.test_case "stacked mounts: nine over nine" `Quick (fun () ->
         (* the CPU-server topology in miniature: a server exporting a
