@@ -9,4 +9,6 @@ dune runtest
 dune exec bench/main.exe -- trace-smoke
 dune exec bench/main.exe -- search-smoke
 dune exec bench/main.exe -- fault-smoke
+dune exec bench/main.exe -- pool-smoke
+dune exec bench/main.exe -- doc-lint
 dune exec bench/main.exe -- quick

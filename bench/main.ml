@@ -19,10 +19,12 @@ let row fmt = Printf.printf fmt
 let j_e7 : (string * float) list ref = ref []  (* ns per operation *)
 let j_e10 : (string * float) list ref = ref []  (* wall milliseconds *)
 let j_e11 : (string * float) list ref = ref []  (* search ns/op + ratios *)
+let j_e12 : (string * float) list ref = ref []  (* pool load figures *)
 
 let j7 name v = j_e7 := (name, v) :: !j_e7
 let j10 name v = j_e10 := (name, v) :: !j_e10
 let j11 name v = j_e11 := (name, v) :: !j_e11
+let j12 name v = j_e12 := (name, v) :: !j_e12
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -64,17 +66,20 @@ let write_json path =
   in
   let rates = cache_hit_rates () in
   Printf.fprintf oc
-    "{\n  \"schema\": \"help-bench-3\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
+    "{\n  \"schema\": \"help-bench-4\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
      \"e10_ms\": {\n%s\n  },\n  \"search\": {\n%s\n  },\n  \
+     \"pool\": {\n%s\n  },\n  \
      \"cache_hit_rates\": {\n%s\n  }\n}\n"
     (table (List.rev !j_e7))
     (table (List.rev !j_e10))
     (table (List.rev !j_e11))
+    (table (List.rev !j_e12))
     (table ~fmt:(format_of_string "%.4f") rates);
   close_out oc;
-  Printf.printf "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d hit-rates)\n"
+  Printf.printf
+    "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d pool rows, %d hit-rates)\n"
     path (List.length !j_e7) (List.length !j_e10) (List.length !j_e11)
-    (List.length rates)
+    (List.length !j_e12) (List.length rates)
 
 (* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
@@ -979,7 +984,344 @@ let fault_smoke () =
       List.iter (fun f -> Printf.printf "fault-smoke FAIL: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* E12: the multi-client serving layer under load.  Eight simulated
+   clients attach to one session's /mnt/help pool, each with its own
+   connection (disjoint fid table, own uname), and replay three rounds
+   of the figure-session RPC mix — create a window, append, read the
+   body, the shared index, the ctl line.  Reported: RPCs per operation,
+   fairness spread across the eight connections, and fid accounting
+   after the clients disconnect; run again under a 10% fault schedule
+   the screens must still converge byte for byte. *)
+
+type load_outcome = {
+  l_dump : string;  (* the session screen after the load *)
+  l_ops : int;  (* whole-file operations issued by the clients *)
+  l_rpcs : int;  (* requests served across the client connections *)
+  l_spread : float;  (* max/min served among the clients *)
+  l_leaked : int;  (* fids above baseline after every client left *)
+}
+
+let pool_load ?fault () =
+  let s = Session.boot () in
+  let baseline = Nine.Server.fid_count s.Session.srv in
+  let wrap = Option.map Fault.wrap fault in
+  let max_retries = Option.map (fun _ -> 8) fault in
+  let n = 8 in
+  let clients =
+    List.init n (fun i ->
+        Session.attach_client ?wrap ?max_retries
+          ~uname:(Printf.sprintf "client%d" i) s)
+  in
+  let scratch = Vfs.create () in
+  List.iteri
+    (fun i (_, fs) -> Vfs.mount scratch (Printf.sprintf "/c%d" i) fs)
+    clients;
+  let ops = ref 0 in
+  let op f = incr ops; f () in
+  let wins = Array.make n "" in
+  for round = 0 to 2 do
+    List.iteri
+      (fun i _ ->
+        let root = Printf.sprintf "/c%d" i in
+        if round = 0 then
+          wins.(i) <-
+            op (fun () -> String.trim (Vfs.read_file scratch (root ^ "/new/ctl")));
+        let w = Printf.sprintf "%s/%s" root wins.(i) in
+        op (fun () ->
+            Vfs.write_file scratch (w ^ "/bodyapp")
+              (Printf.sprintf "client %d round %d\n" i round));
+        ignore (op (fun () -> Vfs.read_file scratch (w ^ "/body")));
+        ignore (op (fun () -> Vfs.read_file scratch (root ^ "/index")));
+        ignore (op (fun () -> Vfs.read_file scratch (w ^ "/ctl"))))
+      clients
+  done;
+  let serveds = List.map (fun (c, _) -> Nine.Pool.served c) clients in
+  let rpcs = List.fold_left ( + ) 0 serveds in
+  let spread =
+    match serveds with
+    | [] -> 1.0
+    | s0 :: rest ->
+        let mn = List.fold_left min s0 rest in
+        let mx = List.fold_left max s0 rest in
+        if mn = 0 then infinity else float_of_int mx /. float_of_int mn
+  in
+  let dump = Session.dump s in
+  List.iter (fun (c, _) -> Nine.Pool.disconnect c) clients;
+  {
+    l_dump = dump;
+    l_ops = !ops;
+    l_rpcs = rpcs;
+    l_spread = spread;
+    l_leaked = Nine.Server.fid_count s.Session.srv - baseline;
+  }
+
+let e12_fault_config = { Fault.default with seed = 0xca11; rate = 0.1 }
+
+let e12_pool () =
+  section "E12" "multi-client load: 8 clients, one pool, round-robin service";
+  let clean = pool_load () in
+  let faulty = pool_load ~fault:e12_fault_config () in
+  let per_op o = float_of_int o.l_rpcs /. float_of_int o.l_ops in
+  row "%-36s %10s %12s\n" "" "clean" "10% faults";
+  row "%-36s %10d %12d\n" "client operations" clean.l_ops faulty.l_ops;
+  row "%-36s %10d %12d\n" "RPCs served (8 connections)" clean.l_rpcs
+    faulty.l_rpcs;
+  row "%-36s %10.2f %12.2f\n" "RPCs per operation" (per_op clean)
+    (per_op faulty);
+  row "%-36s %10.2f %12.2f\n" "fairness spread (max/min served)"
+    clean.l_spread faulty.l_spread;
+  row "%-36s %10d %12d\n" "fids leaked after disconnect" clean.l_leaked
+    faulty.l_leaked;
+  row "screens byte-identical under faults: %s\n"
+    (if clean.l_dump = faulty.l_dump then "yes" else "NO");
+  j12 "rpcs_per_op" (per_op clean);
+  j12 "rpcs_per_op_faulted" (per_op faulty);
+  j12 "fairness_spread" clean.l_spread;
+  j12 "fairness_spread_faulted" faulty.l_spread;
+  j12 "leaked_fids" (float_of_int (clean.l_leaked + faulty.l_leaked));
+  j12 "screens_identical" (if clean.l_dump = faulty.l_dump then 1.0 else 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* pool-smoke: the multi-client gate.  The E12 load must hold its
+   invariants exactly: zero leaked fids, fairness spread within 2x,
+   byte-identical screens under the fault schedule, coherent flush
+   accounting, and the per-connection stats visible through the
+   mount's own stats file.  Exits nonzero on any failure. *)
+
+let pool_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let clean = pool_load () in
+  let faulty =
+    match pool_load ~fault:e12_fault_config () with
+    | o -> Some o
+    | exception e ->
+        check
+          (Printf.sprintf "faulted load completes (got %s)"
+             (Printexc.to_string e))
+          false;
+        None
+  in
+  (match faulty with
+  | None -> ()
+  | Some faulty ->
+      check "screens byte-identical under faults"
+        (clean.l_dump = faulty.l_dump);
+      check "zero leaked fids (clean)" (clean.l_leaked = 0);
+      check "zero leaked fids (faulted)" (faulty.l_leaked = 0);
+      check "fairness spread within 2x (clean)" (clean.l_spread <= 2.0);
+      check "fairness spread within 2x (faulted)" (faulty.l_spread <= 2.0);
+      (* counters were reset at the faulted boot, so they describe the
+         faulted run alone: every flush that reached the pool was
+         either a cancellation or stale — nothing unaccounted *)
+      let v name = Option.value ~default:0 (Trace.find_value name) in
+      check "faults were actually injected" (v "nine.fault.injected" > 0);
+      check "flush accounting coherent (received = cancelled + stale)"
+        (v "nine.flush.received"
+        = v "nine.flush.cancelled" + v "nine.flush.stale");
+      check "per-connection stats on the ledger"
+        (Hstr.contains (Trace.stats_text ()) ~sub:"nine.conn.attached"));
+  match List.rev !failed with
+  | [] ->
+      Printf.printf
+        "pool-smoke: ok (8 clients, %d ops, %.2f RPCs/op, spread %.2f, 0 \
+         leaked fids)\n"
+        clean.l_ops
+        (float_of_int clean.l_rpcs /. float_of_int clean.l_ops)
+        clean.l_spread;
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "pool-smoke FAIL: %s\n" f) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* doc-lint: the documentation gate.  Two classes of drift are caught:
+   an interface file without its top-level doc comment, and a doc/*.md
+   (or README.md) reference that no longer resolves — a repo path that
+   is gone, or a metric name the Trace registry has never heard of.
+   Metric names are resolved against the live registry (instruments are
+   registered at module initialization, so linking the libraries is
+   enough); wildcard references like nine.rpc.<kind> or nine.conn.*
+   are checked as prefixes. *)
+
+let doc_lint () =
+  let failed = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failed := s :: !failed) fmt in
+  if not (Sys.file_exists "lib" && Sys.is_directory "lib") then begin
+    print_endline "doc-lint FAIL: must run from the repository root";
+    exit 1
+  end;
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* 1. every public interface starts with a doc comment *)
+  let mlis =
+    Sys.readdir "lib" |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun d ->
+           let dir = Filename.concat "lib" d in
+           if Sys.is_directory dir then
+             Sys.readdir dir |> Array.to_list |> List.sort compare
+             |> List.filter (fun f -> Filename.check_suffix f ".mli")
+             |> List.map (Filename.concat dir)
+           else [])
+  in
+  List.iter
+    (fun path ->
+      let s = read_file path in
+      let n = String.length s in
+      let rec skip i =
+        if i < n && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r')
+        then skip (i + 1)
+        else i
+      in
+      let i = skip 0 in
+      if not (i + 3 <= n && String.sub s i 3 = "(**") then
+        fail "%s: missing top-level doc comment" path)
+    mlis;
+  (* 2. references in the docs resolve against the tree and the
+     metrics registry *)
+  let docs =
+    "README.md"
+    :: (Sys.readdir "doc" |> Array.to_list |> List.sort compare
+       |> List.filter (fun f -> Filename.check_suffix f ".md")
+       |> List.map (Filename.concat "doc"))
+  in
+  let stats = Trace.stats_text () in
+  let checked = ref 0 in
+  let path_ok t =
+    (* a reference into the tree: strip a trailing anchor first *)
+    let t =
+      match String.index_opt t '#' with
+      | Some i -> String.sub t 0 i
+      | None -> t
+    in
+    t = "" || Sys.file_exists t
+    || (* a dune target (bench/main.exe): check its source instead *)
+    (Filename.check_suffix t ".exe"
+    && Sys.file_exists (Filename.chop_suffix t ".exe" ^ ".ml"))
+  in
+  let is_tree_path t =
+    String.length t > 0
+    && List.exists
+         (fun p ->
+           String.length t > String.length p
+           && String.sub t 0 (String.length p) = p)
+         [ "lib/"; "doc/"; "bench/"; "test/" ]
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '.' || c = '/' || c = '_' || c = '-' || c = '#')
+         t
+  in
+  let is_root_doc t =
+    (not (String.contains t '/'))
+    && (Filename.check_suffix t ".md" || Filename.check_suffix t ".sh")
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '.' || c = '_' || c = '-')
+         t
+  in
+  let metric_prefixes =
+    [ "nine."; "help."; "cbr."; "regexp."; "metrics."; "rc."; "vfs.";
+      "trace." ]
+  in
+  let is_metric t =
+    List.exists
+      (fun p ->
+        String.length t > String.length p
+        && String.sub t 0 (String.length p) = p)
+      metric_prefixes
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= '0' && c <= '9')
+           || c = '.' || c = '_' || c = '<' || c = '>' || c = '*')
+         t
+  in
+  let all_digits seg = seg <> "" && String.for_all (fun c -> c >= '0' && c <= '9') seg in
+  let metric_ok t =
+    let segs = String.split_on_char '.' t in
+    if List.exists all_digits segs then true (* a man-page ref: ed.1, helpfs.4 *)
+    else if
+      List.mem (List.nth segs (List.length segs - 1))
+        [ "ml"; "mli"; "md"; "sh"; "json"; "exe" ]
+    then true (* a bare file name, not a metric *)
+    else begin
+      (* cut at the first wildcard and check the prefix is known *)
+      let cut =
+        match (String.index_opt t '<', String.index_opt t '*') with
+        | Some i, Some j -> min i j
+        | Some i, None | None, Some i -> i
+        | None, None -> String.length t
+      in
+      let prefix = String.sub t 0 cut in
+      incr checked;
+      Hstr.contains stats ~sub:prefix
+    end
+  in
+  let check_token doc t =
+    if is_tree_path t then begin
+      incr checked;
+      if not (path_ok t) then fail "%s: dangling path reference %s" doc t
+    end
+    else if is_root_doc t then begin
+      incr checked;
+      if not (path_ok t || path_ok (Filename.concat "doc" t)) then
+        fail "%s: dangling doc reference %s" doc t
+    end
+    else if is_metric t then begin
+      if not (metric_ok t) then fail "%s: unknown metric %s" doc t
+    end
+  in
+  List.iter
+    (fun doc ->
+      let content = read_file doc in
+      (* backtick code spans *)
+      let spans = String.split_on_char '`' content in
+      List.iteri
+        (fun i span -> if i mod 2 = 1 then check_token doc span)
+        spans;
+      (* markdown link targets: ](target) *)
+      let n = String.length content in
+      let rec links i =
+        if i + 2 < n then
+          if content.[i] = ']' && content.[i + 1] = '(' then begin
+            (match String.index_from_opt content (i + 2) ')' with
+            | Some j ->
+                let t = String.sub content (i + 2) (j - i - 2) in
+                if
+                  String.length t > 0
+                  && (not (Hstr.contains t ~sub:"://"))
+                  && t.[0] <> '/'
+                then check_token doc t
+            | None -> ());
+            links (i + 2)
+          end
+          else links (i + 1)
+      in
+      links 0)
+    docs;
+  match List.rev !failed with
+  | [] ->
+      Printf.printf "doc-lint: ok (%d interfaces, %d references across %d docs)\n"
+        (List.length mlis) !checked (List.length docs);
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "doc-lint FAIL: %s\n" f) fs;
+      exit 1
+
 let () =
+  if Array.exists (fun a -> a = "pool-smoke") Sys.argv then pool_smoke ();
+  if Array.exists (fun a -> a = "doc-lint") Sys.argv then doc_lint ();
   if Array.exists (fun a -> a = "trace-smoke") Sys.argv then trace_smoke ();
   if Array.exists (fun a -> a = "search-smoke") Sys.argv then search_smoke ();
   if Array.exists (fun a -> a = "fault-smoke") Sys.argv then fault_smoke ();
@@ -1004,6 +1346,7 @@ let () =
   e8_decl ();
   e9_remote ();
   e11_search ();
+  e12_pool ();
   if not quick then begin
     e10_scale ();
     microbenches ()

@@ -11,7 +11,9 @@ let connect ~install help =
   let csh = Rc.create cns in
   install csh;
   (* one 9P link carries the whole terminal namespace *)
-  let link = Nine.serve_mount cns "/mnt/term" (Vfs.subtree terminal_ns "/") in
+  let link =
+    Nine.serve_mount ~uname:"cpu" cns "/mnt/term" (Vfs.subtree terminal_ns "/")
+  in
   List.iter
     (fun dir ->
       if Vfs.exists terminal_ns dir then

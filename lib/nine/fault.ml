@@ -12,8 +12,9 @@
    fault-smoke gate checks.
 
    Faults are restricted to the kinds in [config.kinds] (by default the
-   client's retryable set), so non-idempotent writes are never silently
-   re-executed.  Every injected fault is tallied in the Trace ledger as
+   client's retryable set minus flush), so non-idempotent writes are
+   never silently re-executed and a cancellation is never itself
+   cancelled.  Every injected fault is tallied in the Trace ledger as
    [nine.fault.injected] plus a per-fault [nine.fault.<name>] counter,
    making a scripted faulty session fully reproducible: same seed, same
    faults, same counters. *)

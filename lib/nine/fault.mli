@@ -31,8 +31,9 @@ type config = {
   drop_us : int;  (** simulated wait before a dropped reply times out *)
 }
 
-(** 10% fault rate over the client's retryable kinds
-    (version/attach/walk/stat/read/clunk), all six faults in the mix,
+(** 10% fault rate over the client's retryable kinds minus flush
+    (version/attach/walk/stat/read/clunk — flush is excluded so a
+    cancellation is never itself cancelled), all six faults in the mix,
     120ms simulated waits. *)
 val default : config
 

@@ -22,6 +22,7 @@ type tmsg =
   | Tclunk of { fid : int }
   | Tremove of { fid : int }
   | Tstat of { fid : int }
+  | Tflush of { oldtag : int }
 
 type rmsg =
   | Rversion of { msize : int; version : string }
@@ -34,6 +35,7 @@ type rmsg =
   | Rclunk
   | Rremove
   | Rstat of { stat : stat9 }
+  | Rflush
   | Rerror of { ename : string }
 
 exception Bad_message of string
@@ -56,6 +58,7 @@ let kind_of_t = function
   | Tclunk _ -> "clunk"
   | Tremove _ -> "remove"
   | Tstat _ -> "stat"
+  | Tflush _ -> "flush"
 
 (* ------------------------------------------------------------------ *)
 (* Little-endian primitives over Buffer / string cursor                *)
@@ -131,6 +134,8 @@ let msg_rversion = 101
 let msg_tattach = 104
 let msg_rattach = 105
 let msg_rerror = 107
+let msg_tflush = 108
+let msg_rflush = 109
 let msg_twalk = 110
 let msg_rwalk = 111
 let msg_topen = 112
@@ -236,6 +241,7 @@ let encode_t ~tag msg =
   | Tclunk { fid } -> frame msg_tclunk ~tag (body (fun b -> put_u32 b fid))
   | Tremove { fid } -> frame msg_tremove ~tag (body (fun b -> put_u32 b fid))
   | Tstat { fid } -> frame msg_tstat ~tag (body (fun b -> put_u32 b fid))
+  | Tflush { oldtag } -> frame msg_tflush ~tag (body (fun b -> put_u16 b oldtag))
 
 let decode_t s =
   let typ, tag, c = unframe s in
@@ -281,6 +287,7 @@ let decode_t s =
     else if typ = msg_tclunk then Tclunk { fid = get_u32 c }
     else if typ = msg_tremove then Tremove { fid = get_u32 c }
     else if typ = msg_tstat then Tstat { fid = get_u32 c }
+    else if typ = msg_tflush then Tflush { oldtag = get_u16 c }
     else bad (Printf.sprintf "unknown T-message type %d" typ)
   in
   if c.at <> String.length s then bad "trailing bytes";
@@ -348,6 +355,7 @@ let encode_r ~tag msg =
   | Rwrite { count } -> frame msg_rwrite ~tag (body (fun b -> put_u32 b count))
   | Rclunk -> frame msg_rclunk ~tag ""
   | Rremove -> frame msg_rremove ~tag ""
+  | Rflush -> frame msg_rflush ~tag ""
   | Rstat { stat } ->
       frame msg_rstat ~tag (body (fun b -> Buffer.add_string b (encode_stat stat)))
   | Rerror { ename } -> frame msg_rerror ~tag (body (fun b -> put_str b ename))
@@ -379,6 +387,7 @@ let decode_r s =
     else if typ = msg_rwrite then Rwrite { count = get_u32 c }
     else if typ = msg_rclunk then Rclunk
     else if typ = msg_rremove then Rremove
+    else if typ = msg_rflush then Rflush
     else if typ = msg_rstat then Rstat { stat = decode_stat_c c }
     else if typ = msg_rerror then Rerror { ename = get_str c }
     else bad (Printf.sprintf "unknown R-message type %d" typ)
@@ -413,17 +422,66 @@ module Server = struct
     mutable dirdata : string option;  (* rendered dir contents if a dir *)
   }
 
+  (* One client connection: its own fid table, negotiated msize and
+     recorded uname.  Nothing a connection does can name another
+     connection's fids — the tables are disjoint by construction. *)
+  type conn = {
+    conn_id : int;
+    fids : (int, fid_state) Hashtbl.t;
+    mutable c_msize : int;  (* negotiated at this connection's Tversion *)
+    mutable c_uname : string;  (* recorded at Tattach, for stats *)
+    mutable c_served : int;  (* requests executed on this connection *)
+  }
+
   type t = {
     fs : Vfs.filesystem;
-    fids : (int, fid_state) Hashtbl.t;
     counts : (string, int) Hashtbl.t;
-    mutable msize : int;  (* negotiated at Tversion *)
+    mutable conns : conn list;  (* in attach order *)
+    mutable next_conn_id : int;
+    mutable default : conn option;  (* lazily made for the 1-client [rpc] *)
   }
 
   let create fs =
-    { fs; fids = Hashtbl.create 32; counts = Hashtbl.create 16; msize = 65536 }
+    { fs; counts = Hashtbl.create 16; conns = []; next_conn_id = 0;
+      default = None }
 
-  let fid_count srv = Hashtbl.length srv.fids
+  let conn_gauge = Trace.gauge "nine.conn.active"
+  let conn_attached = Trace.counter "nine.conn.attached"
+
+  let connection ?(uname = "none") srv =
+    let conn =
+      { conn_id = srv.next_conn_id; fids = Hashtbl.create 32; c_msize = 65536;
+        c_uname = uname; c_served = 0 }
+    in
+    srv.next_conn_id <- srv.next_conn_id + 1;
+    srv.conns <- srv.conns @ [ conn ];
+    Trace.incr conn_attached;
+    Trace.set_gauge conn_gauge (List.length srv.conns);
+    conn
+
+  let conn_id conn = conn.conn_id
+  let conn_uname conn = conn.c_uname
+  let conn_served conn = conn.c_served
+  let conn_fid_count conn = Hashtbl.length conn.fids
+
+  (* Drop a connection: close whatever it left open and forget its
+     fids.  A client that vanishes must not pin files forever. *)
+  let disconnect srv conn =
+    Hashtbl.iter
+      (fun _ st ->
+        match st.opened with
+        | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
+        | None -> ())
+      conn.fids;
+    Hashtbl.reset conn.fids;
+    srv.conns <- List.filter (fun c -> c != conn) srv.conns;
+    if srv.default = Some conn then srv.default <- None;
+    Trace.set_gauge conn_gauge (List.length srv.conns)
+
+  let connections srv = srv.conns
+
+  let fid_count srv =
+    List.fold_left (fun acc c -> acc + Hashtbl.length c.fids) 0 srv.conns
 
   let count srv kind =
     Hashtbl.replace srv.counts kind
@@ -433,8 +491,8 @@ module Server = struct
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) srv.counts []
     |> List.sort compare
 
-  let lookup srv fid =
-    match Hashtbl.find_opt srv.fids fid with
+  let lookup conn fid =
+    match Hashtbl.find_opt conn.fids fid with
     | Some st -> st
     | None -> raise (Vfs.Error (Vfs.Eio "unknown fid"))
 
@@ -446,18 +504,27 @@ module Server = struct
       entries;
     Buffer.contents b
 
-  let exec srv msg =
+  let flush_received = Trace.counter "nine.flush.received"
+
+  let exec srv conn msg =
     match msg with
     | Tversion { msize; version = _ } ->
-        Hashtbl.reset srv.fids;
-        srv.msize <- max 256 (min msize 65536);
-        Rversion { msize = srv.msize; version = "9P2000.help" }
-    | Tattach { fid; _ } ->
+        Hashtbl.reset conn.fids;
+        conn.c_msize <- max 256 (min msize 65536);
+        Rversion { msize = conn.c_msize; version = "9P2000.help" }
+    | Tattach { fid; uname; _ } ->
         let st = srv.fs.fs_stat [] in
-        Hashtbl.replace srv.fids fid { path = []; opened = None; dirdata = None };
+        conn.c_uname <- uname;
+        Hashtbl.replace conn.fids fid { path = []; opened = None; dirdata = None };
         Rattach { qid = qid_of_stat st [] }
+    | Tflush _ ->
+        (* By the time a flush reaches direct execution the old request
+           has either been answered or cancelled out of a pool queue
+           (see [Pool.submit]); all that is left is to acknowledge. *)
+        Trace.incr flush_received;
+        Rflush
     | Twalk { fid; newfid; names } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         (* 9P partial-walk semantics: walk as far as possible and report
            the qids of the components that worked.  Only a walk of the
            whole list binds [newfid]; an error on the first component is
@@ -474,11 +541,11 @@ module Server = struct
         in
         let path', qids = go state.path [] names in
         if List.length qids = List.length names then
-          Hashtbl.replace srv.fids newfid
+          Hashtbl.replace conn.fids newfid
             { path = path'; opened = None; dirdata = None };
         Rwalk { qids }
     | Topen { fid; mode } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         let st = srv.fs.fs_stat state.path in
         if st.st_dir then begin
           state.dirdata <- Some (render_dir srv state.path);
@@ -498,7 +565,7 @@ module Server = struct
           Ropen { qid = qid_of_stat st state.path; iounit }
         end
     | Tcreate { fid; name; dir; mode } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         let path' = state.path @ [ name ] in
         srv.fs.fs_create path' ~dir;
         state.path <- path';
@@ -514,10 +581,10 @@ module Server = struct
           Rcreate { qid = qid_of_stat st path'; iounit }
         end
     | Tread { fid; offset; count } -> (
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         (* the reply must fit the negotiated msize: size[4] type[1]
            tag[2] count[4] leaves msize - 11 bytes for data *)
-        let count = max 0 (min count (srv.msize - 11)) in
+        let count = max 0 (min count (conn.c_msize - 11)) in
         match (state.opened, state.dirdata) with
         | Some f, _ -> Rread { data = f.Vfs.of_read ~off:offset ~count }
         | None, Some data ->
@@ -527,29 +594,29 @@ module Server = struct
               Rread { data = String.sub data offset (min count (len - offset)) }
         | None, None -> raise (Vfs.Error (Vfs.Eio "fid not open")))
     | Twrite { fid; offset; data } -> (
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         match state.opened with
         | Some f -> Rwrite { count = f.Vfs.of_write ~off:offset data }
         | None -> raise (Vfs.Error (Vfs.Eio "fid not open")))
     | Tclunk { fid } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         (* the fid is clunked even when close fails: an error reply must
            not leave it live in the table *)
-        Hashtbl.remove srv.fids fid;
+        Hashtbl.remove conn.fids fid;
         (match state.opened with Some f -> f.Vfs.of_close () | None -> ());
         Rclunk
     | Tremove { fid } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         (* per 9P, remove is "clunk with the side effect of removing":
            the fid is gone even when the removal itself fails *)
-        Hashtbl.remove srv.fids fid;
+        Hashtbl.remove conn.fids fid;
         (match state.opened with
         | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
         | None -> ());
         srv.fs.fs_remove state.path;
         Rremove
     | Tstat { fid } ->
-        let state = lookup srv fid in
+        let state = lookup conn fid in
         let st = srv.fs.fs_stat state.path in
         Rstat { stat = stat9_of_stat st state.path }
 
@@ -560,29 +627,231 @@ module Server = struct
     List.map
       (fun k -> (k, Trace.counter ("nine.rpc." ^ k)))
       [ "version"; "attach"; "walk"; "open"; "create"; "read"; "write";
-        "clunk"; "remove"; "stat" ]
+        "clunk"; "remove"; "stat"; "flush" ]
 
   let rpc_us = Trace.histogram "nine.rpc.us"
   let live_fids = Trace.gauge "nine.fids.live"
 
-  let rpc srv packet =
+  let conn_rpc srv conn packet =
     let tag, msg = decode_t packet in
     let kind = kind_of_t msg in
     count srv kind;
     (match List.assoc_opt kind rpc_counters with
     | Some c -> Trace.incr c
     | None -> ());
+    conn.c_served <- conn.c_served + 1;
     let t0 = Trace.now_us () in
     let reply =
-      if String.length packet > srv.msize then
+      if String.length packet > conn.c_msize then
         Rerror { ename = "message too large" }
       else
-        try exec srv msg
+        try exec srv conn msg
         with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
     in
     Trace.observe rpc_us (Trace.now_us () - t0);
-    Trace.set_gauge live_fids (Hashtbl.length srv.fids);
+    Trace.set_gauge live_fids (fid_count srv);
     encode_r ~tag reply
+
+  (* The single-client entry point of the original server, kept for
+     direct protocol conversations: all its traffic lands on one
+     implicit connection. *)
+  let rpc srv packet =
+    let conn =
+      match srv.default with
+      | Some c -> c
+      | None ->
+          let c = connection ~uname:"direct" srv in
+          srv.default <- Some c;
+          c
+    in
+    conn_rpc srv conn packet
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pool: many connections over one server, drained round-robin         *)
+
+module Pool = struct
+  type outcome = Waiting | Replied of string | Flushed
+
+  type entry = { e_ticket : int; e_tag : int; e_packet : string }
+
+  type conn = {
+    c_pool : pool;
+    sconn : Server.conn;
+    c_rpcs : Trace.counter;  (* nine.conn.<id>.rpcs *)
+    mutable queue : entry list;  (* FIFO; head is served next *)
+    outcomes : (int, outcome) Hashtbl.t;  (* ticket -> disposition *)
+    mutable next_ticket : int;
+    mutable submitted : int;
+  }
+
+  and pool = {
+    srv : Server.t;
+    mutable conns : conn list;  (* in attach order; the scheduler ring *)
+    mutable rr : int;  (* round-robin cursor into [conns] *)
+    mutable journal : (int * int * string) list option;  (* newest first *)
+  }
+
+  type t = pool
+
+  let flush_cancelled = Trace.counter "nine.flush.cancelled"
+  let flush_stale = Trace.counter "nine.flush.stale"
+
+  let create fs = { srv = Server.create fs; conns = []; rr = 0; journal = None }
+  let server p = p.srv
+  let fid_count p = Server.fid_count p.srv
+
+  let attach ?uname p =
+    let sconn = Server.connection ?uname p.srv in
+    let c =
+      {
+        c_pool = p;
+        sconn;
+        c_rpcs =
+          Trace.counter
+            (Printf.sprintf "nine.conn.%d.rpcs" (Server.conn_id sconn));
+        queue = [];
+        outcomes = Hashtbl.create 8;
+        next_ticket = 0;
+        submitted = 0;
+      }
+    in
+    p.conns <- p.conns @ [ c ];
+    c
+
+  let conn_id c = Server.conn_id c.sconn
+  let uname c = Server.conn_uname c.sconn
+  let served c = Server.conn_served c.sconn
+
+  let disconnect c =
+    let p = c.c_pool in
+    p.conns <- List.filter (fun c' -> c' != c) p.conns;
+    if p.rr >= List.length p.conns then p.rr <- 0;
+    Server.disconnect p.srv c.sconn
+
+  (* Accept a request into the connection's queue.  A [Tflush] is the
+     cancellation point: if the flushed tag is still queued — the old
+     request has not run yet — it is removed on the spot and its ticket
+     marked [Flushed], so it will never execute; a flush that arrives
+     after its victim completed is counted stale and changes nothing.
+     The flush itself is then queued and answered ([Rflush]) in order.
+     Malformed packets raise {!Bad_message} to the submitter at once —
+     they never occupy a scheduler slot. *)
+  let submit c packet =
+    let tag, msg = decode_t packet in
+    let ticket = c.next_ticket in
+    c.next_ticket <- ticket + 1;
+    c.submitted <- c.submitted + 1;
+    (match msg with
+    | Tflush { oldtag } -> (
+        match List.find_opt (fun e -> e.e_tag = oldtag) c.queue with
+        | Some e ->
+            c.queue <- List.filter (fun e' -> e' != e) c.queue;
+            Hashtbl.replace c.outcomes e.e_ticket Flushed;
+            Trace.incr flush_cancelled
+        | None -> Trace.incr flush_stale)
+    | _ -> ());
+    Hashtbl.replace c.outcomes ticket Waiting;
+    c.queue <- c.queue @ [ { e_ticket = ticket; e_tag = tag; e_packet = packet } ];
+    ticket
+
+  let poll c ticket =
+    match Hashtbl.find_opt c.outcomes ticket with
+    | Some o -> o
+    | None -> Waiting
+
+  (* Like {!poll}, but a settled ticket is forgotten once observed, so
+     long-lived connections do not accumulate dispositions. *)
+  let take c ticket =
+    let o = poll c ticket in
+    (match o with Waiting -> () | Replied _ | Flushed -> Hashtbl.remove c.outcomes ticket);
+    o
+
+  let pending p = List.fold_left (fun a c -> a + List.length c.queue) 0 p.conns
+
+  let record_journal p on = p.journal <- (if on then Some [] else None)
+
+  let journal p = match p.journal with Some l -> List.rev l | None -> []
+
+  (* Serve exactly one queued request: starting at the round-robin
+     cursor, the first connection with work gets its head-of-queue
+     executed, and the cursor moves past it — each full turn of the
+     ring serves at most one request per connection, so a chatty client
+     waits behind everyone else's next request, never ahead of it.
+     The scheduler is deterministic: conns are scanned in attach order
+     and the server runs on the deterministic logical clock, so the
+     same submission schedule replays to the same interleaving.
+     Returns [false] when every queue is empty. *)
+  let step p =
+    let n = List.length p.conns in
+    let rec find i =
+      if i >= n then None
+      else
+        let idx = (p.rr + i) mod n in
+        let c = List.nth p.conns idx in
+        match c.queue with
+        | [] -> find (i + 1)
+        | e :: rest -> Some (idx, c, e, rest)
+    in
+    if n = 0 then false
+    else
+      match find 0 with
+      | None -> false
+      | Some (idx, c, e, rest) ->
+          c.queue <- rest;
+          p.rr <- (idx + 1) mod n;
+          (match p.journal with
+          | Some l ->
+              let kind =
+                match decode_t e.e_packet with _, m -> kind_of_t m
+              in
+              p.journal <-
+                Some ((Trace.now_us (), Server.conn_id c.sconn, kind) :: l)
+          | None -> ());
+          Trace.incr c.c_rpcs;
+          let reply = Server.conn_rpc p.srv c.sconn e.e_packet in
+          Hashtbl.replace c.outcomes e.e_ticket (Replied reply);
+          true
+
+  let run p = while step p do () done
+
+  (* The synchronous bridge a {!Client} speaks: enqueue, then turn the
+     scheduler until this request's reply is out.  While it waits, the
+     round-robin serves other connections' queued work, so even
+     all-synchronous clients interleave fairly at the RPC level. *)
+  let transport c packet =
+    let ticket = submit c packet in
+    let rec drive () =
+      match take c ticket with
+      | Replied r -> r
+      | Flushed -> raise Timeout
+      | Waiting ->
+          if step c.c_pool then drive ()
+          else raise (Vfs.Error (Vfs.Eio "9p pool: request vanished"))
+    in
+    drive ()
+
+  let stats p =
+    List.map
+      (fun c ->
+        (conn_id c, uname c, served c, Server.conn_fid_count c.sconn))
+      p.conns
+
+  (* Most-served over least-served connection, among those that asked
+     for anything; 1.0 when balanced, [infinity] when someone starved
+     outright. *)
+  let fairness_spread p =
+    let ss =
+      List.filter_map
+        (fun c -> if c.submitted > 0 then Some (served c) else None)
+        p.conns
+    in
+    match ss with
+    | [] -> 1.0
+    | s :: rest ->
+        let mn = List.fold_left min s rest in
+        let mx = List.fold_left max s rest in
+        if mn = 0 then infinity else float_of_int mx /. float_of_int mn
 end
 
 (* ------------------------------------------------------------------ *)
@@ -591,6 +860,7 @@ end
 module Client = struct
   type t = {
     transport : string -> string;
+    uname : string;  (* presented at attach; servers record it for stats *)
     mutable next_tag : int;
     mutable next_fid : int;
     mutable msize : int;  (* negotiated at version; bounds every frame *)
@@ -613,7 +883,9 @@ module Client = struct
      re-binds the root, a re-clunked fid draws a harmless error).  The
      others mutate and are surfaced to the caller instead. *)
   let retryable = function
-    | Tversion _ | Tattach _ | Twalk _ | Tstat _ | Tread _ | Tclunk _ -> true
+    | Tversion _ | Tattach _ | Twalk _ | Tstat _ | Tread _ | Tclunk _
+    | Tflush _ ->
+        true
     | Topen _ | Tcreate _ | Twrite _ | Tremove _ -> false
 
   let retry_counters =
@@ -623,12 +895,24 @@ module Client = struct
 
   let failed_rpcs = Trace.counter "nine.rpc.failed"
   let timeouts = Trace.counter "nine.rpc.timeout"
+  let flush_sent = Trace.counter "nine.flush.sent"
 
   (* Tags cycle through 0..0xfffe; 0xffff is NOTAG, reserved by 9P. *)
   let fresh_tag c =
     let tag = if c.next_tag land 0xffff = 0xffff then 0 else c.next_tag land 0xffff in
     c.next_tag <- (tag + 1) land 0xffff;
     tag
+
+  (* On timeout the tag is not silently abandoned: a best-effort
+     [Tflush oldtag] tells the server to cancel the exchange if it is
+     still queued.  The flush itself is advice — if it too is lost, the
+     fresh-tag-per-attempt discipline already guarantees a stale reply
+     can never be mistaken for a live one — so every failure here is
+     swallowed. *)
+  let send_flush c oldtag =
+    Trace.incr flush_sent;
+    let req = encode_t ~tag:(fresh_tag c) (Tflush { oldtag }) in
+    try ignore (c.transport req) with _ -> ()
 
   let rpc c msg =
     let kind = kind_of_t msg in
@@ -645,26 +929,30 @@ module Client = struct
         match c.transport req with
         | exception Timeout ->
             Trace.incr timeouts;
-            `Failed "timeout"
+            `Failed ("timeout", true)
         | reply -> (
             (* a reply slower than the timeout was already given up on;
                only idempotent requests are timed, so a slow mutation is
                never abandoned half-acknowledged *)
             if retryable msg && Trace.now_us () - t0 > c.timeout_us then begin
               Trace.incr timeouts;
-              `Failed "reply after timeout"
+              `Failed ("reply after timeout", true)
             end
             else
               match decode_r reply with
-              | exception Bad_message m -> `Failed m
+              | exception Bad_message m -> `Failed (m, false)
               | rtag, r ->
-                  if rtag <> tag then `Failed "tag mismatch"
+                  if rtag <> tag then `Failed ("tag mismatch", false)
                   else `Reply r)
       in
       match outcome with
       | `Reply (Rerror { ename }) -> raise (Vfs.Error (error_of_ename ename))
       | `Reply r -> r
-      | `Failed reason ->
+      | `Failed (reason, timed_out) ->
+          (* flush only on timeout-class failures: for a decode error or
+             tag mismatch the exchange did complete, there is nothing
+             left server-side to cancel *)
+          if timed_out then send_flush c tag;
           if retryable msg && n < c.max_retries then begin
             (match List.assoc_opt kind retry_counters with
             | Some ctr -> Trace.incr ctr
@@ -689,17 +977,17 @@ module Client = struct
   let root_fid = 0
 
   let connect ?(timeout_us = 50_000) ?(max_retries = 3) ?(backoff_us = 1_000)
-      transport =
+      ?(uname = "help") transport =
     let c =
-      { transport; next_tag = 1; next_fid = 1; msize = 65536; timeout_us;
-        max_retries; backoff_us }
+      { transport; uname; next_tag = 1; next_fid = 1; msize = 65536;
+        timeout_us; max_retries; backoff_us }
     in
     (match rpc c (Tversion { msize = c.msize; version = "9P2000.help" }) with
     | Rversion { msize; _ } ->
         if msize < 256 then bad "negotiated msize too small";
         c.msize <- min c.msize msize
     | _ -> bad "expected Rversion");
-    (match rpc c (Tattach { fid = root_fid; uname = "help"; aname = "" }) with
+    (match rpc c (Tattach { fid = root_fid; uname = c.uname; aname = "" }) with
     | Rattach _ -> ()
     | _ -> bad "expected Rattach");
     c
@@ -859,13 +1147,19 @@ module Client = struct
     { Vfs.fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
 end
 
-let serve_mount ?wrap ?max_retries ns path fs =
-  let srv = Server.create fs in
+let serve_mount_pool ?wrap ?max_retries ?(uname = "help") ns path fs =
+  let pool = Pool.create fs in
+  let conn = Pool.attach ~uname pool in
   let transport =
-    match wrap with Some w -> w (Server.rpc srv) | None -> Server.rpc srv
+    match wrap with
+    | Some w -> w (Pool.transport conn)
+    | None -> Pool.transport conn
   in
   (* connect before mounting: if version/attach cannot be completed the
      exception propagates with the namespace untouched *)
-  let client = Client.connect ?max_retries transport in
+  let client = Client.connect ?max_retries ~uname transport in
   Vfs.mount ns path (Client.filesystem client);
-  srv
+  (Pool.server pool, pool)
+
+let serve_mount ?wrap ?max_retries ?uname ns path fs =
+  fst (serve_mount_pool ?wrap ?max_retries ?uname ns path fs)

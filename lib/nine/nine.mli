@@ -39,6 +39,11 @@ type tmsg =
   | Tclunk of { fid : int }
   | Tremove of { fid : int }
   | Tstat of { fid : int }
+  | Tflush of { oldtag : int }
+      (** Cancel the outstanding request carrying [oldtag], if any.
+          Always answered with [Rflush]; whether anything was cancelled
+          shows in the [nine.flush.cancelled] / [nine.flush.stale]
+          counters. *)
 
 type rmsg =
   | Rversion of { msize : int; version : string }
@@ -51,6 +56,7 @@ type rmsg =
   | Rclunk
   | Rremove
   | Rstat of { stat : stat9 }
+  | Rflush
   | Rerror of { ename : string }
 
 exception Bad_message of string
@@ -82,12 +88,47 @@ val decode_stats : string -> stat9 list
 module Server : sig
   type t
 
-  (** Serve the given file system (its paths are server-relative). *)
+  (** One client's seat at the server.  Each connection owns a disjoint
+      fid table, its own negotiated msize, and the [uname] its client
+      presented at attach — fids never cross connections. *)
+  type conn
+
+  (** Serve the given file system (its paths are server-relative).  A
+      fresh server has no connections; they are added by {!connection}
+      (usually via {!Pool.attach}) or implicitly by the first {!rpc}. *)
   val create : Vfs.filesystem -> t
 
-  (** One round-trip: decode a T-message, execute, encode the R-message.
-      Protocol errors become [Rerror]; malformed packets raise
-      {!Bad_message}. *)
+  (** Open a new connection.  [uname] is a provisional label for stats
+      ("none" by default); the [Tattach] on this connection overwrites
+      it with the client's own.  Bumps [nine.conn.attached] and the
+      [nine.conn.active] gauge. *)
+  val connection : ?uname:string -> t -> conn
+
+  (** Close a connection: every open file on it is released, its fid
+      table emptied, and it is removed from the server. *)
+  val disconnect : t -> conn -> unit
+
+  (** Connections currently open, in creation order. *)
+  val connections : t -> conn list
+
+  val conn_id : conn -> int
+  val conn_uname : conn -> string
+
+  (** Requests served on this connection so far. *)
+  val conn_served : conn -> int
+
+  (** Live fids in this connection's table alone. *)
+  val conn_fid_count : conn -> int
+
+  (** One round-trip on an explicit connection: decode a T-message,
+      execute against that connection's fid table and msize, encode the
+      R-message.  Protocol errors become [Rerror]; malformed packets
+      raise {!Bad_message}. *)
+  val conn_rpc : t -> conn -> string -> string
+
+  (** {!conn_rpc} on a lazily-created default connection (uname
+      "direct") — the single-client convenience used by direct tests
+      and the in-process [Cpu] link. *)
   val rpc : t -> string -> string
 
   (** Number of requests served by {e this} server, by message kind
@@ -97,11 +138,108 @@ module Server : sig
       latency histogram (see [Trace]). *)
   val stats : t -> (string * int) list
 
-  (** Number of live fids in the server's table — the leak detector.
-      After every client handle is closed it must return to the count
-      held right after attach (1, the root).  Also exported as the
-      [nine.fids.live] gauge after each rpc. *)
+  (** Number of live fids across {e all} connections — the leak
+      detector.  After every client handle is closed it must return to
+      the count held right after attach (one root fid per attached
+      connection).  Also exported as the [nine.fids.live] gauge after
+      each rpc. *)
   val fid_count : t -> int
+end
+
+(** {1 Pool}
+
+    Many connections over one server, drained by a deterministic
+    round-robin scheduler.  Requests are queued per connection
+    ({!Pool.submit}) and served one at a time ({!Pool.step}): each full
+    turn of the ring serves at most one request per connection, so a
+    chatty client waits behind everyone else's next request and can
+    never starve the rest.  Connections are scanned in attach order and
+    the server runs on the deterministic logical clock, so the same
+    submission schedule replays to the same interleaving byte for
+    byte. *)
+
+module Pool : sig
+  type t
+
+  (** One pooled connection: a submission queue plus its {!Server.conn}
+      seat. *)
+  type conn
+
+  (** What became of a submitted request. *)
+  type outcome =
+    | Waiting  (** still queued, or unknown ticket *)
+    | Replied of string  (** served; the encoded R-message *)
+    | Flushed  (** cancelled by a later [Tflush] before it ran *)
+
+  (** A fresh server wrapped in an empty pool. *)
+  val create : Vfs.filesystem -> t
+
+  (** The underlying server (stats, fid accounting). *)
+  val server : t -> Server.t
+
+  (** Open a connection and add it at the back of the scheduler ring. *)
+  val attach : ?uname:string -> t -> conn
+
+  (** Remove the connection from the ring and release its fids.  Its
+      queued requests are dropped unserved. *)
+  val disconnect : conn -> unit
+
+  val conn_id : conn -> int
+  val uname : conn -> string
+
+  (** Requests served on this connection (from {!Server.conn_served}). *)
+  val served : conn -> int
+
+  (** Queue [packet] and return a ticket for {!poll}/{!take}.  A
+      [Tflush] cancels its victim here if the victim is still queued
+      ([nine.flush.cancelled]; the victim's ticket becomes {!Flushed})
+      and counts [nine.flush.stale] otherwise; either way the flush
+      itself is queued and answered in order.
+      @raise Bad_message on a malformed packet (never queued). *)
+  val submit : conn -> string -> int
+
+  val poll : conn -> int -> outcome
+
+  (** {!poll}, forgetting the ticket once it has settled. *)
+  val take : conn -> int -> outcome
+
+  (** Requests queued across the pool. *)
+  val pending : t -> int
+
+  (** Serve exactly one queued request (round-robin); [false] when all
+      queues are empty. *)
+  val step : t -> bool
+
+  (** {!step} until every queue is empty. *)
+  val run : t -> unit
+
+  (** The synchronous transport a {!Client} speaks: submit, then turn
+      the scheduler until this request's reply is out — other
+      connections' queued work is served on the way, interleaved by the
+      round-robin.
+      @raise Timeout if the request was flushed before running. *)
+  val transport : conn -> string -> string
+
+  (** [(conn_id, uname, served, live fids)] per connection, in ring
+      order. *)
+  val stats : t -> (int * string * int * int) list
+
+  (** Most-served over least-served connection, among connections that
+      submitted at least one request: [1.0] is perfect balance,
+      [infinity] means a requester was never served. *)
+  val fairness_spread : t -> float
+
+  (** {!Server.fid_count} of the pooled server. *)
+  val fid_count : t -> int
+
+  (** [record_journal p true] starts recording [(clock reading, conn
+      id, message kind)] per scheduler step — the interleaving
+      transcript used by replay tests.  Recording reads the clock, so
+      it perturbs timings; leave it off outside tests. *)
+  val record_journal : t -> bool -> unit
+
+  (** The journal recorded so far, oldest first ([] if off). *)
+  val journal : t -> (int * int * string) list
 end
 
 (** {1 Client} *)
@@ -117,15 +255,22 @@ module Client : sig
       doubling per attempt) on the deterministic trace clock; each
       retry increments [nine.retry.<kind>].  A reply arriving more than
       [timeout_us] logical microseconds after such a request was sent
-      counts as lost ([nine.rpc.timeout]).  Exhausted retries — and any
-      failure of a non-idempotent request — raise
-      [Vfs.Error (Eio reason)] and count in [nine.rpc.failed].
+      counts as lost ([nine.rpc.timeout]).  A timed-out tag is not
+      abandoned: a best-effort [Tflush oldtag] ([nine.flush.sent]) asks
+      the server to cancel the exchange before the retry re-issues
+      under a fresh tag.  Exhausted retries — and any failure of a
+      non-idempotent request — raise [Vfs.Error (Eio reason)] and count
+      in [nine.rpc.failed].
+
+      [uname] (default "help") is presented at attach; multi-connection
+      servers record it per connection for stats.
 
       @raise Bad_message if version/attach negotiation itself fails. *)
   val connect :
     ?timeout_us:int ->
     ?max_retries:int ->
     ?backoff_us:int ->
+    ?uname:string ->
     (string -> string) ->
     t
 
@@ -135,18 +280,33 @@ module Client : sig
   val filesystem : t -> Vfs.filesystem
 end
 
-(** [serve_mount ns path fs] wires a server for [fs] to a fresh client
-    and mounts the client's view at [path] in [ns]: from then on all
-    access to [path] crosses the protocol.  Returns the server (for
+(** [serve_mount ns path fs] wires a pooled server for [fs] to a fresh
+    client and mounts the client's view at [path] in [ns]: from then on
+    all access to [path] crosses the protocol.  Returns the server (for
     stats).  [?wrap] interposes on the transport (e.g. {!Fault.wrap});
     the client connects {e before} the mount, so a transport that
     cannot complete version/attach raises with the namespace
     untouched.  [?max_retries] sets the client's retry budget — raise
-    it alongside an aggressive fault schedule. *)
+    it alongside an aggressive fault schedule.  [?uname] (default
+    "help") labels the mount's own connection in per-connection
+    stats. *)
 val serve_mount :
   ?wrap:((string -> string) -> string -> string) ->
   ?max_retries:int ->
+  ?uname:string ->
   Vfs.t ->
   string ->
   Vfs.filesystem ->
   Server.t
+
+(** {!serve_mount}, also returning the pool so further clients can
+    {!Pool.attach} to the same server — how a session becomes
+    multi-tenant (see [Session.attach_client]). *)
+val serve_mount_pool :
+  ?wrap:((string -> string) -> string -> string) ->
+  ?max_retries:int ->
+  ?uname:string ->
+  Vfs.t ->
+  string ->
+  Vfs.filesystem ->
+  Server.t * Pool.t

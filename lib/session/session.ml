@@ -4,6 +4,7 @@ type t = {
   help : Help.t;
   db : Db.t;
   srv : Nine.Server.t;
+  pool : Nine.Pool.t;
   metrics : Metrics.t;
   cpu : Cpu.t option;
 }
@@ -139,8 +140,8 @@ let boot ?w ?h ?place ?(remote = false) ?fault () =
      10-30% fault rate a run of max_retries+1 consecutive faulted
      replies is otherwise reachable in a long session *)
   let max_retries = Option.map (fun _ -> 8) fault in
-  let srv =
-    Help_srv.mount ?wrap:(Option.map Fault.wrap fault) ?max_retries help
+  let srv, pool =
+    Help_srv.mount_multi ?wrap:(Option.map Fault.wrap fault) ?max_retries help
   in
   (* run the user's profile *)
   let _ = Rc.run sh ~cwd:Corpus.home (". " ^ Corpus.home ^ "/lib/profile") in
@@ -175,7 +176,25 @@ let boot ?w ?h ?place ?(remote = false) ?fault () =
       Some cpu
     end
   in
-  { ns; sh; help; db; srv; metrics; cpu }
+  { ns; sh; help; db; srv; pool; metrics; cpu }
+
+(* ------------------------------------------------------------------ *)
+(* More clients                                                        *)
+
+(* An extra seat at the session's own /mnt/help server: a fresh pooled
+   connection with its own fid table, presented as a Vfs.filesystem so
+   a simulated external program can drive help with whole-file
+   operations.  All its RPCs interleave with the session's own through
+   the pool's round-robin. *)
+let attach_client ?wrap ?max_retries ?(uname = "client") t =
+  let conn = Nine.Pool.attach ~uname t.pool in
+  let transport =
+    match wrap with
+    | Some w -> w (Nine.Pool.transport conn)
+    | None -> Nine.Pool.transport conn
+  in
+  let client = Nine.Client.connect ?max_retries ~uname transport in
+  (conn, Nine.Client.filesystem client)
 
 (* ------------------------------------------------------------------ *)
 (* Looking around                                                      *)

@@ -15,6 +15,8 @@ type t = {
   help : Help.t;
   db : Db.t;
   srv : Nine.Server.t;
+  pool : Nine.Pool.t;
+      (** the [/mnt/help] connection pool; {!attach_client} adds seats *)
   metrics : Metrics.t;
   cpu : Cpu.t option;  (** the CPU server, when booted with [~remote:true] *)
 }
@@ -45,6 +47,25 @@ val boot :
   ?fault:Fault.config ->
   unit ->
   t
+
+(** {1 More clients}
+
+    The paper's point is that {e many} independent programs drive help
+    through one file protocol.  [attach_client t] opens another
+    connection to the session's own [/mnt/help] server — a disjoint fid
+    space, its own uname (default "client") in the [nine.conn.*] stats
+    — and returns it with a {!Vfs.filesystem} view, so a simulated
+    external program can read and write windows concurrently with the
+    session.  [?wrap] interposes a fault schedule on just this client's
+    transport; [?max_retries] is its retry budget.  Use
+    [Nine.Pool.disconnect] on the returned connection to release its
+    fids when done. *)
+val attach_client :
+  ?wrap:((string -> string) -> string -> string) ->
+  ?max_retries:int ->
+  ?uname:string ->
+  t ->
+  Nine.Pool.conn * Vfs.filesystem
 
 (** {1 Looking around} *)
 

@@ -42,6 +42,16 @@ val mount :
   Help.t ->
   Nine.Server.t
 
+(** {!mount}, also returning the connection pool so further clients can
+    attach to the same server with their own fid spaces (the mount's
+    own connection carries uname "help").  [Session.attach_client] is
+    the usual caller. *)
+val mount_multi :
+  ?wrap:((string -> string) -> string -> string) ->
+  ?max_retries:int ->
+  Help.t ->
+  Nine.Server.t * Nine.Pool.t
+
 (** The raw filesystem (pre-9P), for tests that want to poke it
     directly. *)
 val filesystem : Help.t -> Vfs.filesystem

@@ -116,6 +116,22 @@ let find_value name =
   | Some (Gauge g) -> Some g.g_v
   | _ -> None
 
+let find_prefix prefix =
+  let plen = String.length prefix in
+  let matches name =
+    String.length name >= plen && String.sub name 0 plen = prefix
+  in
+  Hashtbl.fold
+    (fun name inst acc ->
+      if not (matches name) then acc
+      else
+        match inst with
+        | Counter c -> (name, c.c_v) :: acc
+        | Gauge g -> (name, g.g_v) :: acc
+        | Histogram _ -> acc)
+    registry []
+  |> List.sort compare
+
 (* ------------------------------------------------------------------ *)
 (* Span ring                                                           *)
 

@@ -74,6 +74,12 @@ val stats_text : unit -> string
 (** Current value of a registered counter or gauge by name. *)
 val find_value : string -> int option
 
+(** All registered counters and gauges whose name starts with the given
+    prefix, sorted by name — e.g. [find_prefix "nine.conn."] collects
+    the per-connection serving stats.  Histograms are omitted (use
+    {!histogram_stats}). *)
+val find_prefix : string -> (string * int) list
+
 (** {1 Spans} *)
 
 type span = {

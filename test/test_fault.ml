@@ -72,6 +72,7 @@ let gen_tmsg =
         map (fun fid -> Nine.Tclunk { fid }) (0 -- 1000);
         map (fun fid -> Nine.Tremove { fid }) (0 -- 1000);
         map (fun fid -> Nine.Tstat { fid }) (0 -- 1000);
+        map (fun oldtag -> Nine.Tflush { oldtag }) (0 -- 0xffff);
       ])
 
 let gen_stat9 =
@@ -100,6 +101,7 @@ let gen_rmsg =
         map (fun count -> Nine.Rwrite { count }) (0 -- 65536);
         return Nine.Rclunk;
         return Nine.Rremove;
+        return Nine.Rflush;
         map (fun stat -> Nine.Rstat { stat }) gen_stat9;
         map (fun ename -> Nine.Rerror { ename }) gen_name;
       ])

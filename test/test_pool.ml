@@ -1,0 +1,314 @@
+(* The multi-connection serving layer: per-connection fid spaces,
+   Tflush cancellation, round-robin fairness, and deterministic
+   interleaving replay. *)
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let counter_value name = Option.value ~default:0 (Trace.find_value name)
+
+(* raw message helpers: drive a pooled connection at the wire level *)
+
+let tmsg ~tag m = Nine.encode_t ~tag m
+
+let version ~tag = tmsg ~tag (Nine.Tversion { msize = 65536; version = "9P2000.help" })
+let attach ~tag = tmsg ~tag (Nine.Tattach { fid = 0; uname = "test"; aname = "" })
+let stat_root ~tag = tmsg ~tag (Nine.Tstat { fid = 0 })
+let flush ~tag oldtag = tmsg ~tag (Nine.Tflush { oldtag })
+
+let reply_of = function
+  | Nine.Pool.Replied r -> snd (Nine.decode_r r)
+  | Waiting -> Alcotest.fail "request still waiting"
+  | Flushed -> Alcotest.fail "request unexpectedly flushed"
+
+(* a pool over a ramfs with [n] raw attached connections *)
+let raw_pool n =
+  let ns = Vfs.create () in
+  let pool = Nine.Pool.create (Vfs.ramfs ns) in
+  let conns =
+    List.init n (fun i ->
+        Nine.Pool.attach ~uname:(Printf.sprintf "raw%d" i) pool)
+  in
+  (* negotiate + attach each seat, serving as we go *)
+  List.iter
+    (fun c ->
+      ignore (Nine.Pool.transport c (version ~tag:1));
+      ignore (Nine.Pool.transport c (attach ~tag:2)))
+    conns;
+  (ns, pool, conns)
+
+(* ------------------------------------------------------------------ *)
+(* Codec + queue cancellation                                          *)
+
+let flush_tests =
+  [
+    Alcotest.test_case "Tflush / Rflush round-trip the codec" `Quick (fun () ->
+        (match Nine.decode_t (Nine.encode_t ~tag:3 (Nine.Tflush { oldtag = 77 })) with
+        | 3, Nine.Tflush { oldtag } -> check_int "oldtag" 77 oldtag
+        | _ -> Alcotest.fail "wrong message");
+        match Nine.decode_r (Nine.encode_r ~tag:3 Nine.Rflush) with
+        | 3, Nine.Rflush -> ()
+        | _ -> Alcotest.fail "wrong message");
+    Alcotest.test_case "flushing a queued request cancels it" `Quick (fun () ->
+        let _ns, pool, conns = raw_pool 1 in
+        let c = List.hd conns in
+        let cancelled0 = counter_value "nine.flush.cancelled" in
+        (* queue a walk, then flush it before the scheduler runs *)
+        let victim =
+          Nine.Pool.submit c
+            (tmsg ~tag:5 (Nine.Twalk { fid = 0; newfid = 1; names = [] }))
+        in
+        let fl = Nine.Pool.submit c (flush ~tag:6 5) in
+        Nine.Pool.run pool;
+        check_bool "victim flushed" true
+          (Nine.Pool.take c victim = Nine.Pool.Flushed);
+        (match reply_of (Nine.Pool.take c fl) with
+        | Nine.Rflush -> ()
+        | _ -> Alcotest.fail "expected Rflush");
+        check_int "cancelled counted" (cancelled0 + 1)
+          (counter_value "nine.flush.cancelled");
+        (* the cancelled walk never ran: no fid beyond the root *)
+        check_int "no fid bound" 1 (Nine.Pool.fid_count pool));
+    Alcotest.test_case "flushing a completed request is stale" `Quick (fun () ->
+        let _ns, _pool, conns = raw_pool 1 in
+        let c = List.hd conns in
+        let stale0 = counter_value "nine.flush.stale" in
+        (* the stat is served synchronously; flushing its tag afterwards
+           finds nothing to cancel *)
+        ignore (Nine.Pool.transport c (stat_root ~tag:9));
+        (match snd (Nine.decode_r (Nine.Pool.transport c (flush ~tag:10 9))) with
+        | Nine.Rflush -> ()
+        | _ -> Alcotest.fail "expected Rflush");
+        check_int "stale counted" (stale0 + 1) (counter_value "nine.flush.stale"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fid isolation                                                       *)
+
+let isolation_tests =
+  [
+    Alcotest.test_case "a connection cannot clunk another's fid" `Quick
+      (fun () ->
+        let _ns, pool, conns = raw_pool 2 in
+        let a, b = (List.nth conns 0, List.nth conns 1) in
+        (* A binds fid 7 *)
+        (match
+           snd
+             (Nine.decode_r
+                (Nine.Pool.transport a
+                   (tmsg ~tag:3
+                      (Nine.Twalk { fid = 0; newfid = 7; names = [] }))))
+         with
+        | Nine.Rwalk _ -> ()
+        | _ -> Alcotest.fail "walk failed");
+        (* B clunking 7 draws unknown fid; A's table is untouched *)
+        (match
+           snd
+             (Nine.decode_r
+                (Nine.Pool.transport b (tmsg ~tag:4 (Nine.Tclunk { fid = 7 }))))
+         with
+        | Nine.Rerror { ename } ->
+            check_bool "unknown fid" true
+              (Hstr.find ename ~sub:"unknown fid" <> None)
+        | _ -> Alcotest.fail "expected Rerror");
+        ignore b;
+        check_int "A keeps root + 7" 2
+          (Nine.Server.conn_fid_count
+             (List.nth (Nine.Server.connections (Nine.Pool.server pool)) 0));
+        ignore (Nine.Pool.served a));
+  ]
+
+(* property: whatever fids B clunks or walks, A's fid table is unchanged *)
+let isolation_property =
+  QCheck.Test.make ~name:"B's clunks and walks never touch A's fids"
+    ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 20)
+       (QCheck.make QCheck.Gen.(int_range 0 50)))
+    (fun fids ->
+      let _ns, pool, conns = raw_pool 2 in
+      let a, b = (List.nth conns 0, List.nth conns 1) in
+      (* A binds fids 1..5 *)
+      List.iter
+        (fun newfid ->
+          ignore
+            (Nine.Pool.transport a
+               (tmsg ~tag:(10 + newfid)
+                  (Nine.Twalk { fid = 0; newfid; names = [] }))))
+        [ 1; 2; 3; 4; 5 ];
+      let sconn_a = List.nth (Nine.Server.connections (Nine.Pool.server pool)) 0 in
+      let before = Nine.Server.conn_fid_count sconn_a in
+      List.iteri
+        (fun i fid ->
+          ignore
+            (Nine.Pool.transport b (tmsg ~tag:(100 + i) (Nine.Tclunk { fid })));
+          ignore
+            (Nine.Pool.transport b
+               (tmsg ~tag:(200 + i)
+                  (Nine.Twalk { fid; newfid = fid + 1; names = [] }))))
+        fids;
+      Nine.Server.conn_fid_count sconn_a = before)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness and determinism                                            *)
+
+let script_runs seed =
+  (* three faulted clients over one pool; returns (journal, per-conn
+     transcripts, final file contents) *)
+  Trace.reset ();
+  let ns = Vfs.create () in
+  let pool = Nine.Pool.create (Vfs.ramfs ns) in
+  Nine.Pool.record_journal pool true;
+  let config = { Fault.default with seed; rate = 0.1 } in
+  let mk i =
+    let conn = Nine.Pool.attach ~uname:(Printf.sprintf "client%d" i) pool in
+    let transport = Fault.wrap config (Nine.Pool.transport conn) in
+    (conn, Nine.Client.connect ~max_retries:8 ~uname:(Printf.sprintf "client%d" i) transport)
+  in
+  let clients = List.init 3 mk in
+  let scratch = Vfs.create () in
+  List.iteri
+    (fun i (_, cl) ->
+      Vfs.mount scratch (Printf.sprintf "/c%d" i) (Nine.Client.filesystem cl))
+    clients;
+  (* interleaved scripts: each client writes then reads its own file *)
+  let transcripts =
+    List.mapi
+      (fun i (_, _) ->
+        let path = Printf.sprintf "/c%d/f%d" i i in
+        Vfs.write_file scratch path (Printf.sprintf "hello from %d" i);
+        Vfs.read_file scratch path)
+      clients
+  in
+  let journal = Nine.Pool.journal pool in
+  (journal, transcripts, Nine.Pool.stats pool)
+
+let fairness_tests =
+  [
+    Alcotest.test_case "round-robin serves equal scripts equally" `Quick
+      (fun () ->
+        let _ns, pool, conns = raw_pool 4 in
+        List.iter
+          (fun c ->
+            for tag = 20 to 29 do
+              ignore (Nine.Pool.submit c (stat_root ~tag))
+            done)
+          conns;
+        Nine.Pool.run pool;
+        let spread = Nine.Pool.fairness_spread pool in
+        check_bool "spread is 1.0" true (spread = 1.0));
+    Alcotest.test_case "a chatty client cannot starve the rest" `Quick
+      (fun () ->
+        let _ns, pool, conns = raw_pool 2 in
+        let chatty, quiet = (List.nth conns 0, List.nth conns 1) in
+        for tag = 20 to 119 do
+          ignore (Nine.Pool.submit chatty (stat_root ~tag))
+        done;
+        let tq = Nine.Pool.submit quiet (stat_root ~tag:20) in
+        (* two steps serve one from each ring seat; the quiet client's
+           lone request does not wait behind 100 chatty ones *)
+        ignore (Nine.Pool.step pool);
+        ignore (Nine.Pool.step pool);
+        check_bool "quiet served within one ring turn" true
+          (match Nine.Pool.take quiet tq with
+          | Nine.Pool.Replied _ -> true
+          | _ -> false);
+        Nine.Pool.run pool);
+    Alcotest.test_case "same seed, byte-identical transcripts and journal"
+      `Quick (fun () ->
+        let j1, t1, s1 = script_runs 42 in
+        let j2, t2, s2 = script_runs 42 in
+        Trace.reset ();
+        check_bool "journals identical" true (j1 = j2);
+        check_bool "transcripts identical" true (t1 = t2);
+        check_bool "per-conn stats identical" true (s1 = s2);
+        check_bool "journal non-empty" true (j1 <> []));
+    Alcotest.test_case "disconnect releases a connection's fids" `Quick
+      (fun () ->
+        let _ns, pool, conns = raw_pool 3 in
+        check_int "one root fid per seat" 3 (Nine.Pool.fid_count pool);
+        Nine.Pool.disconnect (List.nth conns 1);
+        check_int "two seats left" 2 (Nine.Pool.fid_count pool);
+        check_int "server agrees" 2
+          (List.length (Nine.Server.connections (Nine.Pool.server pool))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Client flush-on-timeout                                             *)
+
+let client_tests =
+  [
+    Alcotest.test_case "a timed-out request sends Tflush before retrying"
+      `Quick (fun () ->
+        Trace.reset ();
+        let ns = Vfs.create () in
+        let pool = Nine.Pool.create (Vfs.ramfs ns) in
+        let conn = Nine.Pool.attach ~uname:"timeouty" pool in
+        let drop_next = ref false in
+        let transport packet =
+          (* drop exactly one read reply: the request is swallowed
+             before submission, so the later flush finds nothing *)
+          let _, m = Nine.decode_t packet in
+          match m with
+          | Nine.Tread _ when !drop_next ->
+              drop_next := false;
+              raise Nine.Timeout
+          | _ -> Nine.Pool.transport conn packet
+        in
+        let client = Nine.Client.connect ~max_retries:4 transport in
+        ignore ns;
+        let scratch = Vfs.create () in
+        Vfs.mount scratch "/m" (Nine.Client.filesystem client);
+        Vfs.write_file scratch "/m/f" "payload";
+        drop_next := true;
+        check_str "retry recovers the read" "payload"
+          (Vfs.read_file scratch "/m/f");
+        check_bool "flush was sent" true (counter_value "nine.flush.sent" >= 1);
+        check_bool "flush acknowledged by server" true
+          (counter_value "nine.flush.received" >= 1);
+        Trace.reset ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Through a whole session                                             *)
+
+let session_tests =
+  [
+    Alcotest.test_case "attach_client: a second program drives help" `Quick
+      (fun () ->
+        let s = Session.boot () in
+        let baseline = Nine.Server.fid_count s.srv in
+        let conn, fs = Session.attach_client ~uname:"probe" s in
+        let scratch = Vfs.create () in
+        Vfs.mount scratch "/h" fs;
+        (* the client creates a window through its own connection... *)
+        let id = String.trim (Vfs.read_file scratch "/h/new/ctl") in
+        Vfs.write_file scratch ("/h/" ^ id ^ "/bodyapp") "from the probe\n";
+        (* ...and the session sees it *)
+        check_bool "window visible to session" true
+          (Help.window_by_id s.help (int_of_string id) <> None);
+        check_bool "text visible to session" true
+          (let w = Option.get (Help.window_by_id s.help (int_of_string id)) in
+           Hstr.find (Htext.string (Hwin.body w)) ~sub:"from the probe"
+           <> None);
+        (* stats carry the uname *)
+        check_bool "uname recorded" true
+          (List.exists
+             (fun (_, u, _, _) -> u = "probe")
+             (Nine.Pool.stats s.pool));
+        (* no cross-connection fid leaks once the probe leaves *)
+        Nine.Pool.disconnect conn;
+        check_int "fids back to baseline" baseline
+          (Nine.Server.fid_count s.srv));
+  ]
+
+let () =
+  Alcotest.run "pool"
+    [
+      ("flush", flush_tests);
+      ( "isolation",
+        isolation_tests @ [ QCheck_alcotest.to_alcotest isolation_property ] );
+      ("fairness", fairness_tests);
+      ("client", client_tests);
+      ("session", session_tests);
+    ]
