@@ -20,11 +20,13 @@ let j_e7 : (string * float) list ref = ref []  (* ns per operation *)
 let j_e10 : (string * float) list ref = ref []  (* wall milliseconds *)
 let j_e11 : (string * float) list ref = ref []  (* search ns/op + ratios *)
 let j_e12 : (string * float) list ref = ref []  (* pool load figures *)
+let j_e13 : (string * float) list ref = ref []  (* serving-core figures *)
 
 let j7 name v = j_e7 := (name, v) :: !j_e7
 let j10 name v = j_e10 := (name, v) :: !j_e10
 let j11 name v = j_e11 := (name, v) :: !j_e11
 let j12 name v = j_e12 := (name, v) :: !j_e12
+let j13 name v = j_e13 := (name, v) :: !j_e13
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -66,20 +68,22 @@ let write_json path =
   in
   let rates = cache_hit_rates () in
   Printf.fprintf oc
-    "{\n  \"schema\": \"help-bench-4\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
+    "{\n  \"schema\": \"help-bench-5\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
      \"e10_ms\": {\n%s\n  },\n  \"search\": {\n%s\n  },\n  \
-     \"pool\": {\n%s\n  },\n  \
+     \"pool\": {\n%s\n  },\n  \"e13\": {\n%s\n  },\n  \
      \"cache_hit_rates\": {\n%s\n  }\n}\n"
     (table (List.rev !j_e7))
     (table (List.rev !j_e10))
     (table (List.rev !j_e11))
     (table (List.rev !j_e12))
+    (table (List.rev !j_e13))
     (table ~fmt:(format_of_string "%.4f") rates);
   close_out oc;
   Printf.printf
-    "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d pool rows, %d hit-rates)\n"
+    "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d pool rows, %d \
+     e13 rows, %d hit-rates)\n"
     path (List.length !j_e7) (List.length !j_e10) (List.length !j_e11)
-    (List.length !j_e12) (List.length rates)
+    (List.length !j_e12) (List.length !j_e13) (List.length rates)
 
 (* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
@@ -1136,6 +1140,491 @@ let pool_smoke () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* E13: the serving core at scale.  One booted session's /mnt/help
+   pool, 1k-10k raw-wire clients each replaying the same read-only
+   slice of the paper session (attach, read the index, a window's
+   body, ctl and tag, stat the index — 21 RPCs), submitted as
+   coalesced wire batches and chained through the scheduler's
+   continuations so thousands are in flight at once.  Reported:
+   RPCs/sec, p99 of the nine.rpc.us histogram (logical microseconds),
+   fairness spread, minor allocation and major collections per RPC,
+   and a before/after against a replica of the PR 5 Pool.  Every
+   client's concatenated reads must equal the single-client run's,
+   byte for byte. *)
+
+(* PR 5's scheduler, rebuilt here so the before/after numbers come
+   from one binary: list queues with O(n) appends, a List.nth ring
+   scan per served request, one request per step, a decode at submit
+   and another inside the dispatch (Server.conn_rpc).  It runs on the
+   current server core, so if anything this flatters the old design —
+   the real PR 5 also paid a per-request fid fold and two
+   Buffer.creates per encoded message. *)
+module Old_pool = struct
+  type entry = { e_ticket : int; e_tag : int; e_packet : string }
+
+  type conn = {
+    sconn : Nine.Server.conn;
+    mutable queue : entry list;
+    outcomes : (int, string) Hashtbl.t;
+    mutable next_ticket : int;
+  }
+
+  type t = { srv : Nine.Server.t; mutable conns : conn list; mutable rr : int }
+
+  let create fs = { srv = Nine.Server.create fs; conns = []; rr = 0 }
+
+  let attach p =
+    let c =
+      { sconn = Nine.Server.connection ~uname:"old" p.srv; queue = [];
+        outcomes = Hashtbl.create 8; next_ticket = 0 }
+    in
+    p.conns <- p.conns @ [ c ];
+    c
+
+  let submit c packet =
+    let tag, _ = Nine.decode_t packet in
+    let ticket = c.next_ticket in
+    c.next_ticket <- ticket + 1;
+    c.queue <- c.queue @ [ { e_ticket = ticket; e_tag = tag; e_packet = packet } ];
+    ticket
+
+  (* The server now encodes replies through a reused scratch writer, so
+     driving it from here would silently credit the old design with the
+     new codec.  PR 5 built every reply through two fresh Buffers (body,
+     then frame); rebuild the reply that way so the replica pays the
+     Buffer churn it actually paid. *)
+  let reframe reply =
+    let body = Buffer.create 64 in
+    Buffer.add_substring body reply 7 (String.length reply - 7);
+    let s = Buffer.contents body in
+    let b = Buffer.create (16 + String.length s) in
+    let u8 v = Buffer.add_char b (Char.chr (v land 0xff)) in
+    let u16 v = u8 v; u8 (v lsr 8) in
+    let u32 v = u16 v; u16 (v lsr 16) in
+    u32 (7 + String.length s);
+    u8 (Char.code reply.[4]);
+    u16 (Char.code reply.[5] lor (Char.code reply.[6] lsl 8));
+    Buffer.add_string b s;
+    Buffer.contents b
+
+  let step p =
+    let n = List.length p.conns in
+    let rec find i =
+      if i >= n then None
+      else
+        let idx = (p.rr + i) mod n in
+        let c = List.nth p.conns idx in
+        match c.queue with
+        | [] -> find (i + 1)
+        | e :: rest -> Some (idx, c, e, rest)
+    in
+    if n = 0 then false
+    else
+      match find 0 with
+      | None -> false
+      | Some (idx, c, e, rest) ->
+          c.queue <- rest;
+          p.rr <- (idx + 1) mod n;
+          ignore e.e_tag;
+          let reply = reframe (Nine.Server.conn_rpc p.srv c.sconn e.e_packet) in
+          Hashtbl.replace c.outcomes e.e_ticket reply;
+          true
+
+  let run p = while step p do () done
+end
+
+(* The per-client script, built once against a booted session: raw
+   frames with fixed tags and fids (fid tables are per-connection, so
+   every client can use the same ones).  Returned both as coalesced
+   batch buffers (for Pool.feed) and as individual frames (for the
+   old replica, which has no batching). *)
+let e13_script s =
+  let index = Vfs.read_file s.Session.ns "/mnt/help/index" in
+  let w =
+    match String.split_on_char '\t' index with
+    | id :: _ -> String.trim id
+    | [] -> failwith "E13: empty /mnt/help/index"
+  in
+  let batches_msgs =
+    [
+      [ (1, Nine.Tversion { msize = 65536; version = "9P2000.help" });
+        (2, Nine.Tattach { fid = 0; uname = "load"; aname = "" }) ];
+      [ (3, Nine.Twalk { fid = 0; newfid = 1; names = [ "index" ] });
+        (4, Nine.Topen { fid = 1; mode = Nine.Oread });
+        (5, Nine.Tread { fid = 1; offset = 0; count = 8192 });
+        (6, Nine.Tclunk { fid = 1 }) ];
+      [ (7, Nine.Twalk { fid = 0; newfid = 1; names = [ w; "body" ] });
+        (8, Nine.Topen { fid = 1; mode = Nine.Oread });
+        (9, Nine.Tread { fid = 1; offset = 0; count = 8192 });
+        (10, Nine.Tclunk { fid = 1 }) ];
+      [ (11, Nine.Twalk { fid = 0; newfid = 1; names = [ w; "ctl" ] });
+        (12, Nine.Topen { fid = 1; mode = Nine.Oread });
+        (13, Nine.Tread { fid = 1; offset = 0; count = 8192 });
+        (14, Nine.Tclunk { fid = 1 });
+        (15, Nine.Twalk { fid = 0; newfid = 2; names = [ "index" ] });
+        (16, Nine.Tstat { fid = 2 });
+        (17, Nine.Tclunk { fid = 2 }) ];
+      [ (18, Nine.Twalk { fid = 0; newfid = 1; names = [ w; "tag" ] });
+        (19, Nine.Topen { fid = 1; mode = Nine.Oread });
+        (20, Nine.Tread { fid = 1; offset = 0; count = 8192 });
+        (21, Nine.Tclunk { fid = 1 }) ];
+    ]
+  in
+  let encode (tag, m) = Nine.encode_t ~tag m in
+  let batches =
+    Array.of_list
+      (List.map (fun b -> String.concat "" (List.map encode b)) batches_msgs)
+  in
+  let frames = List.map encode (List.concat batches_msgs) in
+  (batches, frames)
+
+let e13_rpcs_per_client = 21
+
+type fleet_outcome = {
+  f_rpcs : int;  (* served across the fleet's connections *)
+  f_secs : float;  (* wall time of the concurrent run *)
+  f_minor : float;  (* minor words allocated during it *)
+  f_majors : int;  (* major collections during it *)
+  f_spread : float;  (* max/min served among the fleet *)
+  f_screens : string array;  (* per client: concatenated Rread payloads *)
+}
+
+(* Run [clients] concurrent scripts through the cooperative scheduler:
+   each client feeds its first wire batch, and a continuation on the
+   batch's last ticket feeds the next, so the whole fleet is in flight
+   together and drains under Pool.run.  Connections are disconnected
+   before returning. *)
+let e13_fleet pool ~clients ~batches =
+  let conns =
+    Array.init clients (fun _ -> Nine.Pool.attach ~uname:"load" pool)
+  in
+  let screens = Array.init clients (fun _ -> Buffer.create 256) in
+  let nb = Array.length batches in
+  let g0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
+  let rec launch i k =
+    let tickets = Nine.Pool.feed conns.(i) batches.(k) in
+    let last = List.fold_left (fun _ t -> t) (-1) tickets in
+    List.iter
+      (fun t ->
+        Nine.Pool.on_settled conns.(i) t (fun o ->
+            (match o with
+            | Nine.Pool.Replied r -> (
+                match Nine.decode_r r with
+                | _, Nine.Rread { data } -> Buffer.add_string screens.(i) data
+                | _ -> ())
+            | _ -> ());
+            if t = last && k + 1 < nb then launch i (k + 1)))
+      tickets
+  in
+  for i = 0 to clients - 1 do
+    launch i 0
+  done;
+  Nine.Pool.run pool;
+  let secs = Sys.time () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let serveds = Array.map Nine.Pool.served conns in
+  let rpcs = Array.fold_left ( + ) 0 serveds in
+  let spread =
+    let mn = Array.fold_left min serveds.(0) serveds in
+    let mx = Array.fold_left max serveds.(0) serveds in
+    if mn = 0 then infinity else float_of_int mx /. float_of_int mn
+  in
+  Array.iter Nine.Pool.disconnect conns;
+  {
+    f_rpcs = rpcs;
+    f_secs = secs;
+    f_minor = g1.Gc.minor_words -. g0.Gc.minor_words;
+    f_majors = g1.Gc.major_collections - g0.Gc.major_collections;
+    f_spread = spread;
+    f_screens = Array.map Buffer.contents screens;
+  }
+
+(* The same fleet through the PR 5 replica: no continuations there, so
+   concurrency is phased — every client submits its k-th request, the
+   ring drains, repeat.  Same requests, same total work. *)
+let e13_fleet_old srv_fs ~clients ~frames =
+  let p = Old_pool.create srv_fs in
+  let conns = Array.init clients (fun _ -> Old_pool.attach p) in
+  let tickets = Array.make clients [] in
+  let g0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
+  List.iter
+    (fun frame ->
+      Array.iteri
+        (fun i c -> tickets.(i) <- Old_pool.submit c frame :: tickets.(i))
+        conns;
+      Old_pool.run p)
+    frames;
+  let secs = Sys.time () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let screens =
+    Array.mapi
+      (fun i c ->
+        let b = Buffer.create 256 in
+        List.iter
+          (fun t ->
+            match Hashtbl.find_opt c.Old_pool.outcomes t with
+            | Some r -> (
+                match Nine.decode_r r with
+                | _, Nine.Rread { data } -> Buffer.add_string b data
+                | _ -> ())
+            | None -> ())
+          (List.rev tickets.(i));
+        b)
+      conns
+  in
+  let serveds = Array.map (fun c -> Nine.Server.conn_served c.Old_pool.sconn) conns in
+  let rpcs = Array.fold_left ( + ) 0 serveds in
+  let spread =
+    let mn = Array.fold_left min serveds.(0) serveds in
+    let mx = Array.fold_left max serveds.(0) serveds in
+    if mn = 0 then infinity else float_of_int mx /. float_of_int mn
+  in
+  Array.iter (fun c -> Nine.Server.disconnect p.Old_pool.srv c.Old_pool.sconn) conns;
+  {
+    f_rpcs = rpcs;
+    f_secs = secs;
+    f_minor = g1.Gc.minor_words -. g0.Gc.minor_words;
+    f_majors = g1.Gc.major_collections - g0.Gc.major_collections;
+    f_spread = spread;
+    f_screens = Array.map Buffer.contents screens;
+  }
+
+let rpc_p99 () = Trace.percentile (Trace.histogram "nine.rpc.us") 99.
+
+(* Codec buffer churn, before/after: the old framing built every
+   message through two fresh Buffers (one for the body, one for the
+   frame); the Wire writer reuses one scratch and patches the size in
+   place.  Minor words per encoded Rread, measured directly. *)
+let codec_alloc_words () =
+  let data = String.make 1024 'x' in
+  let old_encode () =
+    let body = Buffer.create 64 in
+    let u8 b v = Buffer.add_char b (Char.chr (v land 0xff)) in
+    let u16 b v = u8 b v; u8 b (v lsr 8) in
+    let u32 b v = u16 b v; u16 b (v lsr 16) in
+    u32 body (String.length data);
+    Buffer.add_string body data;
+    let s = Buffer.contents body in
+    let b = Buffer.create (16 + String.length s) in
+    u32 b (7 + String.length s);
+    u8 b 117;
+    u16 b 1;
+    Buffer.add_string b s;
+    Buffer.contents b
+  in
+  let new_encode () = Nine.encode_r ~tag:1 (Nine.Rread { data }) in
+  let words f =
+    ignore (f ());
+    let n = 10_000 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int n
+  in
+  (words old_encode, words new_encode)
+
+let e13_serving () =
+  section "E13"
+    "serving core: 1k-10k concurrent clients, batched cooperative scheduler";
+  let per_rpc o = o.f_minor /. float_of_int o.f_rpcs in
+  let rate o = float_of_int o.f_rpcs /. o.f_secs in
+  (* 1k clients: reference screen, the new core, then the PR 5 replica
+     against the same help tree *)
+  let s = Session.boot () in
+  let batches, frames = e13_script s in
+  let reference = e13_fleet s.Session.pool ~clients:1 ~batches in
+  let new1k = e13_fleet s.Session.pool ~clients:1000 ~batches in
+  let p99_1k = rpc_p99 () in
+  let identical_1k =
+    Array.for_all (fun sc -> sc = reference.f_screens.(0)) new1k.f_screens
+  in
+  let old1k =
+    e13_fleet_old (Help_srv.filesystem s.Session.help) ~clients:1000 ~frames
+  in
+  let identical_old =
+    Array.for_all (fun sc -> sc = reference.f_screens.(0)) old1k.f_screens
+  in
+  row "-- 1000 clients x %d RPCs (old = PR 5 pool replica) --\n"
+    e13_rpcs_per_client;
+  row "%-36s %14s %14s\n" "" "old" "new";
+  row "%-36s %14d %14d\n" "RPCs served" old1k.f_rpcs new1k.f_rpcs;
+  row "%-36s %14.0f %14.0f\n" "RPCs/sec" (rate old1k) (rate new1k);
+  row "%-36s %14.1f %14.1f\n" "minor words per RPC" (per_rpc old1k)
+    (per_rpc new1k);
+  row "%-36s %14d %14d\n" "major collections" old1k.f_majors new1k.f_majors;
+  row "%-36s %14.2f %14.2f\n" "fairness spread" old1k.f_spread new1k.f_spread;
+  row "%-36s %14s %14s\n" "screens = single-client run"
+    (if identical_old then "yes" else "NO")
+    (if identical_1k then "yes" else "NO");
+  row "%-36s %14s %14.2f\n" "speedup (RPCs/sec)" ""
+    (rate new1k /. rate old1k);
+  row "%-36s %14s %14d\n" "p99 nine.rpc.us (logical us)" "" p99_1k;
+  j13 "rpcs_per_sec_1k_old" (rate old1k);
+  j13 "rpcs_per_sec_1k" (rate new1k);
+  j13 "speedup_1k" (rate new1k /. rate old1k);
+  j13 "minor_words_per_rpc_1k_old" (per_rpc old1k);
+  j13 "minor_words_per_rpc_1k" (per_rpc new1k);
+  j13 "p99_us_1k" (float_of_int p99_1k);
+  j13 "fairness_spread_1k" new1k.f_spread;
+  j13 "screens_identical_1k" (if identical_1k then 1.0 else 0.0);
+  (* 10k clients: the new core only — the replica's List.nth scan is
+     quadratic and would take minutes here, which is the point *)
+  let s2 = Session.boot () in
+  let batches2, _ = e13_script s2 in
+  let reference2 = e13_fleet s2.Session.pool ~clients:1 ~batches:batches2 in
+  let new10k = e13_fleet s2.Session.pool ~clients:10_000 ~batches:batches2 in
+  let p99_10k = rpc_p99 () in
+  let identical_10k =
+    Array.for_all (fun sc -> sc = reference2.f_screens.(0)) new10k.f_screens
+  in
+  row "-- 10000 clients x %d RPCs (new core only) --\n" e13_rpcs_per_client;
+  row "%-36s %14d\n" "RPCs served" new10k.f_rpcs;
+  row "%-36s %14.0f\n" "RPCs/sec" (rate new10k);
+  row "%-36s %14.1f\n" "minor words per RPC" (per_rpc new10k);
+  row "%-36s %14d\n" "major collections" new10k.f_majors;
+  row "%-36s %14.2f\n" "fairness spread" new10k.f_spread;
+  row "%-36s %14d\n" "p99 nine.rpc.us (logical us)" p99_10k;
+  row "%-36s %14s\n" "screens = single-client run"
+    (if identical_10k then "yes" else "NO");
+  j13 "rpcs_per_sec_10k" (rate new10k);
+  j13 "minor_words_per_rpc_10k" (per_rpc new10k);
+  j13 "p99_us_10k" (float_of_int p99_10k);
+  j13 "fairness_spread_10k" new10k.f_spread;
+  j13 "screens_identical_10k" (if identical_10k then 1.0 else 0.0);
+  (* the smoke-scale allocation figure the gc-smoke gate compares
+     against, and the codec churn row *)
+  let s3 = Session.boot () in
+  let batches3, _ = e13_script s3 in
+  let smoke = e13_fleet s3.Session.pool ~clients:256 ~batches:batches3 in
+  j13 "minor_words_per_rpc_smoke" (per_rpc smoke);
+  let old_words, new_words = codec_alloc_words () in
+  row "-- codec buffer churn (1KB Rread encode) --\n";
+  row "%-36s %14.1f %14.1f\n" "minor words per encode (old/new)" old_words
+    new_words;
+  j13 "encode_words_old" old_words;
+  j13 "encode_words_new" new_words
+
+(* ------------------------------------------------------------------ *)
+(* e13-smoke: the serving-core gate.  Deterministic invariants only
+   (no wall-clock thresholds): every client's screen byte-identical to
+   the single-client run, fairness spread within 1.05, connection and
+   fid accounting back to baseline after teardown, batching visible in
+   nine.batch.size, backpressure engaging (and bounded queues holding)
+   under a deliberate flood, and the replay journal respecting its
+   ring bound under overflow. *)
+
+let e13_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let v name = Option.value ~default:0 (Trace.find_value name) in
+  let s = Session.boot () in
+  let conn0 = v "nine.conn.active" in
+  let fid0 = Nine.Server.fid_count s.Session.srv in
+  Nine.Pool.record_journal s.Session.pool true;
+  let batches, _ = e13_script s in
+  let reference = e13_fleet s.Session.pool ~clients:1 ~batches in
+  let fleet = e13_fleet s.Session.pool ~clients:128 ~batches in
+  check "every screen identical to the single-client run"
+    (Array.for_all (fun sc -> sc = reference.f_screens.(0)) fleet.f_screens);
+  check "fairness spread within 1.05" (fleet.f_spread <= 1.05);
+  check "nine.conn.active back to baseline after teardown"
+    (v "nine.conn.active" = conn0);
+  check "no leaked fids" (Nine.Server.fid_count s.Session.srv = fid0);
+  let bcount, _, _, bmax = Trace.histogram_stats (Trace.histogram "nine.batch.size") in
+  check "batching happened (nine.batch.size populated)" (bcount > 0);
+  check "batches actually coalesce (max batch >= 2)" (bmax >= 2);
+  let jlen = List.length (Nine.Pool.journal s.Session.pool) in
+  check "journal recorded" (jlen > 0);
+  check "journal within its ring bound" (jlen <= 8192);
+  (* a deliberate flood through a tiny ring: the queue bound must hold,
+     backpressure must engage (and count), the journal ring must cap *)
+  let ns = Vfs.create () in
+  let tiny = Nine.Pool.create ~max_queue:4 (Vfs.ramfs ns) in
+  Nine.Pool.record_journal tiny true;
+  let c = Nine.Pool.attach ~uname:"flood" tiny in
+  ignore (Nine.Pool.transport c (Nine.encode_t ~tag:1
+    (Nine.Tversion { msize = 65536; version = "9P2000.help" })));
+  ignore (Nine.Pool.transport c (Nine.encode_t ~tag:2
+    (Nine.Tattach { fid = 0; uname = "flood"; aname = "" })));
+  let stalls0 = v "nine.backpressure.stalls" in
+  let bound_ok = ref true in
+  for tag = 3 to 9002 do
+    ignore (Nine.Pool.submit c (Nine.encode_t ~tag (Nine.Tstat { fid = 0 })));
+    if Nine.Pool.queue_length c > 4 then bound_ok := false
+  done;
+  Nine.Pool.run tiny;
+  check "bounded queue never exceeded under flood" !bound_ok;
+  check "backpressure stalls counted"
+    (v "nine.backpressure.stalls" > stalls0);
+  check "flooded journal capped at its ring bound"
+    (List.length (Nine.Pool.journal tiny) = 8192);
+  check "journal drops counted" (v "nine.journal.dropped" > 0);
+  match List.rev !failed with
+  | [] ->
+      Printf.printf
+        "e13-smoke: ok (128 clients, %d RPCs, spread %.2f, conn/fid \
+         accounting clean, queue bound held)\n"
+        fleet.f_rpcs fleet.f_spread;
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "e13-smoke FAIL: %s\n" f) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* gc-smoke: the allocation-regression gate.  Re-measures the E13
+   minor-allocation-per-RPC at smoke scale and fails if it regressed
+   more than 25% against the ledgered baseline in BENCH_results.json
+   (allocation counts are deterministic, unlike wall time, so the
+   threshold does not flake). *)
+
+let ledger_float path key =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let pat = "\"" ^ key ^ "\":" in
+      (match Hstr.find s ~sub:pat with
+      | None -> None
+      | Some at ->
+          let rest = String.sub s (at + String.length pat)
+              (min 64 (String.length s - at - String.length pat)) in
+          let num = String.trim (List.hd (String.split_on_char ',' rest)) in
+          float_of_string_opt num)
+
+let gc_smoke () =
+  let s = Session.boot () in
+  let batches, _ = e13_script s in
+  (* warm once so one-time lazy setup is not billed to the measurement *)
+  ignore (e13_fleet s.Session.pool ~clients:1 ~batches);
+  let o = e13_fleet s.Session.pool ~clients:256 ~batches in
+  let current = o.f_minor /. float_of_int o.f_rpcs in
+  match ledger_float "BENCH_results.json" "minor_words_per_rpc_smoke" with
+  | None ->
+      Printf.printf
+        "gc-smoke: ok (%.1f minor words/RPC; no ledgered baseline to \
+         compare)\n"
+        current;
+      exit 0
+  | Some baseline ->
+      if current > baseline *. 1.25 then begin
+        Printf.printf
+          "gc-smoke FAIL: %.1f minor words/RPC vs ledgered %.1f (>25%% \
+           regression)\n"
+          current baseline;
+        exit 1
+      end
+      else begin
+        Printf.printf "gc-smoke: ok (%.1f minor words/RPC vs ledgered %.1f)\n"
+          current baseline;
+        exit 0
+      end
+
+(* ------------------------------------------------------------------ *)
 (* doc-lint: the documentation gate.  Two classes of drift are caught:
    an interface file without its top-level doc comment, and a doc/*.md
    (or README.md) reference that no longer resolves — a repo path that
@@ -1321,6 +1810,8 @@ let doc_lint () =
 
 let () =
   if Array.exists (fun a -> a = "pool-smoke") Sys.argv then pool_smoke ();
+  if Array.exists (fun a -> a = "e13-smoke") Sys.argv then e13_smoke ();
+  if Array.exists (fun a -> a = "gc-smoke") Sys.argv then gc_smoke ();
   if Array.exists (fun a -> a = "doc-lint") Sys.argv then doc_lint ();
   if Array.exists (fun a -> a = "trace-smoke") Sys.argv then trace_smoke ();
   if Array.exists (fun a -> a = "search-smoke") Sys.argv then search_smoke ();
@@ -1347,6 +1838,7 @@ let () =
   e9_remote ();
   e11_search ();
   e12_pool ();
+  e13_serving ();
   if not quick then begin
     e10_scale ();
     microbenches ()

@@ -1,399 +1,19 @@
-type qid = { q_type : int; q_version : int; q_path : int }
+(* The 9P-style protocol stack: codec (from [Wire]), in-process server,
+   pooled scheduling (over [Sched]), client.
 
-let qtdir = 0x80
+   The codec lives in [Wire] (zero-copy cursors, reusable writers) and
+   is re-exported here so existing [Nine.encode_t] etc. callers are
+   unchanged.  [Server] executes decoded T-messages against per-
+   connection fid tables, with O(1) connection and fid accounting so a
+   server holding ten thousand seats costs the same per request as one
+   holding two.  [Pool] is a thin compatibility shim over the
+   cooperative scheduler in [Sched]: same tickets, same outcomes, same
+   journal, same deterministic replay — the batching, backpressure and
+   continuation machinery all live in the scheduler. *)
 
-type stat9 = {
-  s9_name : string;
-  s9_qid : qid;
-  s9_length : int;
-  s9_mtime : int;
-}
-
-type open_mode = Oread | Owrite | Ordwr | Otrunc of open_mode
-
-type tmsg =
-  | Tversion of { msize : int; version : string }
-  | Tattach of { fid : int; uname : string; aname : string }
-  | Twalk of { fid : int; newfid : int; names : string list }
-  | Topen of { fid : int; mode : open_mode }
-  | Tcreate of { fid : int; name : string; dir : bool; mode : open_mode }
-  | Tread of { fid : int; offset : int; count : int }
-  | Twrite of { fid : int; offset : int; data : string }
-  | Tclunk of { fid : int }
-  | Tremove of { fid : int }
-  | Tstat of { fid : int }
-  | Tflush of { oldtag : int }
-
-type rmsg =
-  | Rversion of { msize : int; version : string }
-  | Rattach of { qid : qid }
-  | Rwalk of { qids : qid list }
-  | Ropen of { qid : qid; iounit : int }
-  | Rcreate of { qid : qid; iounit : int }
-  | Rread of { data : string }
-  | Rwrite of { count : int }
-  | Rclunk
-  | Rremove
-  | Rstat of { stat : stat9 }
-  | Rflush
-  | Rerror of { ename : string }
-
-exception Bad_message of string
-
-(* A transport may raise this to model a reply that never arrived (the
-   deterministic fault injector in [Fault] does, after advancing the
-   trace clock past the client's patience). *)
-exception Timeout
+include Wire
 
 let bad msg = raise (Bad_message msg)
-
-let kind_of_t = function
-  | Tversion _ -> "version"
-  | Tattach _ -> "attach"
-  | Twalk _ -> "walk"
-  | Topen _ -> "open"
-  | Tcreate _ -> "create"
-  | Tread _ -> "read"
-  | Twrite _ -> "write"
-  | Tclunk _ -> "clunk"
-  | Tremove _ -> "remove"
-  | Tstat _ -> "stat"
-  | Tflush _ -> "flush"
-
-(* ------------------------------------------------------------------ *)
-(* Little-endian primitives over Buffer / string cursor                *)
-
-let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
-
-let put_u16 b v =
-  put_u8 b v;
-  put_u8 b (v lsr 8)
-
-let put_u32 b v =
-  put_u16 b v;
-  put_u16 b (v lsr 16)
-
-let put_u64 b v =
-  put_u32 b v;
-  put_u32 b (v lsr 32)
-
-let put_str b s =
-  if String.length s > 0xffff then bad "string too long";
-  put_u16 b (String.length s);
-  Buffer.add_string b s
-
-let put_qid b q =
-  put_u8 b q.q_type;
-  put_u32 b q.q_version;
-  put_u64 b q.q_path
-
-type cursor = { buf : string; mutable at : int }
-
-let get_u8 c =
-  if c.at >= String.length c.buf then bad "short message";
-  let v = Char.code c.buf.[c.at] in
-  c.at <- c.at + 1;
-  v
-
-let get_u16 c =
-  let a = get_u8 c in
-  let b = get_u8 c in
-  a lor (b lsl 8)
-
-let get_u32 c =
-  let a = get_u16 c in
-  let b = get_u16 c in
-  a lor (b lsl 16)
-
-let get_u64 c =
-  let a = get_u32 c in
-  let b = get_u32 c in
-  a lor (b lsl 32)
-
-let get_bytes c n =
-  if c.at + n > String.length c.buf then bad "short message";
-  let s = String.sub c.buf c.at n in
-  c.at <- c.at + n;
-  s
-
-let get_str c =
-  let n = get_u16 c in
-  get_bytes c n
-
-let get_qid c =
-  let q_type = get_u8 c in
-  let q_version = get_u32 c in
-  let q_path = get_u64 c in
-  { q_type; q_version; q_path }
-
-(* ------------------------------------------------------------------ *)
-(* Message type numbers (9P2000 values)                                *)
-
-let msg_tversion = 100
-let msg_rversion = 101
-let msg_tattach = 104
-let msg_rattach = 105
-let msg_rerror = 107
-let msg_tflush = 108
-let msg_rflush = 109
-let msg_twalk = 110
-let msg_rwalk = 111
-let msg_topen = 112
-let msg_ropen = 113
-let msg_tcreate = 114
-let msg_rcreate = 115
-let msg_tread = 116
-let msg_rread = 117
-let msg_twrite = 118
-let msg_rwrite = 119
-let msg_tclunk = 120
-let msg_rclunk = 121
-let msg_tremove = 122
-let msg_rremove = 123
-let msg_tstat = 124
-let msg_rstat = 125
-
-let rec mode_bits = function
-  | Oread -> 0
-  | Owrite -> 1
-  | Ordwr -> 2
-  | Otrunc m -> 0x10 lor mode_bits m
-
-let mode_of_bits bits =
-  let base =
-    match bits land 0x3 with
-    | 0 -> Oread
-    | 1 -> Owrite
-    | 2 -> Ordwr
-    | _ -> bad "bad open mode"
-  in
-  if bits land 0x10 <> 0 then Otrunc base else base
-
-let dmdir = 0x80000000
-
-(* Frame a message: size[4] type[1] tag[2] body. *)
-let frame typ ~tag body =
-  let b = Buffer.create (16 + String.length body) in
-  put_u32 b (7 + String.length body);
-  put_u8 b typ;
-  put_u16 b tag;
-  Buffer.add_string b body;
-  Buffer.contents b
-
-let unframe s =
-  let c = { buf = s; at = 0 } in
-  let size = get_u32 c in
-  if size <> String.length s then bad "frame size mismatch";
-  let typ = get_u8 c in
-  let tag = get_u16 c in
-  (typ, tag, c)
-
-let body f =
-  let b = Buffer.create 64 in
-  f b;
-  Buffer.contents b
-
-let encode_t ~tag msg =
-  match msg with
-  | Tversion { msize; version } ->
-      frame msg_tversion ~tag
-        (body (fun b ->
-             put_u32 b msize;
-             put_str b version))
-  | Tattach { fid; uname; aname } ->
-      frame msg_tattach ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_str b uname;
-             put_str b aname))
-  | Twalk { fid; newfid; names } ->
-      frame msg_twalk ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_u32 b newfid;
-             put_u16 b (List.length names);
-             List.iter (put_str b) names))
-  | Topen { fid; mode } ->
-      frame msg_topen ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_u8 b (mode_bits mode)))
-  | Tcreate { fid; name; dir; mode } ->
-      frame msg_tcreate ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_str b name;
-             put_u32 b (if dir then dmdir else 0o644);
-             put_u8 b (mode_bits mode)))
-  | Tread { fid; offset; count } ->
-      frame msg_tread ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_u64 b offset;
-             put_u32 b count))
-  | Twrite { fid; offset; data } ->
-      frame msg_twrite ~tag
-        (body (fun b ->
-             put_u32 b fid;
-             put_u64 b offset;
-             put_u32 b (String.length data);
-             Buffer.add_string b data))
-  | Tclunk { fid } -> frame msg_tclunk ~tag (body (fun b -> put_u32 b fid))
-  | Tremove { fid } -> frame msg_tremove ~tag (body (fun b -> put_u32 b fid))
-  | Tstat { fid } -> frame msg_tstat ~tag (body (fun b -> put_u32 b fid))
-  | Tflush { oldtag } -> frame msg_tflush ~tag (body (fun b -> put_u16 b oldtag))
-
-let decode_t s =
-  let typ, tag, c = unframe s in
-  let msg =
-    if typ = msg_tversion then
-      let msize = get_u32 c in
-      let version = get_str c in
-      Tversion { msize; version }
-    else if typ = msg_tattach then
-      let fid = get_u32 c in
-      let uname = get_str c in
-      let aname = get_str c in
-      Tattach { fid; uname; aname }
-    else if typ = msg_twalk then begin
-      let fid = get_u32 c in
-      let newfid = get_u32 c in
-      let n = get_u16 c in
-      let names = List.init n (fun _ -> get_str c) in
-      Twalk { fid; newfid; names }
-    end
-    else if typ = msg_topen then
-      let fid = get_u32 c in
-      let mode = mode_of_bits (get_u8 c) in
-      Topen { fid; mode }
-    else if typ = msg_tcreate then
-      let fid = get_u32 c in
-      let name = get_str c in
-      let perm = get_u32 c in
-      let mode = mode_of_bits (get_u8 c) in
-      Tcreate { fid; name; dir = perm land dmdir <> 0; mode }
-    else if typ = msg_tread then
-      let fid = get_u32 c in
-      let offset = get_u64 c in
-      let count = get_u32 c in
-      Tread { fid; offset; count }
-    else if typ = msg_twrite then begin
-      let fid = get_u32 c in
-      let offset = get_u64 c in
-      let n = get_u32 c in
-      let data = get_bytes c n in
-      Twrite { fid; offset; data }
-    end
-    else if typ = msg_tclunk then Tclunk { fid = get_u32 c }
-    else if typ = msg_tremove then Tremove { fid = get_u32 c }
-    else if typ = msg_tstat then Tstat { fid = get_u32 c }
-    else if typ = msg_tflush then Tflush { oldtag = get_u16 c }
-    else bad (Printf.sprintf "unknown T-message type %d" typ)
-  in
-  if c.at <> String.length s then bad "trailing bytes";
-  (tag, msg)
-
-let encode_stat st =
-  let inner =
-    body (fun b ->
-        put_qid b st.s9_qid;
-        put_u32 b st.s9_mtime;
-        put_u64 b st.s9_length;
-        put_str b st.s9_name)
-  in
-  let b = Buffer.create (2 + String.length inner) in
-  put_u16 b (String.length inner);
-  Buffer.add_string b inner;
-  Buffer.contents b
-
-let decode_stat_c c =
-  let size = get_u16 c in
-  let stop = c.at + size in
-  let s9_qid = get_qid c in
-  let s9_mtime = get_u32 c in
-  let s9_length = get_u64 c in
-  let s9_name = get_str c in
-  if c.at <> stop then bad "stat size mismatch";
-  { s9_name; s9_qid; s9_length; s9_mtime }
-
-let decode_stats s =
-  let c = { buf = s; at = 0 } in
-  let rec loop acc =
-    if c.at >= String.length s then List.rev acc
-    else loop (decode_stat_c c :: acc)
-  in
-  loop []
-
-let encode_r ~tag msg =
-  match msg with
-  | Rversion { msize; version } ->
-      frame msg_rversion ~tag
-        (body (fun b ->
-             put_u32 b msize;
-             put_str b version))
-  | Rattach { qid } -> frame msg_rattach ~tag (body (fun b -> put_qid b qid))
-  | Rwalk { qids } ->
-      frame msg_rwalk ~tag
-        (body (fun b ->
-             put_u16 b (List.length qids);
-             List.iter (put_qid b) qids))
-  | Ropen { qid; iounit } ->
-      frame msg_ropen ~tag
-        (body (fun b ->
-             put_qid b qid;
-             put_u32 b iounit))
-  | Rcreate { qid; iounit } ->
-      frame msg_rcreate ~tag
-        (body (fun b ->
-             put_qid b qid;
-             put_u32 b iounit))
-  | Rread { data } ->
-      frame msg_rread ~tag
-        (body (fun b ->
-             put_u32 b (String.length data);
-             Buffer.add_string b data))
-  | Rwrite { count } -> frame msg_rwrite ~tag (body (fun b -> put_u32 b count))
-  | Rclunk -> frame msg_rclunk ~tag ""
-  | Rremove -> frame msg_rremove ~tag ""
-  | Rflush -> frame msg_rflush ~tag ""
-  | Rstat { stat } ->
-      frame msg_rstat ~tag (body (fun b -> Buffer.add_string b (encode_stat stat)))
-  | Rerror { ename } -> frame msg_rerror ~tag (body (fun b -> put_str b ename))
-
-let decode_r s =
-  let typ, tag, c = unframe s in
-  let msg =
-    if typ = msg_rversion then
-      let msize = get_u32 c in
-      let version = get_str c in
-      Rversion { msize; version }
-    else if typ = msg_rattach then Rattach { qid = get_qid c }
-    else if typ = msg_rwalk then begin
-      let n = get_u16 c in
-      Rwalk { qids = List.init n (fun _ -> get_qid c) }
-    end
-    else if typ = msg_ropen then
-      let qid = get_qid c in
-      let iounit = get_u32 c in
-      Ropen { qid; iounit }
-    else if typ = msg_rcreate then
-      let qid = get_qid c in
-      let iounit = get_u32 c in
-      Rcreate { qid; iounit }
-    else if typ = msg_rread then begin
-      let n = get_u32 c in
-      Rread { data = get_bytes c n }
-    end
-    else if typ = msg_rwrite then Rwrite { count = get_u32 c }
-    else if typ = msg_rclunk then Rclunk
-    else if typ = msg_rremove then Rremove
-    else if typ = msg_rflush then Rflush
-    else if typ = msg_rstat then Rstat { stat = decode_stat_c c }
-    else if typ = msg_rerror then Rerror { ename = get_str c }
-    else bad (Printf.sprintf "unknown R-message type %d" typ)
-  in
-  if c.at <> String.length s then bad "trailing bytes";
-  (tag, msg)
 
 (* ------------------------------------------------------------------ *)
 (* Server                                                              *)
@@ -436,14 +56,15 @@ module Server = struct
   type t = {
     fs : Vfs.filesystem;
     counts : (string, int) Hashtbl.t;
-    mutable conns : conn list;  (* in attach order *)
+    conns : (int, conn) Hashtbl.t;  (* by conn_id; ids grow in attach order *)
     mutable next_conn_id : int;
+    mutable live : int;  (* fids across all connections, kept incrementally *)
     mutable default : conn option;  (* lazily made for the 1-client [rpc] *)
   }
 
   let create fs =
-    { fs; counts = Hashtbl.create 16; conns = []; next_conn_id = 0;
-      default = None }
+    { fs; counts = Hashtbl.create 16; conns = Hashtbl.create 64;
+      next_conn_id = 0; live = 0; default = None }
 
   let conn_gauge = Trace.gauge "nine.conn.active"
   let conn_attached = Trace.counter "nine.conn.attached"
@@ -454,9 +75,9 @@ module Server = struct
         c_uname = uname; c_served = 0 }
     in
     srv.next_conn_id <- srv.next_conn_id + 1;
-    srv.conns <- srv.conns @ [ conn ];
+    Hashtbl.replace srv.conns conn.conn_id conn;
     Trace.incr conn_attached;
-    Trace.set_gauge conn_gauge (List.length srv.conns);
+    Trace.set_gauge conn_gauge (Hashtbl.length srv.conns);
     conn
 
   let conn_id conn = conn.conn_id
@@ -464,24 +85,43 @@ module Server = struct
   let conn_served conn = conn.c_served
   let conn_fid_count conn = Hashtbl.length conn.fids
 
+  (* Fid-table mutation goes through these two, so the server-wide live
+     count (and with it [fid_count] and the [nine.fids.live] gauge)
+     stays O(1) instead of a fold over every connection per request. *)
+  let bind_fid srv conn fid st =
+    if not (Hashtbl.mem conn.fids fid) then srv.live <- srv.live + 1;
+    Hashtbl.replace conn.fids fid st
+
+  let drop_fid srv conn fid =
+    if Hashtbl.mem conn.fids fid then begin
+      srv.live <- srv.live - 1;
+      Hashtbl.remove conn.fids fid
+    end
+
   (* Drop a connection: close whatever it left open and forget its
-     fids.  A client that vanishes must not pin files forever. *)
+     fids.  A client that vanishes must not pin files forever.
+     Idempotent — a second disconnect of the same seat is a no-op, so
+     the [nine.conn.active] gauge cannot drift below the truth. *)
   let disconnect srv conn =
-    Hashtbl.iter
-      (fun _ st ->
-        match st.opened with
-        | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
-        | None -> ())
-      conn.fids;
-    Hashtbl.reset conn.fids;
-    srv.conns <- List.filter (fun c -> c != conn) srv.conns;
-    if srv.default = Some conn then srv.default <- None;
-    Trace.set_gauge conn_gauge (List.length srv.conns)
+    if Hashtbl.mem srv.conns conn.conn_id then begin
+      Hashtbl.iter
+        (fun _ st ->
+          match st.opened with
+          | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
+          | None -> ())
+        conn.fids;
+      srv.live <- srv.live - Hashtbl.length conn.fids;
+      Hashtbl.reset conn.fids;
+      Hashtbl.remove srv.conns conn.conn_id;
+      if srv.default = Some conn then srv.default <- None;
+      Trace.set_gauge conn_gauge (Hashtbl.length srv.conns)
+    end
 
-  let connections srv = srv.conns
+  let connections srv =
+    Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns []
+    |> List.sort (fun a b -> compare a.conn_id b.conn_id)
 
-  let fid_count srv =
-    List.fold_left (fun acc c -> acc + Hashtbl.length c.fids) 0 srv.conns
+  let fid_count srv = srv.live
 
   let count srv kind =
     Hashtbl.replace srv.counts kind
@@ -509,18 +149,20 @@ module Server = struct
   let exec srv conn msg =
     match msg with
     | Tversion { msize; version = _ } ->
+        srv.live <- srv.live - Hashtbl.length conn.fids;
         Hashtbl.reset conn.fids;
         conn.c_msize <- max 256 (min msize 65536);
         Rversion { msize = conn.c_msize; version = "9P2000.help" }
     | Tattach { fid; uname; _ } ->
         let st = srv.fs.fs_stat [] in
         conn.c_uname <- uname;
-        Hashtbl.replace conn.fids fid { path = []; opened = None; dirdata = None };
+        bind_fid srv conn fid { path = []; opened = None; dirdata = None };
         Rattach { qid = qid_of_stat st [] }
     | Tflush _ ->
         (* By the time a flush reaches direct execution the old request
-           has either been answered or cancelled out of a pool queue
-           (see [Pool.submit]); all that is left is to acknowledge. *)
+           has either been answered or cancelled out of a scheduler
+           queue (see [Sched.submit]); all that is left is to
+           acknowledge. *)
         Trace.incr flush_received;
         Rflush
     | Twalk { fid; newfid; names } ->
@@ -541,7 +183,7 @@ module Server = struct
         in
         let path', qids = go state.path [] names in
         if List.length qids = List.length names then
-          Hashtbl.replace conn.fids newfid
+          bind_fid srv conn newfid
             { path = path'; opened = None; dirdata = None };
         Rwalk { qids }
     | Topen { fid; mode } ->
@@ -602,14 +244,14 @@ module Server = struct
         let state = lookup conn fid in
         (* the fid is clunked even when close fails: an error reply must
            not leave it live in the table *)
-        Hashtbl.remove conn.fids fid;
+        drop_fid srv conn fid;
         (match state.opened with Some f -> f.Vfs.of_close () | None -> ());
         Rclunk
     | Tremove { fid } ->
         let state = lookup conn fid in
         (* per 9P, remove is "clunk with the side effect of removing":
            the fid is gone even when the removal itself fails *)
-        Hashtbl.remove conn.fids fid;
+        drop_fid srv conn fid;
         (match state.opened with
         | Some f -> ( try f.Vfs.of_close () with Vfs.Error _ -> ())
         | None -> ());
@@ -632,8 +274,10 @@ module Server = struct
   let rpc_us = Trace.histogram "nine.rpc.us"
   let live_fids = Trace.gauge "nine.fids.live"
 
-  let conn_rpc srv conn packet =
-    let tag, msg = decode_t packet in
+  (* Execute one decoded request: tallies, timing, fid-gauge upkeep.
+     [len] is the request's wire length, checked against the
+     connection's msize. *)
+  let dispatch_reply srv conn ~len msg =
     let kind = kind_of_t msg in
     count srv kind;
     (match List.assoc_opt kind rpc_counters with
@@ -642,15 +286,24 @@ module Server = struct
     conn.c_served <- conn.c_served + 1;
     let t0 = Trace.now_us () in
     let reply =
-      if String.length packet > conn.c_msize then
-        Rerror { ename = "message too large" }
+      if len > conn.c_msize then Rerror { ename = "message too large" }
       else
         try exec srv conn msg
         with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
     in
     Trace.observe rpc_us (Trace.now_us () - t0);
-    Trace.set_gauge live_fids (fid_count srv);
-    encode_r ~tag reply
+    Trace.set_gauge live_fids srv.live;
+    reply
+
+  (* The scheduler's entry point: decoded message in, framed reply
+     appended to the connection's reusable writer — no intermediate
+     string. *)
+  let conn_dispatch srv conn w ~tag ~len msg =
+    encode_r_into w ~tag (dispatch_reply srv conn ~len msg)
+
+  let conn_rpc srv conn packet =
+    let tag, msg = decode_t packet in
+    encode_r ~tag (dispatch_reply srv conn ~len:(String.length packet) msg)
 
   (* The single-client entry point of the original server, kept for
      direct protocol conversations: all its traffic lands on one
@@ -668,55 +321,39 @@ module Server = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Pool: many connections over one server, drained round-robin         *)
+(* Pool: the compatibility face of the cooperative scheduler           *)
 
 module Pool = struct
-  type outcome = Waiting | Replied of string | Flushed
+  type outcome = Sched.outcome = Waiting | Replied of string | Flushed
 
-  type entry = { e_ticket : int; e_tag : int; e_packet : string }
-
-  type conn = {
-    c_pool : pool;
-    sconn : Server.conn;
-    c_rpcs : Trace.counter;  (* nine.conn.<id>.rpcs *)
-    mutable queue : entry list;  (* FIFO; head is served next *)
-    outcomes : (int, outcome) Hashtbl.t;  (* ticket -> disposition *)
-    mutable next_ticket : int;
-    mutable submitted : int;
-  }
+  type conn = { c_pool : pool; sconn : Server.conn; sc : Sched.conn }
 
   and pool = {
     srv : Server.t;
-    mutable conns : conn list;  (* in attach order; the scheduler ring *)
-    mutable rr : int;  (* round-robin cursor into [conns] *)
-    mutable journal : (int * int * string) list option;  (* newest first *)
+    sched : Sched.t;
+    pconns : (int, conn) Hashtbl.t;  (* by conn_id *)
   }
 
   type t = pool
 
-  let flush_cancelled = Trace.counter "nine.flush.cancelled"
-  let flush_stale = Trace.counter "nine.flush.stale"
+  let create ?max_queue ?batch_limit fs =
+    { srv = Server.create fs; sched = Sched.create ?max_queue ?batch_limit ();
+      pconns = Hashtbl.create 64 }
 
-  let create fs = { srv = Server.create fs; conns = []; rr = 0; journal = None }
   let server p = p.srv
   let fid_count p = Server.fid_count p.srv
 
   let attach ?uname p =
     let sconn = Server.connection ?uname p.srv in
-    let c =
-      {
-        c_pool = p;
-        sconn;
-        c_rpcs =
-          Trace.counter
-            (Printf.sprintf "nine.conn.%d.rpcs" (Server.conn_id sconn));
-        queue = [];
-        outcomes = Hashtbl.create 8;
-        next_ticket = 0;
-        submitted = 0;
-      }
+    let id = Server.conn_id sconn in
+    let rpcs = Trace.counter (Printf.sprintf "nine.conn.%d.rpcs" id) in
+    let dispatch w ~tag ~len msg =
+      Trace.incr rpcs;
+      Server.conn_dispatch p.srv sconn w ~tag ~len msg
     in
-    p.conns <- p.conns @ [ c ];
+    let sc = Sched.attach p.sched ~id ~dispatch in
+    let c = { c_pool = p; sconn; sc } in
+    Hashtbl.replace p.pconns id c;
     c
 
   let conn_id c = Server.conn_id c.sconn
@@ -725,126 +362,39 @@ module Pool = struct
 
   let disconnect c =
     let p = c.c_pool in
-    p.conns <- List.filter (fun c' -> c' != c) p.conns;
-    if p.rr >= List.length p.conns then p.rr <- 0;
+    Sched.detach c.sc;
+    Hashtbl.remove p.pconns (conn_id c);
     Server.disconnect p.srv c.sconn
 
-  (* Accept a request into the connection's queue.  A [Tflush] is the
-     cancellation point: if the flushed tag is still queued — the old
-     request has not run yet — it is removed on the spot and its ticket
-     marked [Flushed], so it will never execute; a flush that arrives
-     after its victim completed is counted stale and changes nothing.
-     The flush itself is then queued and answered ([Rflush]) in order.
-     Malformed packets raise {!Bad_message} to the submitter at once —
-     they never occupy a scheduler slot. *)
-  let submit c packet =
-    let tag, msg = decode_t packet in
-    let ticket = c.next_ticket in
-    c.next_ticket <- ticket + 1;
-    c.submitted <- c.submitted + 1;
-    (match msg with
-    | Tflush { oldtag } -> (
-        match List.find_opt (fun e -> e.e_tag = oldtag) c.queue with
-        | Some e ->
-            c.queue <- List.filter (fun e' -> e' != e) c.queue;
-            Hashtbl.replace c.outcomes e.e_ticket Flushed;
-            Trace.incr flush_cancelled
-        | None -> Trace.incr flush_stale)
-    | _ -> ());
-    Hashtbl.replace c.outcomes ticket Waiting;
-    c.queue <- c.queue @ [ { e_ticket = ticket; e_tag = tag; e_packet = packet } ];
-    ticket
-
-  let poll c ticket =
-    match Hashtbl.find_opt c.outcomes ticket with
-    | Some o -> o
-    | None -> Waiting
-
-  (* Like {!poll}, but a settled ticket is forgotten once observed, so
-     long-lived connections do not accumulate dispositions. *)
-  let take c ticket =
-    let o = poll c ticket in
-    (match o with Waiting -> () | Replied _ | Flushed -> Hashtbl.remove c.outcomes ticket);
-    o
-
-  let pending p = List.fold_left (fun a c -> a + List.length c.queue) 0 p.conns
-
-  let record_journal p on = p.journal <- (if on then Some [] else None)
-
-  let journal p = match p.journal with Some l -> List.rev l | None -> []
-
-  (* Serve exactly one queued request: starting at the round-robin
-     cursor, the first connection with work gets its head-of-queue
-     executed, and the cursor moves past it — each full turn of the
-     ring serves at most one request per connection, so a chatty client
-     waits behind everyone else's next request, never ahead of it.
-     The scheduler is deterministic: conns are scanned in attach order
-     and the server runs on the deterministic logical clock, so the
-     same submission schedule replays to the same interleaving.
-     Returns [false] when every queue is empty. *)
-  let step p =
-    let n = List.length p.conns in
-    let rec find i =
-      if i >= n then None
-      else
-        let idx = (p.rr + i) mod n in
-        let c = List.nth p.conns idx in
-        match c.queue with
-        | [] -> find (i + 1)
-        | e :: rest -> Some (idx, c, e, rest)
-    in
-    if n = 0 then false
-    else
-      match find 0 with
-      | None -> false
-      | Some (idx, c, e, rest) ->
-          c.queue <- rest;
-          p.rr <- (idx + 1) mod n;
-          (match p.journal with
-          | Some l ->
-              let kind =
-                match decode_t e.e_packet with _, m -> kind_of_t m
-              in
-              p.journal <-
-                Some ((Trace.now_us (), Server.conn_id c.sconn, kind) :: l)
-          | None -> ());
-          Trace.incr c.c_rpcs;
-          let reply = Server.conn_rpc p.srv c.sconn e.e_packet in
-          Hashtbl.replace c.outcomes e.e_ticket (Replied reply);
-          true
-
-  let run p = while step p do () done
-
-  (* The synchronous bridge a {!Client} speaks: enqueue, then turn the
-     scheduler until this request's reply is out.  While it waits, the
-     round-robin serves other connections' queued work, so even
-     all-synchronous clients interleave fairly at the RPC level. *)
-  let transport c packet =
-    let ticket = submit c packet in
-    let rec drive () =
-      match take c ticket with
-      | Replied r -> r
-      | Flushed -> raise Timeout
-      | Waiting ->
-          if step c.c_pool then drive ()
-          else raise (Vfs.Error (Vfs.Eio "9p pool: request vanished"))
-    in
-    drive ()
+  let submit c packet = Sched.submit c.sc packet
+  let feed c buf = Sched.feed c.sc buf
+  let queue_length c = Sched.queue_length c.sc
+  let poll c ticket = Sched.poll c.sc ticket
+  let take c ticket = Sched.take c.sc ticket
+  let on_settled c ticket cb = Sched.on_settled c.sc ticket cb
+  let pending p = Sched.pending p.sched
+  let record_journal p on = Sched.record_journal p.sched on
+  let journal p = Sched.journal p.sched
+  let step p = Sched.step p.sched
+  let run p = Sched.run p.sched
+  let transport c packet = Sched.transport c.sc packet
 
   let stats p =
-    List.map
-      (fun c ->
-        (conn_id c, uname c, served c, Server.conn_fid_count c.sconn))
-      p.conns
+    Hashtbl.fold
+      (fun _ c acc ->
+        (conn_id c, uname c, served c, Server.conn_fid_count c.sconn) :: acc)
+      p.pconns []
+    |> List.sort compare
 
   (* Most-served over least-served connection, among those that asked
      for anything; 1.0 when balanced, [infinity] when someone starved
      outright. *)
   let fairness_spread p =
     let ss =
-      List.filter_map
-        (fun c -> if c.submitted > 0 then Some (served c) else None)
-        p.conns
+      Hashtbl.fold
+        (fun _ c acc ->
+          if Sched.submitted c.sc > 0 then served c :: acc else acc)
+        p.pconns []
     in
     match ss with
     | [] -> 1.0
@@ -867,6 +417,7 @@ module Client = struct
     timeout_us : int;
     max_retries : int;
     backoff_us : int;
+    mutable read_buf : Buffer.t option;  (* reusable read-assembly scratch *)
   }
 
   let error_of_ename ename =
@@ -980,7 +531,8 @@ module Client = struct
       ?(uname = "help") transport =
     let c =
       { transport; uname; next_tag = 1; next_fid = 1; msize = 65536;
-        timeout_us; max_retries; backoff_us }
+        timeout_us; max_retries; backoff_us;
+        read_buf = Some (Buffer.create 8192) }
     in
     (match rpc c (Tversion { msize = c.msize; version = "9P2000.help" }) with
     | Rversion { msize; _ } ->
@@ -991,6 +543,24 @@ module Client = struct
     | Rattach _ -> ()
     | _ -> bad "expected Rattach");
     c
+
+  (* The read path reassembles chunked Rreads in a per-client scratch
+     buffer instead of a fresh [Buffer.create] per call.  Taken for the
+     duration of the read and handed back after, so a reentrant read (a
+     nested mount reading through an outer read) falls back to a fresh
+     buffer instead of corrupting the scratch. *)
+  let with_read_buf c f =
+    match c.read_buf with
+    | Some b ->
+        c.read_buf <- None;
+        Fun.protect
+          ~finally:(fun () ->
+            Buffer.clear b;
+            c.read_buf <- Some b)
+          (fun () ->
+            Buffer.clear b;
+            f b)
+    | None -> f (Buffer.create 8192)
 
   let walk c names =
     let fid = fresh_fid c in
@@ -1053,21 +623,21 @@ module Client = struct
       {
         Vfs.of_read =
           (fun ~off ~count ->
-            let b = Buffer.create (min count 8192) in
-            let rec loop off remaining =
-              if remaining > 0 then begin
-                let ask = min remaining (read_unit ()) in
-                match rpc c (Tread { fid; offset = off; count = ask }) with
-                | Rread { data } when data <> "" ->
-                    Buffer.add_string b data;
-                    loop (off + String.length data)
-                      (remaining - String.length data)
-                | Rread _ -> ()
-                | _ -> bad "expected Rread"
-              end
-            in
-            loop off count;
-            Buffer.contents b);
+            with_read_buf c (fun b ->
+                let rec loop off remaining =
+                  if remaining > 0 then begin
+                    let ask = min remaining (read_unit ()) in
+                    match rpc c (Tread { fid; offset = off; count = ask }) with
+                    | Rread { data } when data <> "" ->
+                        Buffer.add_string b data;
+                        loop (off + String.length data)
+                          (remaining - String.length data)
+                    | Rread _ -> ()
+                    | _ -> bad "expected Rread"
+                  end
+                in
+                loop off count;
+                Buffer.contents b));
         of_write =
           (fun ~off data ->
             let total = String.length data in
@@ -1147,8 +717,9 @@ module Client = struct
     { Vfs.fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
 end
 
-let serve_mount_pool ?wrap ?max_retries ?(uname = "help") ns path fs =
-  let pool = Pool.create fs in
+let serve_mount_pool ?wrap ?max_retries ?max_queue ?batch_limit
+    ?(uname = "help") ns path fs =
+  let pool = Pool.create ?max_queue ?batch_limit fs in
   let conn = Pool.attach ~uname pool in
   let transport =
     match wrap with

@@ -71,7 +71,12 @@ exception Timeout
     fault injector's per-kind configuration. *)
 val kind_of_t : tmsg -> string
 
-(** {1 Codec}  Messages carry a 16-bit tag, as on the wire. *)
+(** {1 Codec}  Messages carry a 16-bit tag, as on the wire.
+
+    The codec itself lives in {!Wire} (zero-copy slice cursors on
+    decode, reusable patching writers on encode) and is re-exported
+    here; these four are the one-shot convenience forms over a shared
+    scratch writer. *)
 
 val encode_t : tag:int -> tmsg -> string
 val decode_t : string -> int * tmsg
@@ -126,6 +131,14 @@ module Server : sig
       raise {!Bad_message}. *)
   val conn_rpc : t -> conn -> string -> string
 
+  (** The scheduler's zero-copy entry point: execute one
+      already-decoded T-message and append the framed R-message to the
+      given writer.  [len] is the request's wire length (checked
+      against the connection's msize).  {!conn_rpc} is this plus a
+      decode and a string materialization. *)
+  val conn_dispatch :
+    t -> conn -> Wire.Writer.t -> tag:int -> len:int -> tmsg -> unit
+
   (** {!conn_rpc} on a lazily-created default connection (uname
       "direct") — the single-client convenience used by direct tests
       and the in-process [Cpu] link. *)
@@ -148,15 +161,19 @@ end
 
 (** {1 Pool}
 
-    Many connections over one server, drained by a deterministic
-    round-robin scheduler.  Requests are queued per connection
-    ({!Pool.submit}) and served one at a time ({!Pool.step}): each full
-    turn of the ring serves at most one request per connection, so a
-    chatty client waits behind everyone else's next request and can
-    never starve the rest.  Connections are scanned in attach order and
-    the server runs on the deterministic logical clock, so the same
-    submission schedule replays to the same interleaving byte for
-    byte. *)
+    Many connections over one server.  Since the serving-core rebuild
+    this is a thin compatibility shim over the cooperative scheduler in
+    {!Sched}: requests are queued per connection into a bounded FIFO
+    ring ({!Pool.submit}; a full ring applies backpressure, counted as
+    [nine.backpressure.stalls]) and served in round-robin batches
+    ({!Pool.step} serves up to the pool's batch limit of one
+    connection's requests per turn, observed in the [nine.batch.size]
+    histogram) — each turn of the ready queue serves at most one batch
+    per connection, so a chatty client waits behind everyone else's
+    next batch and can never starve the rest.  Connections are served
+    in ready order, a pure function of the submission schedule, and the
+    server runs on the deterministic logical clock, so the same
+    schedule replays to the same interleaving byte for byte. *)
 
 module Pool : sig
   type t
@@ -171,8 +188,10 @@ module Pool : sig
     | Replied of string  (** served; the encoded R-message *)
     | Flushed  (** cancelled by a later [Tflush] before it ran *)
 
-  (** A fresh server wrapped in an empty pool. *)
-  val create : Vfs.filesystem -> t
+  (** A fresh server wrapped in an empty pool.  [max_queue] bounds each
+      connection's submission ring and [batch_limit] caps requests
+      served per connection per turn (defaults from {!Sched.create}). *)
+  val create : ?max_queue:int -> ?batch_limit:int -> Vfs.filesystem -> t
 
   (** The underlying server (stats, fid accounting). *)
   val server : t -> Server.t
@@ -194,20 +213,38 @@ module Pool : sig
       [Tflush] cancels its victim here if the victim is still queued
       ([nine.flush.cancelled]; the victim's ticket becomes {!Flushed})
       and counts [nine.flush.stale] otherwise; either way the flush
-      itself is queued and answered in order.
+      itself is queued and answered in order.  Submitting into a full
+      ring turns the scheduler until space frees
+      ([nine.backpressure.stalls]).
       @raise Bad_message on a malformed packet (never queued). *)
   val submit : conn -> string -> int
+
+  (** Wire-level batching: split a buffer of concatenated T-frames in
+      place (no per-frame copy) and {!submit} each; tickets in frame
+      order. *)
+  val feed : conn -> string -> int list
+
+  (** Requests currently queued on this connection — never exceeds the
+      pool's [max_queue]. *)
+  val queue_length : conn -> int
 
   val poll : conn -> int -> outcome
 
   (** {!poll}, forgetting the ticket once it has settled. *)
   val take : conn -> int -> outcome
 
+  (** Continuation-driven completion: run the callback from the
+      scheduler's run-to-completion task queue when the ticket settles
+      (immediately queued if it already has).  The outcome is consumed
+      — {!poll}/{!take} will not see it. *)
+  val on_settled : conn -> int -> (outcome -> unit) -> unit
+
   (** Requests queued across the pool. *)
   val pending : t -> int
 
-  (** Serve exactly one queued request (round-robin); [false] when all
-      queues are empty. *)
+  (** One scheduler turn: drain pending continuations, then serve up to
+      [batch_limit] queued requests of the next ready connection;
+      [false] when nothing is left to do. *)
   val step : t -> bool
 
   (** {!step} until every queue is empty. *)
@@ -220,7 +257,7 @@ module Pool : sig
       @raise Timeout if the request was flushed before running. *)
   val transport : conn -> string -> string
 
-  (** [(conn_id, uname, served, live fids)] per connection, in ring
+  (** [(conn_id, uname, served, live fids)] per connection, in attach
       order. *)
   val stats : t -> (int * string * int * int) list
 
@@ -233,9 +270,12 @@ module Pool : sig
   val fid_count : t -> int
 
   (** [record_journal p true] starts recording [(clock reading, conn
-      id, message kind)] per scheduler step — the interleaving
-      transcript used by replay tests.  Recording reads the clock, so
-      it perturbs timings; leave it off outside tests. *)
+      id, message kind)] per dispatched request — the interleaving
+      transcript used by replay tests.  The journal is a bounded ring:
+      past its capacity the oldest records are dropped and counted as
+      [nine.journal.dropped], so an unbounded bench run cannot grow it
+      without limit.  Recording reads the clock, so it perturbs
+      timings; leave it off outside tests. *)
   val record_journal : t -> bool -> unit
 
   (** The journal recorded so far, oldest first ([] if off). *)
@@ -301,10 +341,13 @@ val serve_mount :
 
 (** {!serve_mount}, also returning the pool so further clients can
     {!Pool.attach} to the same server — how a session becomes
-    multi-tenant (see [Session.attach_client]). *)
+    multi-tenant (see [Session.attach_client]).  [?max_queue] and
+    [?batch_limit] tune the pool's scheduler (see {!Pool.create}). *)
 val serve_mount_pool :
   ?wrap:((string -> string) -> string -> string) ->
   ?max_retries:int ->
+  ?max_queue:int ->
+  ?batch_limit:int ->
   ?uname:string ->
   Vfs.t ->
   string ->

@@ -1,0 +1,364 @@
+(* The cooperative serving core: run-to-completion tasks and batched,
+   round-robin connection service over the deterministic logical clock.
+
+   The scheduler knows nothing about 9P semantics — each connection
+   carries a [dispatch] closure (built by [Nine.Pool.attach] over
+   [Nine.Server]) that turns one decoded T-message into one framed
+   R-message in the connection's reply writer.  What the scheduler owns
+   is the concurrency structure:
+
+   - a bounded FIFO ring per connection, with explicit backpressure:
+     submitting into a full ring turns the scheduler until space frees,
+     counting [nine.backpressure.stalls];
+
+   - a ready queue of connections, served round-robin, up to
+     [batch_limit] requests per connection per turn ([nine.batch.size]
+     histogram) — one turn of the ready queue serves at most one batch
+     per connection, so a flooding client waits behind everyone else's
+     next batch, never ahead of it;
+
+   - a run-to-completion task queue for continuations ([on_settled]),
+     drained between batches, so thousands of scripted clients
+     interleave without threads;
+
+   - a bounded replay journal of (clock, conn, kind) dispatch records,
+     dropping the oldest beyond [journal_cap] ([nine.journal.dropped]).
+
+   Everything is deterministic: connections are served in ready-queue
+   order, which is a pure function of the submission schedule, and the
+   clock is [Trace]'s logical clock — the same schedule replays to the
+   same interleaving, the same journal, and byte-identical replies. *)
+
+type outcome = Waiting | Replied of string | Flushed
+
+type entry = {
+  e_ticket : int;
+  e_tag : int;
+  e_len : int;  (* request wire length, for the server's msize check *)
+  e_msg : Wire.tmsg;
+  mutable e_cancelled : bool;  (* tombstoned by a Tflush while queued *)
+}
+
+type conn = {
+  id : int;
+  sched : t;
+  dispatch : Wire.Writer.t -> tag:int -> len:int -> Wire.tmsg -> unit;
+  writer : Wire.Writer.t;  (* reusable reply encode buffer *)
+  (* bounded FIFO ring; grows geometrically up to [max_queue] *)
+  mutable q : entry option array;
+  mutable q_head : int;
+  mutable q_len : int;
+  outcomes : (int, outcome) Hashtbl.t;  (* settled, not yet taken *)
+  settled : (int, outcome -> unit) Hashtbl.t;  (* continuations *)
+  mutable next_ticket : int;
+  mutable c_submitted : int;
+  mutable in_ready : bool;
+  mutable dead : bool;
+}
+
+and t = {
+  max_queue : int;
+  batch_limit : int;
+  conns : (int, conn) Hashtbl.t;
+  ready : conn Queue.t;
+  tasks : (unit -> unit) Queue.t;
+  (* bounded journal ring, oldest dropped on overflow *)
+  mutable journal : (int * int * string) array option;
+  mutable j_head : int;
+  mutable j_len : int;
+}
+
+let stalls = Trace.counter "nine.backpressure.stalls"
+let batch_size = Trace.histogram "nine.batch.size"
+let journal_dropped = Trace.counter "nine.journal.dropped"
+let flush_cancelled = Trace.counter "nine.flush.cancelled"
+let flush_stale = Trace.counter "nine.flush.stale"
+
+let default_max_queue = 128
+let default_batch_limit = 8
+let journal_cap = 8192
+
+let create ?(max_queue = default_max_queue) ?(batch_limit = default_batch_limit)
+    () =
+  if max_queue < 1 then invalid_arg "Sched.create: max_queue < 1";
+  if batch_limit < 1 then invalid_arg "Sched.create: batch_limit < 1";
+  {
+    max_queue;
+    batch_limit;
+    conns = Hashtbl.create 64;
+    ready = Queue.create ();
+    tasks = Queue.create ();
+    journal = None;
+    j_head = 0;
+    j_len = 0;
+  }
+
+let attach t ~id ~dispatch =
+  let c =
+    {
+      id;
+      sched = t;
+      dispatch;
+      writer = Wire.Writer.create 1024;
+      q = Array.make (min 8 t.max_queue) None;
+      q_head = 0;
+      q_len = 0;
+      outcomes = Hashtbl.create 8;
+      settled = Hashtbl.create 8;
+      next_ticket = 0;
+      c_submitted = 0;
+      in_ready = false;
+      dead = false;
+    }
+  in
+  Hashtbl.replace t.conns id c;
+  c
+
+let conn_id c = c.id
+let submitted c = c.c_submitted
+let queue_length c = c.q_len
+
+(* A detached connection keeps nothing queued: whatever was in flight
+   is dropped, so a driver waiting on one of its tickets sees the queue
+   drain and reports the request vanished (exactly a client that hung
+   up mid-conversation). *)
+let detach c =
+  c.dead <- true;
+  Array.fill c.q 0 (Array.length c.q) None;
+  c.q_len <- 0;
+  Hashtbl.reset c.settled;
+  Hashtbl.remove c.sched.conns c.id
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection ring                                                 *)
+
+let q_push c e =
+  let cap = Array.length c.q in
+  if c.q_len = cap && cap < c.sched.max_queue then begin
+    let cap' = min (2 * cap) c.sched.max_queue in
+    let q' = Array.make cap' None in
+    for i = 0 to c.q_len - 1 do
+      q'.(i) <- c.q.((c.q_head + i) mod cap)
+    done;
+    c.q <- q';
+    c.q_head <- 0
+  end;
+  assert (c.q_len < Array.length c.q);
+  c.q.((c.q_head + c.q_len) mod Array.length c.q) <- Some e;
+  c.q_len <- c.q_len + 1
+
+let q_pop c =
+  if c.q_len = 0 then None
+  else begin
+    let e = c.q.(c.q_head) in
+    c.q.(c.q_head) <- None;
+    c.q_head <- (c.q_head + 1) mod Array.length c.q;
+    c.q_len <- c.q_len - 1;
+    e
+  end
+
+let q_iter c f =
+  let cap = Array.length c.q in
+  for i = 0 to c.q_len - 1 do
+    match c.q.((c.q_head + i) mod cap) with
+    | Some e -> f e
+    | None -> assert false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let record_journal t on =
+  if on then begin
+    t.journal <- Some (Array.make journal_cap (0, 0, ""));
+    t.j_head <- 0;
+    t.j_len <- 0
+  end
+  else t.journal <- None
+
+let journal t =
+  match t.journal with
+  | None -> []
+  | Some a ->
+      List.init t.j_len (fun i -> a.((t.j_head + i) mod journal_cap))
+
+let journal_record t c kind =
+  match t.journal with
+  | None -> ()
+  | Some a ->
+      let e = (Trace.now_us (), c.id, kind) in
+      if t.j_len = journal_cap then begin
+        a.(t.j_head) <- e;
+        t.j_head <- (t.j_head + 1) mod journal_cap;
+        Trace.incr journal_dropped
+      end
+      else begin
+        a.((t.j_head + t.j_len) mod journal_cap) <- e;
+        t.j_len <- t.j_len + 1
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Settling                                                            *)
+
+let settle c ticket o =
+  match Hashtbl.find_opt c.settled ticket with
+  | Some cb ->
+      (* continuation-driven: the outcome is consumed by the callback,
+         run-to-completion, from the task queue *)
+      Hashtbl.remove c.settled ticket;
+      Queue.add (fun () -> cb o) c.sched.tasks
+  | None -> Hashtbl.replace c.outcomes ticket o
+
+let poll c ticket =
+  match Hashtbl.find_opt c.outcomes ticket with
+  | Some o -> o
+  | None -> Waiting
+
+let take c ticket =
+  let o = poll c ticket in
+  (match o with
+  | Waiting -> ()
+  | Replied _ | Flushed -> Hashtbl.remove c.outcomes ticket);
+  o
+
+let on_settled c ticket cb =
+  match Hashtbl.find_opt c.outcomes ticket with
+  | Some o ->
+      (* already settled: deliver from the task queue all the same, so
+         callbacks never run inside the submitter's stack *)
+      Hashtbl.remove c.outcomes ticket;
+      Queue.add (fun () -> cb o) c.sched.tasks
+  | None -> Hashtbl.replace c.settled ticket cb
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+
+let run_tasks t =
+  let ran = not (Queue.is_empty t.tasks) in
+  while not (Queue.is_empty t.tasks) do
+    (Queue.pop t.tasks) ()
+  done;
+  ran
+
+let mark_ready c =
+  if (not c.in_ready) && not c.dead then begin
+    c.in_ready <- true;
+    Queue.add c c.sched.ready
+  end
+
+(* Serve one connection's batch: up to [batch_limit] queued requests
+   are dispatched back-to-back into the connection's reply writer, and
+   each reply is settled as it is sliced out.  Cancelled (flushed)
+   entries are consumed without dispatching — they were settled at
+   cancellation time and must not count against the batch. *)
+let serve_batch t c =
+  Wire.Writer.clear c.writer;
+  let served = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) && !served < t.batch_limit && c.q_len > 0 do
+    match q_pop c with
+    | None -> exhausted := true
+    | Some e when e.e_cancelled -> ()
+    | Some e ->
+        journal_record t c (Wire.kind_of_t e.e_msg);
+        let off = Wire.Writer.length c.writer in
+        c.dispatch c.writer ~tag:e.e_tag ~len:e.e_len e.e_msg;
+        let len = Wire.Writer.length c.writer - off in
+        settle c e.e_ticket (Replied (Wire.Writer.sub_string c.writer ~off ~len));
+        incr served
+  done;
+  if !served > 0 then Trace.observe batch_size !served;
+  if c.q_len > 0 then mark_ready c
+
+(* One scheduler turn: drain pending continuations, then serve the
+   batch of the next ready connection (and whatever continuations it
+   unblocks).  Returns [false] only when there is nothing left to do. *)
+let step t =
+  let ran = run_tasks t in
+  let rec next () =
+    match Queue.take_opt t.ready with
+    | None -> ran
+    | Some c ->
+        c.in_ready <- false;
+        if c.dead then next ()  (* hung up while waiting its turn *)
+        else begin
+          serve_batch t c;
+          ignore (run_tasks t);
+          true
+        end
+  in
+  next ()
+
+let run t = while step t do () done
+
+let pending t =
+  Hashtbl.fold (fun _ c acc -> acc + c.q_len) t.conns 0
+
+(* ------------------------------------------------------------------ *)
+(* Submission                                                          *)
+
+(* Accept one decoded request.  A [Tflush] is the cancellation point:
+   if the flushed tag is still queued, the victim is tombstoned on the
+   spot and its ticket settled [Flushed], so it will never execute; a
+   flush arriving after its victim completed is counted stale.  The
+   flush itself then queues and is answered in order.  A full ring is
+   backpressure, not an error: the scheduler turns until space frees,
+   counting each stall — submission order still fully determines the
+   interleaving, so replay is unaffected. *)
+let submit_msg c ~tag ~len msg =
+  if c.dead then invalid_arg "Sched: submit on a detached connection";
+  let t = c.sched in
+  let ticket = c.next_ticket in
+  c.next_ticket <- ticket + 1;
+  c.c_submitted <- c.c_submitted + 1;
+  (match msg with
+  | Wire.Tflush { oldtag } ->
+      let hit = ref false in
+      q_iter c (fun e ->
+          if (not !hit) && (not e.e_cancelled) && e.e_tag = oldtag then begin
+            hit := true;
+            e.e_cancelled <- true;
+            settle c e.e_ticket Flushed
+          end);
+      if !hit then Trace.incr flush_cancelled else Trace.incr flush_stale
+  | _ -> ());
+  while c.q_len >= t.max_queue do
+    Trace.incr stalls;
+    if not (step t) then
+      (* unreachable: this connection's own full queue is schedulable *)
+      invalid_arg "Sched: stalled with nothing to serve"
+  done;
+  q_push c { e_ticket = ticket; e_tag = tag; e_len = len; e_msg = msg;
+             e_cancelled = false };
+  mark_ready c;
+  ticket
+
+let submit c packet =
+  let tag, msg = Wire.decode_t packet in
+  submit_msg c ~tag ~len:(String.length packet) msg
+
+(* Wire-level batching: a buffer of concatenated T-frames is split and
+   decoded in place — no per-frame copy — and every frame submitted.
+   Returns the tickets in frame order. *)
+let feed c buf =
+  let tickets = ref [] in
+  Wire.iter_frames buf (fun ~off ~len ->
+      let tag, msg = Wire.decode_t_at buf ~off ~len in
+      tickets := submit_msg c ~tag ~len msg :: !tickets);
+  List.rev !tickets
+
+(* The synchronous bridge a [Client] speaks: enqueue, then turn the
+   scheduler until this request's reply is out.  While it waits, the
+   ready queue serves other connections' batches, so all-synchronous
+   clients still interleave fairly. *)
+let transport c packet =
+  let ticket = submit c packet in
+  let rec drive () =
+    match take c ticket with
+    | Replied r -> r
+    | Flushed -> raise Wire.Timeout
+    | Waiting ->
+        if step c.sched then drive ()
+        else raise (Vfs.Error (Vfs.Eio "9p pool: request vanished"))
+  in
+  drive ()

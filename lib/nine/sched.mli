@@ -1,0 +1,110 @@
+(** The cooperative serving core behind {!Nine.Pool}.
+
+    One scheduler interleaves thousands of in-flight RPCs
+    deterministically on the logical clock: per-connection bounded FIFO
+    rings with explicit backpressure, a round-robin ready queue served
+    in batches, and a run-to-completion task queue for continuations.
+    The scheduler is protocol-agnostic — each connection carries a
+    [dispatch] closure (built by [Nine.Pool.attach] over [Nine.Server])
+    that turns one decoded T-message into one framed R-message in the
+    connection's reusable reply writer.
+
+    Observability (all registered at load time):
+    - [nine.batch.size] — requests dispatched per connection turn;
+    - [nine.backpressure.stalls] — scheduler turns forced by a full
+      submission ring;
+    - [nine.journal.dropped] — replay-journal records lost to the ring
+      bound;
+    - [nine.flush.cancelled] / [nine.flush.stale] — Tflush dispositions
+      at the queue.
+
+    Determinism: the served interleaving is a pure function of the
+    submission schedule, so the same seed replays to the same journal
+    and byte-identical replies. *)
+
+type t
+
+type conn
+
+(** Disposition of a submitted request.  [Flushed] means a later
+    [Tflush] cancelled it while it was still queued. *)
+type outcome = Waiting | Replied of string | Flushed
+
+val create : ?max_queue:int -> ?batch_limit:int -> unit -> t
+(** [max_queue] bounds each connection's submission ring (default 128);
+    [batch_limit] caps requests served per connection per turn
+    (default 8). *)
+
+val attach :
+  t ->
+  id:int ->
+  dispatch:(Wire.Writer.t -> tag:int -> len:int -> Wire.tmsg -> unit) ->
+  conn
+(** Register a connection.  [dispatch w ~tag ~len msg] must append
+    exactly one framed R-message for [msg] to [w]; [len] is the
+    request's wire length (for msize accounting). *)
+
+val detach : conn -> unit
+(** Drop the connection and whatever it still had queued. *)
+
+val conn_id : conn -> int
+
+val submitted : conn -> int
+(** Requests accepted on this connection since attach. *)
+
+val queue_length : conn -> int
+(** Currently queued (including tombstoned) requests. *)
+
+(** {1 Submission} *)
+
+val submit : conn -> string -> int
+(** Decode one T-frame (once — the scheduler re-uses the decoded form
+    at dispatch) and queue it; returns its ticket.  A [Tflush] whose
+    victim is still queued cancels it on the spot.  A full ring blocks:
+    the scheduler turns until space frees, counting
+    [nine.backpressure.stalls].
+    @raise Wire.Bad_message on garbage, which never occupies a slot. *)
+
+val feed : conn -> string -> int list
+(** Wire-level batching: split a buffer of concatenated T-frames
+    in place (no per-frame copy) and submit each; tickets are returned
+    in frame order. *)
+
+(** {1 Completion} *)
+
+val poll : conn -> int -> outcome
+
+val take : conn -> int -> outcome
+(** Like {!poll}, but a settled ticket is forgotten once observed. *)
+
+val on_settled : conn -> int -> (outcome -> unit) -> unit
+(** Continuation-driven completion: run [cb] from the scheduler's task
+    queue when the ticket settles (immediately queued if it already
+    has).  The outcome is consumed — {!poll}/{!take} will not see it.
+    At most one callback per ticket. *)
+
+(** {1 Serving} *)
+
+val step : t -> bool
+(** One turn: drain pending continuations, then serve up to
+    [batch_limit] requests of the next ready connection.  [false] when
+    nothing is left to do. *)
+
+val run : t -> unit
+(** Turn until idle. *)
+
+val pending : t -> int
+(** Queued requests over all connections. *)
+
+val transport : conn -> string -> string
+(** Synchronous bridge: submit, then {!step} until this request's
+    reply is out (other connections' work proceeds meanwhile).
+    @raise Wire.Timeout if the request was flushed. *)
+
+(** {1 Replay journal}
+
+    A bounded ring of [(clock, conn_id, kind)] dispatch records; when
+    full, the oldest is dropped and [nine.journal.dropped] counted. *)
+
+val record_journal : t -> bool -> unit
+val journal : t -> (int * int * string) list

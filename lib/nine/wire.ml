@@ -1,0 +1,562 @@
+(* The 9P wire layer: message types, zero-copy decode cursors, and a
+   reusable patching writer for encode.
+
+   This is the hot path of the serving core.  Two allocation
+   disciplines matter at thousands of clients:
+
+   - Decode reads through a {e slice cursor} — an (offset, limit) view
+     into a shared read buffer — so a batch of frames arriving in one
+     buffer is decoded in place, never cut into per-frame strings.
+     Field strings ([uname], walk names, write payloads) are still
+     materialized, because the decoded message retains them; everything
+     transient stays a view.
+
+   - Encode goes through a {!Writer}: a growable byte buffer with
+     explicit positions, so the size[4] prefix of a frame is written as
+     a placeholder and patched when the body length is known.  One
+     writer is reused per connection (and one module-level scratch
+     backs the one-shot [encode_t]/[encode_r] API), replacing the two
+     [Buffer.create]s the old framing paid per message. *)
+
+type qid = { q_type : int; q_version : int; q_path : int }
+
+let qtdir = 0x80
+
+type stat9 = {
+  s9_name : string;
+  s9_qid : qid;
+  s9_length : int;
+  s9_mtime : int;
+}
+
+type open_mode = Oread | Owrite | Ordwr | Otrunc of open_mode
+
+type tmsg =
+  | Tversion of { msize : int; version : string }
+  | Tattach of { fid : int; uname : string; aname : string }
+  | Twalk of { fid : int; newfid : int; names : string list }
+  | Topen of { fid : int; mode : open_mode }
+  | Tcreate of { fid : int; name : string; dir : bool; mode : open_mode }
+  | Tread of { fid : int; offset : int; count : int }
+  | Twrite of { fid : int; offset : int; data : string }
+  | Tclunk of { fid : int }
+  | Tremove of { fid : int }
+  | Tstat of { fid : int }
+  | Tflush of { oldtag : int }
+
+type rmsg =
+  | Rversion of { msize : int; version : string }
+  | Rattach of { qid : qid }
+  | Rwalk of { qids : qid list }
+  | Ropen of { qid : qid; iounit : int }
+  | Rcreate of { qid : qid; iounit : int }
+  | Rread of { data : string }
+  | Rwrite of { count : int }
+  | Rclunk
+  | Rremove
+  | Rstat of { stat : stat9 }
+  | Rflush
+  | Rerror of { ename : string }
+
+exception Bad_message of string
+
+(* A transport may raise this to model a reply that never arrived (the
+   deterministic fault injector in [Fault] does, after advancing the
+   trace clock past the client's patience). *)
+exception Timeout
+
+let bad msg = raise (Bad_message msg)
+
+let kind_of_t = function
+  | Tversion _ -> "version"
+  | Tattach _ -> "attach"
+  | Twalk _ -> "walk"
+  | Topen _ -> "open"
+  | Tcreate _ -> "create"
+  | Tread _ -> "read"
+  | Twrite _ -> "write"
+  | Tclunk _ -> "clunk"
+  | Tremove _ -> "remove"
+  | Tstat _ -> "stat"
+  | Tflush _ -> "flush"
+
+(* ------------------------------------------------------------------ *)
+(* Writer: growable bytes with explicit positions and patching         *)
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create n = { buf = Bytes.create (max 64 n); len = 0 }
+  let clear w = w.len <- 0
+  let length w = w.len
+
+  let ensure w n =
+    let need = w.len + n in
+    if need > Bytes.length w.buf then begin
+      let cap = ref (2 * Bytes.length w.buf) in
+      while need > !cap do
+        cap := 2 * !cap
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit w.buf 0 nb 0 w.len;
+      w.buf <- nb
+    end
+
+  let u8 w v =
+    ensure w 1;
+    Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (v land 0xff));
+    w.len <- w.len + 1
+
+  let u16 w v =
+    ensure w 2;
+    Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set w.buf (w.len + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    w.len <- w.len + 2
+
+  let u32 w v =
+    ensure w 4;
+    let b = w.buf and at = w.len in
+    Bytes.unsafe_set b at (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set b (at + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set b (at + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set b (at + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    w.len <- w.len + 4
+
+  let u64 w v =
+    u32 w v;
+    u32 w (v lsr 32)
+
+  let raw w s =
+    let n = String.length s in
+    ensure w n;
+    Bytes.blit_string s 0 w.buf w.len n;
+    w.len <- w.len + n
+
+  let str w s =
+    if String.length s > 0xffff then bad "string too long";
+    u16 w (String.length s);
+    raw w s
+
+  (* Patch a previously written (or reserved) 32-bit little-endian
+     field in place — how frame sizes are written after their bodies. *)
+  let patch_u32 w at v =
+    let b = w.buf in
+    Bytes.unsafe_set b at (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set b (at + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set b (at + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set b (at + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+  let contents w = Bytes.sub_string w.buf 0 w.len
+  let sub_string w ~off ~len = Bytes.sub_string w.buf off len
+end
+
+let put_qid w q =
+  Writer.u8 w q.q_type;
+  Writer.u32 w q.q_version;
+  Writer.u64 w q.q_path
+
+(* ------------------------------------------------------------------ *)
+(* Cursor: an (offset, limit) slice view into a shared read buffer     *)
+
+type cursor = { c_buf : string; mutable c_at : int; c_end : int }
+
+let cursor ?(off = 0) ?len s =
+  let stop = match len with Some n -> off + n | None -> String.length s in
+  if off < 0 || stop > String.length s || off > stop then bad "bad slice";
+  { c_buf = s; c_at = off; c_end = stop }
+
+let get_u8 c =
+  if c.c_at >= c.c_end then bad "short message";
+  let v = Char.code (String.unsafe_get c.c_buf c.c_at) in
+  c.c_at <- c.c_at + 1;
+  v
+
+let get_u16 c =
+  let a = get_u8 c in
+  let b = get_u8 c in
+  a lor (b lsl 8)
+
+let get_u32 c =
+  let a = get_u16 c in
+  let b = get_u16 c in
+  a lor (b lsl 16)
+
+let get_u64 c =
+  let a = get_u32 c in
+  let b = get_u32 c in
+  a lor (b lsl 32)
+
+(* The only string materialization on the decode path: the caller keeps
+   the result (a field of the decoded message), so the copy is owed. *)
+let get_bytes c n =
+  if n < 0 || c.c_at + n > c.c_end then bad "short message";
+  let s = String.sub c.c_buf c.c_at n in
+  c.c_at <- c.c_at + n;
+  s
+
+let get_str c =
+  let n = get_u16 c in
+  get_bytes c n
+
+let get_qid c =
+  let q_type = get_u8 c in
+  let q_version = get_u32 c in
+  let q_path = get_u64 c in
+  { q_type; q_version; q_path }
+
+(* ------------------------------------------------------------------ *)
+(* Message type numbers (9P2000 values)                                *)
+
+let msg_tversion = 100
+let msg_rversion = 101
+let msg_tattach = 104
+let msg_rattach = 105
+let msg_rerror = 107
+let msg_tflush = 108
+let msg_rflush = 109
+let msg_twalk = 110
+let msg_rwalk = 111
+let msg_topen = 112
+let msg_ropen = 113
+let msg_tcreate = 114
+let msg_rcreate = 115
+let msg_tread = 116
+let msg_rread = 117
+let msg_twrite = 118
+let msg_rwrite = 119
+let msg_tclunk = 120
+let msg_rclunk = 121
+let msg_tremove = 122
+let msg_rremove = 123
+let msg_tstat = 124
+let msg_rstat = 125
+
+let rec mode_bits = function
+  | Oread -> 0
+  | Owrite -> 1
+  | Ordwr -> 2
+  | Otrunc m -> 0x10 lor mode_bits m
+
+let mode_of_bits bits =
+  let base =
+    match bits land 0x3 with
+    | 0 -> Oread
+    | 1 -> Owrite
+    | 2 -> Ordwr
+    | _ -> bad "bad open mode"
+  in
+  if bits land 0x10 <> 0 then Otrunc base else base
+
+let dmdir = 0x80000000
+
+(* ------------------------------------------------------------------ *)
+(* Framing: size[4] type[1] tag[2] body, written with a patched size   *)
+
+let start_frame w typ ~tag =
+  let at = Writer.length w in
+  Writer.u32 w 0;
+  Writer.u8 w typ;
+  Writer.u16 w tag;
+  at
+
+let end_frame w at = Writer.patch_u32 w at (Writer.length w - at)
+
+let encode_t_into w ~tag msg =
+  let at =
+    match msg with
+    | Tversion { msize; version } ->
+        let at = start_frame w msg_tversion ~tag in
+        Writer.u32 w msize;
+        Writer.str w version;
+        at
+    | Tattach { fid; uname; aname } ->
+        let at = start_frame w msg_tattach ~tag in
+        Writer.u32 w fid;
+        Writer.str w uname;
+        Writer.str w aname;
+        at
+    | Twalk { fid; newfid; names } ->
+        let at = start_frame w msg_twalk ~tag in
+        Writer.u32 w fid;
+        Writer.u32 w newfid;
+        Writer.u16 w (List.length names);
+        List.iter (Writer.str w) names;
+        at
+    | Topen { fid; mode } ->
+        let at = start_frame w msg_topen ~tag in
+        Writer.u32 w fid;
+        Writer.u8 w (mode_bits mode);
+        at
+    | Tcreate { fid; name; dir; mode } ->
+        let at = start_frame w msg_tcreate ~tag in
+        Writer.u32 w fid;
+        Writer.str w name;
+        Writer.u32 w (if dir then dmdir else 0o644);
+        Writer.u8 w (mode_bits mode);
+        at
+    | Tread { fid; offset; count } ->
+        let at = start_frame w msg_tread ~tag in
+        Writer.u32 w fid;
+        Writer.u64 w offset;
+        Writer.u32 w count;
+        at
+    | Twrite { fid; offset; data } ->
+        let at = start_frame w msg_twrite ~tag in
+        Writer.u32 w fid;
+        Writer.u64 w offset;
+        Writer.u32 w (String.length data);
+        Writer.raw w data;
+        at
+    | Tclunk { fid } ->
+        let at = start_frame w msg_tclunk ~tag in
+        Writer.u32 w fid;
+        at
+    | Tremove { fid } ->
+        let at = start_frame w msg_tremove ~tag in
+        Writer.u32 w fid;
+        at
+    | Tstat { fid } ->
+        let at = start_frame w msg_tstat ~tag in
+        Writer.u32 w fid;
+        at
+    | Tflush { oldtag } ->
+        let at = start_frame w msg_tflush ~tag in
+        Writer.u16 w oldtag;
+        at
+  in
+  end_frame w at
+
+let encode_stat_into w st =
+  (* size[2] then qid/mtime/length/name; the size is patched like a
+     frame's *)
+  let at = Writer.length w in
+  Writer.u16 w 0;
+  put_qid w st.s9_qid;
+  Writer.u32 w st.s9_mtime;
+  Writer.u64 w st.s9_length;
+  Writer.str w st.s9_name;
+  let inner = Writer.length w - at - 2 in
+  let b = w.Writer.buf in
+  Bytes.unsafe_set b at (Char.unsafe_chr (inner land 0xff));
+  Bytes.unsafe_set b (at + 1) (Char.unsafe_chr ((inner lsr 8) land 0xff))
+
+let encode_r_into w ~tag msg =
+  let at =
+    match msg with
+    | Rversion { msize; version } ->
+        let at = start_frame w msg_rversion ~tag in
+        Writer.u32 w msize;
+        Writer.str w version;
+        at
+    | Rattach { qid } ->
+        let at = start_frame w msg_rattach ~tag in
+        put_qid w qid;
+        at
+    | Rwalk { qids } ->
+        let at = start_frame w msg_rwalk ~tag in
+        Writer.u16 w (List.length qids);
+        List.iter (put_qid w) qids;
+        at
+    | Ropen { qid; iounit } ->
+        let at = start_frame w msg_ropen ~tag in
+        put_qid w qid;
+        Writer.u32 w iounit;
+        at
+    | Rcreate { qid; iounit } ->
+        let at = start_frame w msg_rcreate ~tag in
+        put_qid w qid;
+        Writer.u32 w iounit;
+        at
+    | Rread { data } ->
+        let at = start_frame w msg_rread ~tag in
+        Writer.u32 w (String.length data);
+        Writer.raw w data;
+        at
+    | Rwrite { count } ->
+        let at = start_frame w msg_rwrite ~tag in
+        Writer.u32 w count;
+        at
+    | Rclunk -> start_frame w msg_rclunk ~tag
+    | Rremove -> start_frame w msg_rremove ~tag
+    | Rflush -> start_frame w msg_rflush ~tag
+    | Rstat { stat } ->
+        let at = start_frame w msg_rstat ~tag in
+        encode_stat_into w stat;
+        at
+    | Rerror { ename } ->
+        let at = start_frame w msg_rerror ~tag in
+        Writer.str w ename;
+        at
+  in
+  end_frame w at
+
+(* One scratch writer backs the one-shot string API.  It is taken for
+   the duration of a call and handed back after, so a reentrant encode
+   (a nested mount encoding while an outer encode is mid-flight) falls
+   back to a fresh writer instead of corrupting the scratch. *)
+let scratch : Writer.t option ref = ref (Some (Writer.create 512))
+
+let with_scratch f =
+  match !scratch with
+  | Some w ->
+      scratch := None;
+      Fun.protect
+        ~finally:(fun () -> scratch := Some w)
+        (fun () ->
+          Writer.clear w;
+          f w)
+  | None -> f (Writer.create 512)
+
+let encode_t ~tag msg =
+  with_scratch (fun w ->
+      encode_t_into w ~tag msg;
+      Writer.contents w)
+
+let encode_r ~tag msg =
+  with_scratch (fun w ->
+      encode_r_into w ~tag msg;
+      Writer.contents w)
+
+let encode_stat st =
+  with_scratch (fun w ->
+      encode_stat_into w st;
+      Writer.contents w)
+
+(* ------------------------------------------------------------------ *)
+(* Decode                                                              *)
+
+let unframe c =
+  let size = get_u32 c in
+  if size <> c.c_end - c.c_at + 4 then bad "frame size mismatch";
+  let typ = get_u8 c in
+  let tag = get_u16 c in
+  (typ, tag)
+
+let decode_t_cursor c =
+  let typ, tag = unframe c in
+  let msg =
+    if typ = msg_tversion then
+      let msize = get_u32 c in
+      let version = get_str c in
+      Tversion { msize; version }
+    else if typ = msg_tattach then
+      let fid = get_u32 c in
+      let uname = get_str c in
+      let aname = get_str c in
+      Tattach { fid; uname; aname }
+    else if typ = msg_twalk then begin
+      let fid = get_u32 c in
+      let newfid = get_u32 c in
+      let n = get_u16 c in
+      let names = List.init n (fun _ -> get_str c) in
+      Twalk { fid; newfid; names }
+    end
+    else if typ = msg_topen then
+      let fid = get_u32 c in
+      let mode = mode_of_bits (get_u8 c) in
+      Topen { fid; mode }
+    else if typ = msg_tcreate then
+      let fid = get_u32 c in
+      let name = get_str c in
+      let perm = get_u32 c in
+      let mode = mode_of_bits (get_u8 c) in
+      Tcreate { fid; name; dir = perm land dmdir <> 0; mode }
+    else if typ = msg_tread then
+      let fid = get_u32 c in
+      let offset = get_u64 c in
+      let count = get_u32 c in
+      Tread { fid; offset; count }
+    else if typ = msg_twrite then begin
+      let fid = get_u32 c in
+      let offset = get_u64 c in
+      let n = get_u32 c in
+      let data = get_bytes c n in
+      Twrite { fid; offset; data }
+    end
+    else if typ = msg_tclunk then Tclunk { fid = get_u32 c }
+    else if typ = msg_tremove then Tremove { fid = get_u32 c }
+    else if typ = msg_tstat then Tstat { fid = get_u32 c }
+    else if typ = msg_tflush then Tflush { oldtag = get_u16 c }
+    else bad (Printf.sprintf "unknown T-message type %d" typ)
+  in
+  if c.c_at <> c.c_end then bad "trailing bytes";
+  (tag, msg)
+
+let decode_t_at s ~off ~len = decode_t_cursor (cursor ~off ~len s)
+let decode_t s = decode_t_at s ~off:0 ~len:(String.length s)
+
+let decode_stat_c c =
+  let size = get_u16 c in
+  let stop = c.c_at + size in
+  let s9_qid = get_qid c in
+  let s9_mtime = get_u32 c in
+  let s9_length = get_u64 c in
+  let s9_name = get_str c in
+  if c.c_at <> stop then bad "stat size mismatch";
+  { s9_name; s9_qid; s9_length; s9_mtime }
+
+let decode_stats s =
+  let c = cursor s in
+  let rec loop acc =
+    if c.c_at >= c.c_end then List.rev acc
+    else loop (decode_stat_c c :: acc)
+  in
+  loop []
+
+let decode_r_cursor c =
+  let typ, tag = unframe c in
+  let msg =
+    if typ = msg_rversion then
+      let msize = get_u32 c in
+      let version = get_str c in
+      Rversion { msize; version }
+    else if typ = msg_rattach then Rattach { qid = get_qid c }
+    else if typ = msg_rwalk then begin
+      let n = get_u16 c in
+      Rwalk { qids = List.init n (fun _ -> get_qid c) }
+    end
+    else if typ = msg_ropen then
+      let qid = get_qid c in
+      let iounit = get_u32 c in
+      Ropen { qid; iounit }
+    else if typ = msg_rcreate then
+      let qid = get_qid c in
+      let iounit = get_u32 c in
+      Rcreate { qid; iounit }
+    else if typ = msg_rread then begin
+      let n = get_u32 c in
+      Rread { data = get_bytes c n }
+    end
+    else if typ = msg_rwrite then Rwrite { count = get_u32 c }
+    else if typ = msg_rclunk then Rclunk
+    else if typ = msg_rremove then Rremove
+    else if typ = msg_rflush then Rflush
+    else if typ = msg_rstat then Rstat { stat = decode_stat_c c }
+    else if typ = msg_rerror then Rerror { ename = get_str c }
+    else bad (Printf.sprintf "unknown R-message type %d" typ)
+  in
+  if c.c_at <> c.c_end then bad "trailing bytes";
+  (tag, msg)
+
+let decode_r_at s ~off ~len = decode_r_cursor (cursor ~off ~len s)
+let decode_r s = decode_r_at s ~off:0 ~len:(String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Frame scanning: split a coalesced buffer without copying frames     *)
+
+let frame_length s ~off =
+  if off + 4 > String.length s then bad "short frame header";
+  let b i = Char.code (String.unsafe_get s (off + i)) in
+  let size = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  if size < 7 then bad "frame size too small";
+  if off + size > String.length s then bad "truncated frame";
+  size
+
+let iter_frames s f =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let len = frame_length s ~off:!off in
+    f ~off:!off ~len;
+    off := !off + len
+  done

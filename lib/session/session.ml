@@ -108,7 +108,7 @@ let plant_crash ns db =
       pr_frames = frames;
     }
 
-let boot ?w ?h ?place ?(remote = false) ?fault () =
+let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit () =
   (* each session starts a fresh observability ledger (and a fresh
      logical trace clock), so scripted sessions trace identically *)
   Trace.reset ();
@@ -141,7 +141,8 @@ let boot ?w ?h ?place ?(remote = false) ?fault () =
      replies is otherwise reachable in a long session *)
   let max_retries = Option.map (fun _ -> 8) fault in
   let srv, pool =
-    Help_srv.mount_multi ?wrap:(Option.map Fault.wrap fault) ?max_retries help
+    Help_srv.mount_multi ?wrap:(Option.map Fault.wrap fault) ?max_retries
+      ?max_queue ?batch_limit help
   in
   (* run the user's profile *)
   let _ = Rc.run sh ~cwd:Corpus.home (". " ^ Corpus.home ^ "/lib/profile") in

@@ -45,6 +45,8 @@ val boot :
   ?place:Hplace.strategy ->
   ?remote:bool ->
   ?fault:Fault.config ->
+  ?max_queue:int ->
+  ?batch_limit:int ->
   unit ->
   t
 

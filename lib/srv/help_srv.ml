@@ -362,12 +362,13 @@ let install_glue sh =
   Rc.register sh "/bin/help/parse" parse_native;
   Rc.register sh "/bin/help/buf" buf_native
 
-let mount_multi ?wrap ?max_retries help =
+let mount_multi ?wrap ?max_retries ?max_queue ?batch_limit help =
   let ns = Help.ns help in
   let sh = Help.shell help in
   let fs = filesystem help in
   let srv, pool =
-    Nine.serve_mount_pool ?wrap ?max_retries ~uname:"help" ns "/mnt/help" fs
+    Nine.serve_mount_pool ?wrap ?max_retries ?max_queue ?batch_limit
+      ~uname:"help" ns "/mnt/help" fs
   in
   install_glue sh;
   (srv, pool)

@@ -45,10 +45,14 @@ val mount :
 (** {!mount}, also returning the connection pool so further clients can
     attach to the same server with their own fid spaces (the mount's
     own connection carries uname "help").  [Session.attach_client] is
-    the usual caller. *)
+    the usual caller.  [?max_queue] and [?batch_limit] tune the pool's
+    cooperative scheduler (see [Nine.Pool.create]) — benches serving
+    thousands of seats raise them. *)
 val mount_multi :
   ?wrap:((string -> string) -> string -> string) ->
   ?max_retries:int ->
+  ?max_queue:int ->
+  ?batch_limit:int ->
   Help.t ->
   Nine.Server.t * Nine.Pool.t
 

@@ -27,12 +27,42 @@ let advance n = if n > 0 then logical := !logical + n
 type counter = { mutable c_v : int }
 type gauge = { mutable g_v : int }
 
+(* Histograms keep geometric buckets (quarter-octave resolution) next
+   to the running count/sum/min/max, so percentiles can be read without
+   storing observations.  Values 0..3 get exact buckets; a value v >= 4
+   with 2^o <= v < 2^(o+1) lands in one of four sub-buckets of its
+   octave, giving a relative error bound of 2^(o-2)/2^o = 25% on any
+   reported quantile. *)
+let hist_buckets = 256
+
 type histogram = {
   mutable h_count : int;
   mutable h_sum : int;
   mutable h_min : int;
   mutable h_max : int;
+  h_b : int array;  (* bucket occupancy, [hist_buckets] slots *)
 }
+
+let bucket_of v =
+  if v <= 3 then max 0 v
+  else begin
+    (* octave o: 2^o <= v < 2^(o+1); quarter: next two bits down *)
+    let o = ref 2 in
+    while v lsr (!o + 1) > 0 do
+      incr o
+    done;
+    let q = (v lsr (!o - 2)) land 3 in
+    min (hist_buckets - 1) ((!o - 1) * 4 + q)
+  end
+
+(* Upper bound of a bucket — the pessimistic representative, so a
+   reported percentile never understates the observed latency. *)
+let bucket_upper i =
+  if i <= 3 then i
+  else
+    let o = (i / 4) + 1 in
+    let q = i mod 4 in
+    (1 lsl o) + ((q + 1) * (1 lsl (o - 2))) - 1
 
 type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
 
@@ -71,7 +101,10 @@ let histogram name =
   | Some (Histogram h) -> h
   | Some _ -> kind_clash name
   | None ->
-      let h = { h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      let h =
+        { h_count = 0; h_sum = 0; h_min = 0; h_max = 0;
+          h_b = Array.make hist_buckets 0 }
+      in
       Hashtbl.replace registry name (Histogram h);
       h
 
@@ -85,9 +118,35 @@ let observe h v =
     if v > h.h_max then h.h_max <- v
   end;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v
+  h.h_sum <- h.h_sum + v;
+  h.h_b.(bucket_of v) <- h.h_b.(bucket_of v) + 1
 
 let histogram_stats h = (h.h_count, h.h_sum, h.h_min, h.h_max)
+
+(* The value at or below which [p] percent of observations fall, read
+   from the buckets: the upper bound of the bucket holding the rank
+   (clamped to the observed max, which is exact).  0 before any
+   observation. *)
+let percentile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.h_count)))
+    in
+    let acc = ref 0 and i = ref 0 and found = ref h.h_max in
+    (try
+       while !i < hist_buckets do
+         acc := !acc + h.h_b.(!i);
+         if !acc >= rank then begin
+           found := bucket_upper !i;
+           raise Exit
+         end;
+         i := !i + 1
+       done
+     with Exit -> ());
+    min !found h.h_max
+  end
 
 let stats_text () =
   let lines =
@@ -282,7 +341,8 @@ let reset () =
           h.h_count <- 0;
           h.h_sum <- 0;
           h.h_min <- 0;
-          h.h_max <- 0)
+          h.h_max <- 0;
+          Array.fill h.h_b 0 hist_buckets 0)
     registry;
   let cap = Array.length !ring in
   Array.fill !ring 0 cap None;

@@ -64,6 +64,13 @@ val observe : histogram -> int -> unit
 (** [(count, sum, min, max)]; [(0, 0, 0, 0)] before any observation. *)
 val histogram_stats : histogram -> int * int * int * int
 
+(** [percentile h p] is the value at or below which [p] percent of the
+    observations fall (e.g. [percentile h 99.] is p99), read from
+    quarter-octave geometric buckets: within 25% relative error, never
+    understating, exact at the observed maximum.  [0] before any
+    observation. *)
+val percentile : histogram -> float -> int
+
 (** {1 Registry snapshot} *)
 
 (** Every registered instrument, one metric per line, [key value],

@@ -302,6 +302,140 @@ let session_tests =
           (Nine.Server.fid_count s.srv));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The cooperative scheduler: bounded queues, backpressure, batching   *)
+
+(* A hostile client floods [k] requests through a deliberately tiny
+   ring (max_queue 16, batch_limit 4).  Three invariants, whatever [k]:
+   the hostile queue never exceeds its bound (submission blocks and
+   turns the scheduler instead), a polite client's lone request is
+   still served within one ring turn, and every flooded request
+   eventually settles — backpressure throttles, it does not drop. *)
+let backpressure_property =
+  QCheck.Test.make ~count:30
+    ~name:"a flooding client is bounded and cannot starve others"
+    (QCheck.make QCheck.Gen.(int_range 0 200))
+    (fun k ->
+      let ns = Vfs.create () in
+      let pool = Nine.Pool.create ~max_queue:16 ~batch_limit:4 (Vfs.ramfs ns) in
+      let hostile = Nine.Pool.attach ~uname:"hostile" pool in
+      let polite = Nine.Pool.attach ~uname:"polite" pool in
+      List.iter
+        (fun c ->
+          ignore (Nine.Pool.transport c (version ~tag:1));
+          ignore (Nine.Pool.transport c (attach ~tag:2)))
+        [ hostile; polite ];
+      let stalls0 = counter_value "nine.backpressure.stalls" in
+      let bound = ref true in
+      let tickets =
+        List.init k (fun i ->
+            let t = Nine.Pool.submit hostile (stat_root ~tag:(20 + i)) in
+            if Nine.Pool.queue_length hostile > 16 then bound := false;
+            t)
+      in
+      let tq = Nine.Pool.submit polite (stat_root ~tag:20) in
+      ignore (Nine.Pool.step pool);
+      ignore (Nine.Pool.step pool);
+      let polite_served =
+        match Nine.Pool.take polite tq with
+        | Nine.Pool.Replied _ -> true
+        | _ -> false
+      in
+      Nine.Pool.run pool;
+      let all_settled =
+        List.for_all
+          (fun t ->
+            match Nine.Pool.poll hostile t with
+            | Nine.Pool.Replied _ -> true
+            | _ -> false)
+          tickets
+      in
+      ignore ns;
+      !bound && polite_served && all_settled
+      && (k <= 16 || counter_value "nine.backpressure.stalls" > stalls0))
+
+(* one deterministic mixed-batch run: two clients feed coalesced wire
+   buffers whose sizes are derived from [seed]; returns everything a
+   replay must reproduce *)
+let batch_run seed =
+  Trace.reset ();
+  let ns = Vfs.create () in
+  let pool = Nine.Pool.create (Vfs.ramfs ns) in
+  Nine.Pool.record_journal pool true;
+  let a = Nine.Pool.attach ~uname:"a" pool in
+  let b = Nine.Pool.attach ~uname:"b" pool in
+  List.iter
+    (fun c ->
+      ignore (Nine.Pool.transport c (version ~tag:1));
+      ignore (Nine.Pool.transport c (attach ~tag:2)))
+    [ a; b ];
+  let batch lo n =
+    String.concat "" (List.init n (fun i -> stat_root ~tag:(lo + i)))
+  in
+  (* a tiny LCG turns the seed into batch sizes, so different seeds
+     exercise different coalescing boundaries *)
+  let state = ref seed in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    1 + (!state mod 7)
+  in
+  let tickets = ref [] in
+  let tag = ref 20 in
+  for _ = 1 to 6 do
+    let na = next () and nb = next () in
+    tickets := !tickets @ List.map (fun t -> (a, t)) (Nine.Pool.feed a (batch !tag na));
+    tag := !tag + na;
+    tickets := !tickets @ List.map (fun t -> (b, t)) (Nine.Pool.feed b (batch !tag nb));
+    tag := !tag + nb
+  done;
+  Nine.Pool.run pool;
+  let replies =
+    List.map
+      (fun (c, t) ->
+        match Nine.Pool.take c t with
+        | Nine.Pool.Replied r -> r
+        | _ -> "")
+      !tickets
+  in
+  ignore ns;
+  ( Nine.Pool.journal pool,
+    Trace.histogram_stats (Trace.histogram "nine.batch.size"),
+    replies )
+
+let scheduler_tests =
+  [
+    Alcotest.test_case
+      "same seed, same batch boundaries, same journal and replies" `Quick
+      (fun () ->
+        let j1, h1, r1 = batch_run 0xbeef in
+        let j2, h2, r2 = batch_run 0xbeef in
+        let j3, _, _ = batch_run 0xfeed in
+        Trace.reset ();
+        check_bool "journals identical" true (j1 = j2);
+        check_bool "batch histograms identical" true (h1 = h2);
+        check_bool "replies identical" true (r1 = r2);
+        check_bool "journal non-empty" true (j1 <> []);
+        check_bool "a different seed batches differently" true (j1 <> j3));
+    Alcotest.test_case "nine.conn.active returns to baseline after churn"
+      `Quick (fun () ->
+        let s = Session.boot () in
+        let active0 = counter_value "nine.conn.active" in
+        let fid0 = Nine.Server.fid_count s.srv in
+        let clients =
+          List.init 5 (fun i ->
+              fst (Session.attach_client ~uname:(Printf.sprintf "churn%d" i) s))
+        in
+        check_int "gauge counts the new seats" (active0 + 5)
+          (counter_value "nine.conn.active");
+        List.iter Nine.Pool.disconnect clients;
+        (* disconnect is idempotent: doubling up must not drive the
+           gauge or the fid ledger negative *)
+        Nine.Pool.disconnect (List.hd clients);
+        check_int "gauge back to baseline" active0
+          (counter_value "nine.conn.active");
+        check_int "fids back to baseline" fid0 (Nine.Server.fid_count s.srv));
+  ]
+
 let () =
   Alcotest.run "pool"
     [
@@ -309,6 +443,9 @@ let () =
       ( "isolation",
         isolation_tests @ [ QCheck_alcotest.to_alcotest isolation_property ] );
       ("fairness", fairness_tests);
+      ( "scheduler",
+        scheduler_tests @ [ QCheck_alcotest.to_alcotest backpressure_property ]
+      );
       ("client", client_tests);
       ("session", session_tests);
     ]
