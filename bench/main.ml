@@ -1505,7 +1505,63 @@ let e13_serving () =
   row "%-36s %14.1f %14.1f\n" "minor words per encode (old/new)" old_words
     new_words;
   j13 "encode_words_old" old_words;
-  j13 "encode_words_new" new_words
+  j13 "encode_words_new" new_words;
+  (* sampled-trace overhead: the same 1k fleet with tracing off vs
+     with 1-in-64 head sampling, both at the default window width so
+     the comparison isolates the sampling cost.  One fleet is ~50ms,
+     so GC ramp and scheduler noise inside the process swamp a single
+     pair — alternate fresh-session runs and take the best of three
+     each (sampling is set after boot; boot resets it to 1). *)
+  let overhead_run srate =
+    let s = Session.boot () in
+    if srate = 0 then Trace.set_sampling ~rate:0 ()
+    else Trace.set_sampling ~seed:7 ~rate:srate ();
+    let b, _ = e13_script s in
+    ignore (e13_fleet s.Session.pool ~clients:1 ~batches:b);
+    rate (e13_fleet s.Session.pool ~clients:1000 ~batches:b)
+  in
+  let rates_off = ref [] and rates_on = ref [] in
+  for _ = 1 to 3 do
+    rates_off := overhead_run 0 :: !rates_off;
+    rates_on := overhead_run 64 :: !rates_on
+  done;
+  let best l = List.fold_left max 0. !l in
+  let off_rate = best rates_off and on_rate = best rates_on in
+  let overhead_pct = (off_rate -. on_rate) /. off_rate *. 100. in
+  row "-- sampled-trace overhead (1000 clients, off vs 1-in-64) --\n";
+  row "%-36s %14.0f %14.0f\n" "RPCs/sec (off / sampled, best of 3)" off_rate
+    on_rate;
+  row "%-36s %14s %14.1f\n" "overhead %% (<= 5 expected)" "" overhead_pct;
+  j13 "rpcs_per_sec_1k_notrace" off_rate;
+  j13 "rpcs_per_sec_1k_sampled64" on_rate;
+  j13 "sampling_overhead_pct" overhead_pct;
+  (* per-window throughput/latency curves: narrow the windows so one
+     more sampled fleet spans many slots — each slot covers
+     window_width logical us; the count is the slot's RPC volume, the
+     quantiles its latency distribution *)
+  let s5 = Session.boot () in
+  Trace.set_sampling ~seed:7 ~rate:64 ();
+  Trace.window_configure ~width:8192 ~slots:64 ();
+  let batches5, _ = e13_script s5 in
+  ignore (e13_fleet s5.Session.pool ~clients:1 ~batches:batches5);
+  ignore (e13_fleet s5.Session.pool ~clients:1000 ~batches:batches5);
+  let qs =
+    List.filter (fun (_, dc, _, _, _) -> dc > 0)
+      (Trace.window_quantiles "nine.rpc.us")
+  in
+  row "-- per-window latency, sampled run (slot width %d logical us) --\n"
+    (Trace.window_width ());
+  row "%-12s %10s %10s %10s %10s\n" "slot" "rpcs" "p50 us" "p95 us" "p99 us";
+  List.iter
+    (fun (slot, dc, p50, p95, p99) ->
+      row "%-12d %10d %10d %10d %10d\n" slot dc p50 p95 p99)
+    qs;
+  j13 "window_slots_populated" (float_of_int (List.length qs));
+  (match List.rev qs with
+  | (_, dc, _, _, p99) :: _ ->
+      j13 "window_last_slot_rpcs" (float_of_int dc);
+      j13 "window_last_slot_p99_us" (float_of_int p99)
+  | [] -> ())
 
 (* ------------------------------------------------------------------ *)
 (* e13-smoke: the serving-core gate.  Deterministic invariants only
@@ -1623,6 +1679,144 @@ let gc_smoke () =
           current baseline;
         exit 0
       end
+
+(* ------------------------------------------------------------------ *)
+(* obs-smoke: the serving-telemetry gate.  Replays the figure session
+   and then exercises the whole observability surface through the
+   mount: the metrics exposition must be well-formed, every installed
+   alert rule must parse back, trace/last must peek while trace
+   drains, a request's span tree must be servable by id, sampled span
+   trees must be byte-identical across same-seed runs, and the
+   gc-smoke allocation baseline must still hold with 1-in-64 sampling
+   on.  Deterministic invariants only — no wall-clock thresholds. *)
+
+let obs_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  (* 1. the figure replay, then the metrics file through the mount *)
+  let d = Demo.run ~keep_screens:false () in
+  let sh = d.Demo.session.Session.sh in
+  let metrics = Rc.run sh "cat /mnt/help/metrics" in
+  check "cat /mnt/help/metrics succeeds"
+    (metrics.Rc.r_status = 0 && String.length metrics.Rc.r_out > 0);
+  let well_formed =
+    List.for_all
+      (fun line ->
+        line = "" || line.[0] = '#'
+        ||
+        match String.rindex_opt line ' ' with
+        | None -> false
+        | Some i ->
+            int_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+            <> None)
+      (String.split_on_char '\n' metrics.Rc.r_out)
+  in
+  check "every metrics line is a comment or name + integer" well_formed;
+  List.iter
+    (fun family ->
+      check ("metrics exposes " ^ family)
+        (Hstr.contains metrics.Rc.r_out ~sub:family))
+    [
+      "nine_rpc_us_bucket{le=";
+      "nine_rpc_us_window{quantile=\"0.99\"}";
+      "nine_trace_sampled_total";
+      "trace_window_rolls_total";
+    ];
+  (* 2. every installed alert rule parses back, and the table serves
+     one verdict line per rule *)
+  let rules = Trace.alert_rules () in
+  check "boot installed the default alert rules" (rules <> []);
+  List.iter
+    (fun r ->
+      check ("alert rule parses: " ^ r)
+        (match Trace.parse_alert r with Ok _ -> true | Error _ -> false))
+    rules;
+  let alerts = Rc.run sh "cat /mnt/help/alerts" in
+  check "cat /mnt/help/alerts succeeds" (alerts.Rc.r_status = 0);
+  let alert_lines =
+    List.filter
+      (fun l -> l <> "" && l.[0] <> '#')
+      (String.split_on_char '\n' alerts.Rc.r_out)
+  in
+  check "alerts serves one line per rule"
+    (List.length alert_lines = List.length rules);
+  check "every alert line carries a verdict"
+    (List.for_all
+       (fun l ->
+         Hstr.contains l ~sub:" ok " || Hstr.contains l ~sub:" firing ")
+       alert_lines);
+  (* 3. trace/last peeks, trace drains — a marker span planted now must
+     survive two peeks, appear in the drain, and then be gone *)
+  Trace.with_span "obs.marker" (fun () -> ());
+  let l1 = Rc.run sh "cat /mnt/help/trace/last" in
+  let l2 = Rc.run sh "cat /mnt/help/trace/last" in
+  check "trace/last peeks without draining"
+    (l1.Rc.r_status = 0 && l2.Rc.r_status = 0
+    && Hstr.contains l1.Rc.r_out ~sub:"obs.marker"
+    && Hstr.contains l2.Rc.r_out ~sub:"obs.marker");
+  let tr = Rc.run sh "cat /mnt/help/trace" in
+  check "cat /mnt/help/trace drains the marker"
+    (tr.Rc.r_status = 0 && Hstr.contains tr.Rc.r_out ~sub:"obs.marker");
+  let l3 = Rc.run sh "cat /mnt/help/trace/last" in
+  check "the drain drained"
+    (l3.Rc.r_status = 0 && not (Hstr.contains l3.Rc.r_out ~sub:"obs.marker"));
+  (* 4. a buffered request's span tree is servable by id *)
+  (match List.rev (Trace.requests ()) with
+  | id :: _ ->
+      let r = Rc.run sh (Printf.sprintf "cat /mnt/help/trace/%d" id) in
+      check "trace/<reqid> serves the request's span tree"
+        (r.Rc.r_status = 0
+        && Hstr.contains r.Rc.r_out ~sub:(Printf.sprintf "req=%d" id))
+  | [] -> check "sampled requests buffered after the replay" false);
+  let missing = Rc.run sh "cat /mnt/help/trace/999999999" in
+  check "trace/<unknown> fails" (missing.Rc.r_status <> 0);
+  (* 5. same seed, same script => byte-identical sampled span trees
+     (ids, sampling verdicts and the logical clock all restart at
+     Session.boot) *)
+  let sampled_trees () =
+    let s = Session.boot () in
+    Trace.set_sampling ~seed:11 ~rate:4 ();
+    ignore (Session.screen s);
+    ignore (Rc.run s.Session.sh "cat /mnt/help/index");
+    ignore (Rc.run s.Session.sh "echo done");
+    String.concat "\n---\n"
+      (List.filter_map Trace.request_text (Trace.requests ()))
+  in
+  let run1 = sampled_trees () in
+  let run2 = sampled_trees () in
+  check "sampled span trees identical across same-seed runs"
+    (run1 <> "" && run1 = run2);
+  check "1-in-4 sampling dropped some requests"
+    (Option.value ~default:0 (Trace.find_value "nine.trace.dropped") > 0);
+  (* 6. the gc-smoke allocation baseline still holds with sampling on *)
+  let s6 = Session.boot () in
+  Trace.set_sampling ~seed:7 ~rate:64 ();
+  let batches, _ = e13_script s6 in
+  ignore (e13_fleet s6.Session.pool ~clients:1 ~batches);
+  let o = e13_fleet s6.Session.pool ~clients:256 ~batches in
+  let words = o.f_minor /. float_of_int o.f_rpcs in
+  (match ledger_float "BENCH_results.json" "minor_words_per_rpc_smoke" with
+  | None -> ()
+  | Some baseline ->
+      check
+        (Printf.sprintf
+           "allocation baseline holds at 1-in-64 sampling (%.1f vs ledgered \
+            %.1f words/RPC)"
+           words baseline)
+        (words <= baseline *. 1.25));
+  match List.rev !failed with
+  | [] ->
+      Printf.printf
+        "obs-smoke: ok (%d alert rules, %d metrics bytes, sampled trees \
+         deterministic, %.1f words/RPC at 1-in-64)\n"
+        (List.length rules)
+        (String.length metrics.Rc.r_out)
+        words;
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "obs-smoke FAIL: %s\n" f) fs;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* doc-lint: the documentation gate.  Two classes of drift are caught:
@@ -1812,6 +2006,7 @@ let () =
   if Array.exists (fun a -> a = "pool-smoke") Sys.argv then pool_smoke ();
   if Array.exists (fun a -> a = "e13-smoke") Sys.argv then e13_smoke ();
   if Array.exists (fun a -> a = "gc-smoke") Sys.argv then gc_smoke ();
+  if Array.exists (fun a -> a = "obs-smoke") Sys.argv then obs_smoke ();
   if Array.exists (fun a -> a = "doc-lint") Sys.argv then doc_lint ();
   if Array.exists (fun a -> a = "trace-smoke") Sys.argv then trace_smoke ();
   if Array.exists (fun a -> a = "search-smoke") Sys.argv then search_smoke ();

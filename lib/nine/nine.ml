@@ -276,8 +276,11 @@ module Server = struct
 
   (* Execute one decoded request: tallies, timing, fid-gauge upkeep.
      [len] is the request's wire length, checked against the
-     connection's msize. *)
-  let dispatch_reply srv conn ~len msg =
+     connection's msize.  [req] is the trace context allocated at
+     submit time: a sampled request executes inside a [rpc.<kind>] span
+     that tags the whole nested tree — the server's work, Vfs
+     resolution, Help execution — with the request id. *)
+  let dispatch_reply srv conn ~len ~(req : Sched.request) msg =
     let kind = kind_of_t msg in
     count srv kind;
     (match List.assoc_opt kind rpc_counters with
@@ -285,11 +288,20 @@ module Server = struct
     | None -> ());
     conn.c_served <- conn.c_served + 1;
     let t0 = Trace.now_us () in
-    let reply =
+    let run () =
       if len > conn.c_msize then Rerror { ename = "message too large" }
       else
         try exec srv conn msg
         with Vfs.Error e -> Rerror { ename = Vfs.error_message e }
+    in
+    let reply =
+      if req.Sched.req_sampled then
+        Trace.with_request ~reqid:req.Sched.req_id
+          ~args:
+            [ ("conn", string_of_int conn.conn_id);
+              ("req", string_of_int req.Sched.req_id) ]
+          ("rpc." ^ kind) run
+      else run ()
     in
     Trace.observe rpc_us (Trace.now_us () - t0);
     Trace.set_gauge live_fids srv.live;
@@ -298,12 +310,14 @@ module Server = struct
   (* The scheduler's entry point: decoded message in, framed reply
      appended to the connection's reusable writer — no intermediate
      string. *)
-  let conn_dispatch srv conn w ~tag ~len msg =
-    encode_r_into w ~tag (dispatch_reply srv conn ~len msg)
+  let conn_dispatch srv conn w ~tag ~len ~req msg =
+    encode_r_into w ~tag (dispatch_reply srv conn ~len ~req msg)
 
   let conn_rpc srv conn packet =
     let tag, msg = decode_t packet in
-    encode_r ~tag (dispatch_reply srv conn ~len:(String.length packet) msg)
+    encode_r ~tag
+      (dispatch_reply srv conn ~len:(String.length packet)
+         ~req:(Sched.new_request ()) msg)
 
   (* The single-client entry point of the original server, kept for
      direct protocol conversations: all its traffic lands on one
@@ -347,9 +361,9 @@ module Pool = struct
     let sconn = Server.connection ?uname p.srv in
     let id = Server.conn_id sconn in
     let rpcs = Trace.counter (Printf.sprintf "nine.conn.%d.rpcs" id) in
-    let dispatch w ~tag ~len msg =
+    let dispatch w ~tag ~len ~req msg =
       Trace.incr rpcs;
-      Server.conn_dispatch p.srv sconn w ~tag ~len msg
+      Server.conn_dispatch p.srv sconn w ~tag ~len ~req msg
     in
     let sc = Sched.attach p.sched ~id ~dispatch in
     let c = { c_pool = p; sconn; sc } in

@@ -127,17 +127,28 @@ module Server : sig
 
   (** One round-trip on an explicit connection: decode a T-message,
       execute against that connection's fid table and msize, encode the
-      R-message.  Protocol errors become [Rerror]; malformed packets
-      raise {!Bad_message}. *)
+      R-message.  Allocates its own trace context ({!Sched.new_request})
+      since no scheduler is involved.  Protocol errors become [Rerror];
+      malformed packets raise {!Bad_message}. *)
   val conn_rpc : t -> conn -> string -> string
 
   (** The scheduler's zero-copy entry point: execute one
       already-decoded T-message and append the framed R-message to the
       given writer.  [len] is the request's wire length (checked
-      against the connection's msize).  {!conn_rpc} is this plus a
-      decode and a string materialization. *)
+      against the connection's msize); [req] is the trace context
+      allocated at submit time — a sampled request's whole execution is
+      recorded as a span tree tagged with its request id, readable as
+      [/mnt/help/trace/<reqid>].  {!conn_rpc} is this plus a decode and
+      a string materialization. *)
   val conn_dispatch :
-    t -> conn -> Wire.Writer.t -> tag:int -> len:int -> tmsg -> unit
+    t ->
+    conn ->
+    Wire.Writer.t ->
+    tag:int ->
+    len:int ->
+    req:Sched.request ->
+    tmsg ->
+    unit
 
   (** {!conn_rpc} on a lazily-created default connection (uname
       "direct") — the single-client convenience used by direct tests

@@ -31,10 +31,16 @@
 
 type outcome = Waiting | Replied of string | Flushed
 
+(* Trace context, allocated at submit time — before any work happens —
+   so every request has an id and a head-sampling verdict that travel
+   with it through dispatch into the server and down into Help. *)
+type request = { req_id : int; req_sampled : bool }
+
 type entry = {
   e_ticket : int;
   e_tag : int;
   e_len : int;  (* request wire length, for the server's msize check *)
+  e_req : request;
   e_msg : Wire.tmsg;
   mutable e_cancelled : bool;  (* tombstoned by a Tflush while queued *)
 }
@@ -42,7 +48,8 @@ type entry = {
 type conn = {
   id : int;
   sched : t;
-  dispatch : Wire.Writer.t -> tag:int -> len:int -> Wire.tmsg -> unit;
+  dispatch :
+    Wire.Writer.t -> tag:int -> len:int -> req:request -> Wire.tmsg -> unit;
   writer : Wire.Writer.t;  (* reusable reply encode buffer *)
   (* bounded FIFO ring; grows geometrically up to [max_queue] *)
   mutable q : entry option array;
@@ -67,6 +74,15 @@ and t = {
   mutable j_head : int;
   mutable j_len : int;
 }
+
+let trace_sampled = Trace.counter "nine.trace.sampled"
+let trace_dropped = Trace.counter "nine.trace.dropped"
+
+let new_request () =
+  let id = Trace.request_id () in
+  let sampled = Trace.sample id in
+  if sampled then Trace.incr trace_sampled else Trace.incr trace_dropped;
+  { req_id = id; req_sampled = sampled }
 
 let stalls = Trace.counter "nine.backpressure.stalls"
 let batch_size = Trace.histogram "nine.batch.size"
@@ -262,7 +278,7 @@ let serve_batch t c =
     | Some e ->
         journal_record t c (Wire.kind_of_t e.e_msg);
         let off = Wire.Writer.length c.writer in
-        c.dispatch c.writer ~tag:e.e_tag ~len:e.e_len e.e_msg;
+        c.dispatch c.writer ~tag:e.e_tag ~len:e.e_len ~req:e.e_req e.e_msg;
         let len = Wire.Writer.length c.writer - off in
         settle c e.e_ticket (Replied (Wire.Writer.sub_string c.writer ~off ~len));
         incr served
@@ -328,8 +344,8 @@ let submit_msg c ~tag ~len msg =
       (* unreachable: this connection's own full queue is schedulable *)
       invalid_arg "Sched: stalled with nothing to serve"
   done;
-  q_push c { e_ticket = ticket; e_tag = tag; e_len = len; e_msg = msg;
-             e_cancelled = false };
+  q_push c { e_ticket = ticket; e_tag = tag; e_len = len;
+             e_req = new_request (); e_msg = msg; e_cancelled = false };
   mark_ready c;
   ticket
 

@@ -9,6 +9,13 @@
     that turns one decoded T-message into one framed R-message in the
     connection's reusable reply writer.
 
+    Trace propagation: submission allocates a {!request} — a request id
+    from [Trace.request_id] plus its deterministic head-sampling
+    verdict — that rides with the queued message and reaches the
+    [dispatch] closure, so the server can tag the whole span tree of a
+    sampled RPC with the id ([nine.trace.sampled] /
+    [nine.trace.dropped] count the verdicts).
+
     Observability (all registered at load time):
     - [nine.batch.size] — requests dispatched per connection turn;
     - [nine.backpressure.stalls] — scheduler turns forced by a full
@@ -30,6 +37,17 @@ type conn
     [Tflush] cancelled it while it was still queued. *)
 type outcome = Waiting | Replied of string | Flushed
 
+(** The trace context allocated per submitted request: its id and
+    whether head sampling selected it for span recording. *)
+type request = { req_id : int; req_sampled : bool }
+
+val new_request : unit -> request
+(** Allocate the next request id and decide its sampling verdict under
+    the current [Trace.sampling] configuration, counting the decision
+    on [nine.trace.sampled] / [nine.trace.dropped].  {!submit} calls
+    this for every queued message; direct (unscheduled) server entry
+    points call it themselves. *)
+
 val create : ?max_queue:int -> ?batch_limit:int -> unit -> t
 (** [max_queue] bounds each connection's submission ring (default 128);
     [batch_limit] caps requests served per connection per turn
@@ -38,11 +56,13 @@ val create : ?max_queue:int -> ?batch_limit:int -> unit -> t
 val attach :
   t ->
   id:int ->
-  dispatch:(Wire.Writer.t -> tag:int -> len:int -> Wire.tmsg -> unit) ->
+  dispatch:
+    (Wire.Writer.t -> tag:int -> len:int -> req:request -> Wire.tmsg -> unit) ->
   conn
-(** Register a connection.  [dispatch w ~tag ~len msg] must append
+(** Register a connection.  [dispatch w ~tag ~len ~req msg] must append
     exactly one framed R-message for [msg] to [w]; [len] is the
-    request's wire length (for msize accounting). *)
+    request's wire length (for msize accounting) and [req] the trace
+    context allocated when the message was submitted. *)
 
 val detach : conn -> unit
 (** Drop the connection and whatever it still had queued. *)

@@ -110,8 +110,10 @@ let plant_crash ns db =
 
 let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit () =
   (* each session starts a fresh observability ledger (and a fresh
-     logical trace clock), so scripted sessions trace identically *)
+     logical trace clock), so scripted sessions trace identically; the
+     stock alert rules watch the serving layer from the first RPC *)
   Trace.reset ();
+  Trace.install_default_alerts ();
   let ns = Vfs.create () in
   Corpus.install ns;
   let sh = Rc.create ns in

@@ -41,9 +41,18 @@ let filesystem help =
     | [] -> `Root
     | [ "index" ] -> `Index
     | [ "stats" ] -> `Stats
+    | [ "metrics" ] -> `Metrics
+    | [ "alerts" ] -> `Alerts
     | [ "trace" ] -> `Trace
     | [ "new" ] -> `New
     | [ "new"; "ctl" ] -> `Newctl
+    (* per-request views live under trace/ but are reached by direct
+       walk — [trace] itself remains the (draining) log file *)
+    | [ "trace"; "last" ] -> `TraceLast
+    | [ "trace"; rid ] -> (
+        match int_of_string_opt rid with
+        | Some r -> `TraceReq r
+        | None -> err Vfs.Enonexist)
     | [ id ] -> (
         match int_of_string_opt id with
         | Some id -> `Win id
@@ -71,9 +80,25 @@ let filesystem help =
         stat_of ~name:"stats" ~dir:false
           ~length:(String.length (Trace.stats_text ()))
           (now ())
+    | `Metrics ->
+        stat_of ~name:"metrics" ~dir:false
+          ~length:(String.length (Trace.metrics_text ()))
+          (now ())
+    | `Alerts ->
+        stat_of ~name:"alerts" ~dir:false
+          ~length:(String.length (Trace.alerts_text ()))
+          (now ())
     | `Trace ->
         (* length unknown until the ring is drained at open *)
         stat_of ~name:"trace" ~dir:false ~length:0 (now ())
+    | `TraceLast ->
+        (* the ring keeps moving between stat and open; like trace,
+           length is only known at open *)
+        stat_of ~name:"last" ~dir:false ~length:0 (now ())
+    | `TraceReq r -> (
+        match Trace.request_text r with
+        | Some _ -> stat_of ~name:(string_of_int r) ~dir:false ~length:0 (now ())
+        | None -> err Vfs.Enonexist)
     | `New -> stat_of ~name:"new" ~dir:true ~length:1 (now ())
     | `Newctl -> stat_of ~name:"ctl" ~dir:false ~length:0 (now ())
     | `Win id ->
@@ -103,6 +128,12 @@ let filesystem help =
         :: stat_of ~name:"stats" ~dir:false
              ~length:(String.length (Trace.stats_text ()))
              (now ())
+        :: stat_of ~name:"metrics" ~dir:false
+             ~length:(String.length (Trace.metrics_text ()))
+             (now ())
+        :: stat_of ~name:"alerts" ~dir:false
+             ~length:(String.length (Trace.alerts_text ()))
+             (now ())
         :: stat_of ~name:"trace" ~dir:false ~length:0 (now ())
         :: stat_of ~name:"new" ~dir:true ~length:1 (now ())
         :: List.map
@@ -116,8 +147,8 @@ let filesystem help =
         List.map
           (fun n -> stat_of ~name:n ~dir:false ~length:0 (now ()))
           [ "tag"; "body"; "bodyapp"; "ctl" ]
-    | `Index | `Stats | `Trace | `Newctl | `Tag _ | `Body _ | `Bodyapp _
-    | `Ctl _ ->
+    | `Index | `Stats | `Metrics | `Alerts | `Trace | `TraceLast | `TraceReq _
+    | `Newctl | `Tag _ | `Body _ | `Bodyapp _ | `Ctl _ ->
         err Vfs.Enotdir
   in
   (* Fixed string semantics don't fit tag/body/ctl writes, which must
@@ -259,11 +290,27 @@ let filesystem help =
         (* the registry snapshot, one metric per line: the whole
            observability ledger through the paper's own interface *)
         string_file (Trace.stats_text ())
+    | `Metrics ->
+        (* Prometheus-style exposition of the same ledger, with
+           per-window quantiles — scrape by cat *)
+        string_file (Trace.metrics_text ())
+    | `Alerts ->
+        (* threshold table, evaluated at open *)
+        string_file (Trace.alerts_text ())
     | `Trace ->
         (* reading drains the span ring; the snapshot taken at open is
            what this open file serves *)
         let spans, dropped = Trace.drain () in
         string_file (Trace.spans_text ~dropped spans)
+    | `TraceLast ->
+        (* same rendering, but a peek: the ring is left intact, so any
+           number of observers can read without racing the drain *)
+        let spans, dropped = Trace.peek () in
+        string_file (Trace.spans_text ~dropped spans)
+    | `TraceReq r -> (
+        match Trace.request_text r with
+        | Some text -> string_file text
+        | None -> err Vfs.Enonexist)
     | `Newctl -> newctl_file ()
     | `Tag id -> tag_file id ~trunc
     | `Body id -> body_file id ~trunc

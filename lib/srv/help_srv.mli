@@ -8,8 +8,18 @@
     /mnt/help/index        window number TAB first line of tag, per window
     /mnt/help/stats        the observability registry, one "key value"
                            metric per line (see {!Trace.stats_text})
+    /mnt/help/metrics      Prometheus-style exposition of the registry
+                           with per-window quantiles
+                           (see {!Trace.metrics_text})
+    /mnt/help/alerts       the threshold-watch table, evaluated at open
+                           (see {!Trace.alerts_text})
     /mnt/help/trace        reading drains the span ring (human-readable
                            text; a trailing line marks dropped spans)
+    /mnt/help/trace/last   the same rendering without the drain — any
+                           number of observers may peek
+    /mnt/help/trace/NNN    the span tree of sampled request NNN; these
+                           two are reached by walking through [trace],
+                           which remains a file (they are not listed)
     /mnt/help/new/ctl      opening it creates a window; reading it
                            returns the new window's number
     /mnt/help/N/tag        read/write the tag line

@@ -14,12 +14,30 @@ let logical_clock () =
 let clock = ref logical_clock
 let set_clock f = clock := f
 let use_logical_clock () = clock := logical_clock
-let now_us () = !clock ()
+
+(* Every clock reading feeds the rolling-window machinery below; the
+   hook is installed once the window state exists (end of this file). *)
+let tick_hook : (int -> unit) ref = ref (fun _ -> ())
+let last_tick = ref 0
+
+let now_us () =
+  let t = !clock () in
+  last_tick := t;
+  !tick_hook t;
+  t
 
 (* Model waiting (a client timeout, retry backoff, injected latency) by
    jumping the logical clock forward.  An injected wall clock keeps its
-   own time, so this is a no-op under [set_clock]. *)
-let advance n = if n > 0 then logical := !logical + n
+   own time, so this is a no-op under [set_clock]; the window check only
+   runs when the jump actually moved the active timebase. *)
+let advance n =
+  if n > 0 then begin
+    logical := !logical + n;
+    if !clock == logical_clock then begin
+      last_tick := !logical;
+      !tick_hook !logical
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -123,21 +141,21 @@ let observe h v =
 
 let histogram_stats h = (h.h_count, h.h_sum, h.h_min, h.h_max)
 
-(* The value at or below which [p] percent of observations fall, read
-   from the buckets: the upper bound of the bucket holding the rank
-   (clamped to the observed max, which is exact).  0 before any
-   observation. *)
-let percentile h p =
-  if h.h_count = 0 then 0
+(* Percentile over a raw bucket array: the upper bound of the bucket
+   holding the rank, clamped to [bmax] (the caller's exact observed
+   maximum, or the highest occupied bucket's bound for window deltas).
+   0 when [count] is 0. *)
+let percentile_from ~count ~bmax b p =
+  if count <= 0 then 0
   else begin
     let p = if p < 0. then 0. else if p > 100. then 100. else p in
     let rank =
-      max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.h_count)))
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int count)))
     in
-    let acc = ref 0 and i = ref 0 and found = ref h.h_max in
+    let acc = ref 0 and i = ref 0 and found = ref bmax in
     (try
        while !i < hist_buckets do
-         acc := !acc + h.h_b.(!i);
+         acc := !acc + b.(!i);
          if !acc >= rank then begin
            found := bucket_upper !i;
            raise Exit
@@ -145,8 +163,14 @@ let percentile h p =
          i := !i + 1
        done
      with Exit -> ());
-    min !found h.h_max
+    min !found bmax
   end
+
+(* The value at or below which [p] percent of observations fall, read
+   from the buckets: the upper bound of the bucket holding the rank
+   (clamped to the observed max, which is exact).  0 before any
+   observation. *)
+let percentile h p = percentile_from ~count:h.h_count ~bmax:h.h_max h.h_b p
 
 let stats_text () =
   let lines =
@@ -192,6 +216,44 @@ let find_prefix prefix =
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
+(* Request context and head sampling                                   *)
+
+(* Request ids are allocated at scheduler submit time (one per RPC) and
+   reset with the ledger, so the same scripted session allocates the
+   same ids on every run.  The sampling verdict is a pure function of
+   (seed, id): head sampling — decided before any work happens — that
+   replays identically under the same seed. *)
+
+let next_req = ref 0
+
+let request_id () =
+  Stdlib.incr next_req;
+  !next_req
+
+let cur_req = ref 0
+let current_request () = !cur_req
+let sample_seed = ref 0
+let sample_rate = ref 1
+
+let set_sampling ?seed ?rate () =
+  (match seed with Some s -> sample_seed := s | None -> ());
+  (match rate with Some r -> sample_rate := max 0 r | None -> ())
+
+let sampling () = (!sample_seed, !sample_rate)
+
+let sample reqid =
+  match !sample_rate with
+  | 0 -> false
+  | 1 -> true
+  | n ->
+      (* integer avalanche of (seed, id): deterministic, well spread *)
+      let x = !sample_seed lxor (reqid * 0x9E3779B9) in
+      let x = x lxor (x lsr 16) in
+      let x = x * 0x45D9F3B land max_int in
+      let x = x lxor (x lsr 13) in
+      x mod n = 0
+
+(* ------------------------------------------------------------------ *)
 (* Span ring                                                           *)
 
 type span = {
@@ -199,6 +261,7 @@ type span = {
   sp_start : int;
   sp_dur : int;
   sp_depth : int;
+  sp_req : int;
   sp_args : (string * string) list;
 }
 
@@ -234,7 +297,7 @@ let record sp =
     Stdlib.incr ring_len
   end
 
-let drain () =
+let peek () =
   let cap = Array.length !ring in
   let spans =
     List.init !ring_len (fun i ->
@@ -242,12 +305,16 @@ let drain () =
         | Some sp -> sp
         | None -> assert false)
   in
+  (spans, !ring_dropped)
+
+let drain () =
+  let out = peek () in
+  let cap = Array.length !ring in
   Array.fill !ring 0 cap None;
   ring_head := 0;
   ring_len := 0;
-  let d = !ring_dropped in
   ring_dropped := 0;
-  (spans, d)
+  out
 
 let with_span_result name f =
   let d = !depth in
@@ -257,7 +324,7 @@ let with_span_result name f =
     depth := d;
     record
       { sp_name = name; sp_start = start; sp_dur = now_us () - start;
-        sp_depth = d; sp_args = args }
+        sp_depth = d; sp_req = !cur_req; sp_args = args }
   in
   match f () with
   | v, args ->
@@ -269,6 +336,17 @@ let with_span_result name f =
 
 let with_span ?(args = []) name f =
   with_span_result name (fun () -> (f (), args))
+
+let with_request ~reqid ?args name f =
+  let saved = !cur_req in
+  cur_req := reqid;
+  match with_span ?args name f with
+  | v ->
+      cur_req := saved;
+      v
+  | exception e ->
+      cur_req := saved;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
@@ -330,6 +408,402 @@ let spans_json spans =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Per-request span trees                                              *)
+
+let requests () =
+  let seen = Hashtbl.create 16 in
+  let spans, _ = peek () in
+  List.filter_map
+    (fun sp ->
+      if sp.sp_req = 0 || Hashtbl.mem seen sp.sp_req then None
+      else begin
+        Hashtbl.add seen sp.sp_req ();
+        Some sp.sp_req
+      end)
+    spans
+
+let request_spans reqid =
+  let spans, _ = peek () in
+  let mine = List.filter (fun sp -> sp.sp_req = reqid) spans in
+  (* Ring order is completion order (children before parents); sort
+     into preorder — by start time, parents before children on ties. *)
+  List.stable_sort
+    (fun a b -> compare (a.sp_start, a.sp_depth) (b.sp_start, b.sp_depth))
+    mine
+
+let request_text reqid =
+  match request_spans reqid with
+  | [] -> None
+  | spans -> Some (spans_text spans)
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows                                                     *)
+
+(* Time is divided into fixed-width epochs on whatever clock is active;
+   crossing an epoch boundary snapshots the whole registry (plus the GC
+   counters).  A bounded ring of snapshots — one per recently closed
+   slot — turns any counter into a per-window rate and any histogram
+   into per-window quantiles, by differencing consecutive snapshots.
+   Nothing is recorded twice: windows are pure views over the registry.
+
+   A snapshot's [sn_at] is the epoch whose *start* it represents, so
+   the delta between snapshots at [a] and [b] is the activity in slots
+   [a, b).  A clock jump larger than the whole window prunes every old
+   snapshot — those slots have expired and are never reported. *)
+
+let default_window_width = 65536
+let default_window_slots = 16
+
+type hsnap = { hs_count : int; hs_sum : int; hs_b : int array }
+let zero_hsnap = { hs_count = 0; hs_sum = 0; hs_b = Array.make hist_buckets 0 }
+
+type snap = {
+  sn_at : int;
+  sn_scalars : (string * int) list;  (* sorted by name *)
+  sn_hists : (string * hsnap) list;  (* sorted by name *)
+  sn_minor : float;
+  sn_majors : int;
+}
+
+let w_width = ref default_window_width
+let w_slots = ref default_window_slots
+let w_epoch = ref 0
+let w_snaps : snap list ref = ref []  (* newest first *)
+let w_rolls = counter "trace.window.rolls"
+
+let take_snap at =
+  let scalars = ref [] and hists = ref [] in
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c -> scalars := (name, c.c_v) :: !scalars
+      | Gauge g -> scalars := (name, g.g_v) :: !scalars
+      | Histogram h ->
+          hists :=
+            ( name,
+              { hs_count = h.h_count; hs_sum = h.h_sum;
+                hs_b = Array.copy h.h_b } )
+            :: !hists)
+    registry;
+  let st = Gc.quick_stat () in
+  { sn_at = at;
+    sn_scalars = List.sort compare !scalars;
+    sn_hists = List.sort (fun (a, _) (b, _) -> compare a b) !hists;
+    sn_minor = st.Gc.minor_words;
+    sn_majors = st.Gc.major_collections }
+
+let window_check t =
+  let e = t / !w_width in
+  if e > !w_epoch then begin
+    let keep = e - !w_slots in
+    w_snaps := take_snap e :: List.filter (fun s -> s.sn_at >= keep) !w_snaps;
+    w_epoch := e;
+    incr w_rolls
+  end
+
+let window_configure ?width ?slots () =
+  (match width with Some w -> w_width := max 1 w | None -> ());
+  (match slots with Some s -> w_slots := max 1 s | None -> ());
+  let e = !last_tick / !w_width in
+  w_epoch := e;
+  w_snaps := [ take_snap e ]
+
+let window_width () = !w_width
+let window_slots () = !w_slots
+
+(* Consecutive snapshot pairs, oldest first. *)
+let snap_pairs () =
+  let rec go = function
+    | a :: (b :: _ as rest) -> (a, b) :: go rest
+    | _ -> []
+  in
+  go (List.rev !w_snaps)
+
+let snap_scalar sn name =
+  match List.assoc_opt name sn.sn_scalars with Some v -> v | None -> 0
+
+let snap_hist sn name =
+  match List.assoc_opt name sn.sn_hists with Some h -> h | None -> zero_hsnap
+
+let window_series name =
+  List.map
+    (fun (a, b) -> (a.sn_at, snap_scalar b name - snap_scalar a name))
+    (snap_pairs ())
+
+let hist_delta name (a, b) =
+  let ha = snap_hist a name and hb = snap_hist b name in
+  let db = Array.init hist_buckets (fun i -> hb.hs_b.(i) - ha.hs_b.(i)) in
+  (hb.hs_count - ha.hs_count, db)
+
+let delta_percentile (dc, db) p =
+  if dc <= 0 then 0
+  else begin
+    (* no exact max for a delta; clamp to the highest occupied bucket *)
+    let bmax = ref 0 in
+    Array.iteri (fun i v -> if v > 0 then bmax := bucket_upper i) db;
+    percentile_from ~count:dc ~bmax:!bmax db p
+  end
+
+let window_quantiles name =
+  List.map
+    (fun pair ->
+      let (dc, _) as d = hist_delta name pair in
+      let a, _ = pair in
+      ( a.sn_at, dc, delta_percentile d 50., delta_percentile d 95.,
+        delta_percentile d 99. ))
+    (snap_pairs ())
+
+let window_gc () =
+  List.map
+    (fun (a, b) ->
+      ( a.sn_at,
+        int_of_float (b.sn_minor -. a.sn_minor),
+        b.sn_majors - a.sn_majors ))
+    (snap_pairs ())
+
+let () =
+  w_snaps := [ take_snap 0 ];
+  tick_hook := window_check
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style exposition                                         *)
+
+let sanitize_metric name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* The content of [/mnt/help/metrics].  Deterministic for a scripted
+   session: derived only from the registry and the logical-clock window
+   snapshots, never from GC or wall-clock state. *)
+let metrics_text () =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c -> counters := (name, c.c_v) :: !counters
+      | Gauge g -> gauges := (name, g.g_v) :: !gauges
+      | Histogram h -> hists := (name, h) :: !hists)
+    registry;
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize_metric name in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s counter\n%s_total %d\n" n n v))
+    (List.sort compare !counters);
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize_metric name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n v))
+    (List.sort compare !gauges);
+  List.iter
+    (fun (name, h) ->
+      let n = sanitize_metric name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let acc = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            acc := !acc + c;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (bucket_upper i)
+                 !acc)
+          end)
+        h.h_b;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n h.h_sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.h_count);
+      (* per-window quantiles over the most recently closed slot; the
+         whole-run percentiles before any slot has closed *)
+      let dc, p50, p95, p99 =
+        match List.rev (window_quantiles name) with
+        | (_, dc, p50, p95, p99) :: _ when dc > 0 -> (dc, p50, p95, p99)
+        | _ ->
+            ( h.h_count, percentile h 50., percentile h 95.,
+              percentile h 99. )
+      in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s_window summary\n" n);
+      Buffer.add_string b
+        (Printf.sprintf "%s_window{quantile=\"0.5\"} %d\n" n p50);
+      Buffer.add_string b
+        (Printf.sprintf "%s_window{quantile=\"0.95\"} %d\n" n p95);
+      Buffer.add_string b
+        (Printf.sprintf "%s_window{quantile=\"0.99\"} %d\n" n p99);
+      Buffer.add_string b (Printf.sprintf "%s_window_count %d\n" n dc))
+    (List.sort (fun (a, _) (b, _) -> compare a b) !hists);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Alerts                                                              *)
+
+(* A threshold-watch table over the ledger: each rule names a source —
+   the current value of a counter or gauge, the last closed window's
+   delta of a counter, or a percentile of a histogram over the last
+   closed window — and compares it against a constant.  The table is
+   tiny and evaluated only when read ([/mnt/help/alerts]), so a rule
+   costs nothing until somebody cats the file. *)
+
+type alert_source =
+  | Avalue of string
+  | Arate of string
+  | Apct of string * float
+
+type alert_op = Gt | Ge | Lt | Le
+
+type alert = {
+  a_name : string;
+  a_src : alert_source;
+  a_op : alert_op;
+  a_thresh : int;
+}
+
+let alert_table : alert list ref = ref []
+
+let render_source = function
+  | Avalue m -> Printf.sprintf "value(%s)" m
+  | Arate m -> Printf.sprintf "rate(%s)" m
+  | Apct (m, p) ->
+      if Float.is_integer p then
+        Printf.sprintf "p%d(%s)" (int_of_float p) m
+      else Printf.sprintf "p%g(%s)" p m
+
+let render_op = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+
+let render_alert a =
+  Printf.sprintf "%s: %s %s %d" a.a_name (render_source a.a_src)
+    (render_op a.a_op) a.a_thresh
+
+let strip s =
+  let is_sp c = c = ' ' || c = '\t' in
+  let n = String.length s in
+  let i = ref 0 and j = ref n in
+  while !i < n && is_sp s.[!i] do Stdlib.incr i done;
+  while !j > !i && is_sp s.[!j - 1] do Stdlib.decr j done;
+  String.sub s !i (!j - !i)
+
+let parse_source expr =
+  match String.index_opt expr '(' with
+  | Some oi
+    when String.length expr > oi + 1
+         && expr.[String.length expr - 1] = ')' -> (
+      let fn = String.sub expr 0 oi in
+      let m = String.sub expr (oi + 1) (String.length expr - oi - 2) in
+      if m = "" then Error "empty metric name"
+      else
+        match fn with
+        | "value" -> Ok (Avalue m)
+        | "rate" -> Ok (Arate m)
+        | _ when String.length fn > 1 && fn.[0] = 'p' -> (
+            match
+              float_of_string_opt (String.sub fn 1 (String.length fn - 1))
+            with
+            | Some p when p >= 0. && p <= 100. -> Ok (Apct (m, p))
+            | _ -> Error (Printf.sprintf "bad percentile %S" fn))
+        | _ -> Error (Printf.sprintf "unknown source %S" fn))
+  | _ -> Error (Printf.sprintf "expected fn(metric), got %S" expr)
+
+let parse_alert line =
+  match String.index_opt line ':' with
+  | None -> Error "missing `name:' prefix"
+  | Some ci -> (
+      let name = strip (String.sub line 0 ci) in
+      let rest =
+        strip (String.sub line (ci + 1) (String.length line - ci - 1))
+      in
+      if name = "" then Error "empty rule name"
+      else
+        match
+          String.split_on_char ' ' rest |> List.filter (fun t -> t <> "")
+        with
+        | [ expr; op; thresh ] -> (
+            let op =
+              match op with
+              | ">" -> Ok Gt
+              | ">=" -> Ok Ge
+              | "<" -> Ok Lt
+              | "<=" -> Ok Le
+              | o -> Error (Printf.sprintf "unknown comparison %S" o)
+            in
+            match (parse_source expr, op, int_of_string_opt thresh) with
+            | Ok s, Ok o, Some t ->
+                Ok { a_name = name; a_src = s; a_op = o; a_thresh = t }
+            | (Error _ as e), _, _ -> e
+            | _, Error e, _ -> Error e
+            | _, _, None -> Error (Printf.sprintf "bad threshold %S" thresh))
+        | _ -> Error "expected `name: fn(metric) op threshold'")
+
+let add_alert a =
+  alert_table :=
+    List.filter (fun x -> x.a_name <> a.a_name) !alert_table @ [ a ]
+
+let install_alert line =
+  match parse_alert line with
+  | Ok a ->
+      add_alert a;
+      Ok a
+  | Error _ as e -> e
+
+let alert_rules () = List.map render_alert !alert_table
+
+let eval_alert a =
+  match a.a_src with
+  | Avalue m -> ( match find_value m with Some v -> v | None -> 0)
+  | Arate m -> (
+      match List.rev (window_series m) with (_, d) :: _ -> d | [] -> 0)
+  | Apct (m, p) -> (
+      match Hashtbl.find_opt registry m with
+      | Some (Histogram h) -> (
+          match List.rev (snap_pairs ()) with
+          | pair :: _ ->
+              let (dc, _) as d = hist_delta m pair in
+              if dc > 0 then delta_percentile d p else percentile h p
+          | [] -> percentile h p)
+      | _ -> 0)
+
+let alert_firing a v =
+  match a.a_op with
+  | Gt -> v > a.a_thresh
+  | Ge -> v >= a.a_thresh
+  | Lt -> v < a.a_thresh
+  | Le -> v <= a.a_thresh
+
+let alerts_text () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "# %d rules, window %dus x %d slots\n"
+       (List.length !alert_table) !w_width !w_slots);
+  List.iter
+    (fun a ->
+      let v = eval_alert a in
+      Buffer.add_string b
+        (Printf.sprintf "%s %s %d %s %s %d\n" a.a_name
+           (if alert_firing a v then "firing" else "ok")
+           v (render_source a.a_src) (render_op a.a_op) a.a_thresh))
+    !alert_table;
+  Buffer.contents b
+
+let default_alerts =
+  [
+    "rpc-p99: p99(nine.rpc.us) > 100000";
+    "backpressure: rate(nine.backpressure.stalls) > 1000";
+    "journal-drops: value(nine.journal.dropped) > 0";
+    "span-drops: rate(trace.spans.dropped) > 100000";
+  ]
+
+let install_default_alerts () =
+  List.iter
+    (fun l ->
+      match install_alert l with
+      | Ok _ -> ()
+      | Error e -> invalid_arg (Printf.sprintf "Trace: default alert %S: %s" l e))
+    default_alerts
+
+(* ------------------------------------------------------------------ *)
 
 let reset () =
   Hashtbl.iter
@@ -350,4 +824,14 @@ let reset () =
   ring_len := 0;
   ring_dropped := 0;
   depth := 0;
-  logical := 0
+  logical := 0;
+  last_tick := 0;
+  next_req := 0;
+  cur_req := 0;
+  sample_seed := 0;
+  sample_rate := 1;
+  alert_table := [];
+  w_width := default_window_width;
+  w_slots := default_window_slots;
+  w_epoch := 0;
+  w_snaps := [ take_snap 0 ]

@@ -6,8 +6,9 @@
     ledger behind both: every hot path (drawing, layout, analysis
     caches, the 9P server, command execution, the namespace) reports
     here, and [Help_srv] serves the result back through the paper's own
-    interface as [/mnt/help/stats] and [/mnt/help/trace], so a
-    session's shell can literally [cat /mnt/help/stats].
+    interface as [/mnt/help/stats], [/mnt/help/trace],
+    [/mnt/help/metrics] and [/mnt/help/alerts], so a session's shell
+    can literally [cat /mnt/help/stats].
 
     Everything is process-global: instruments are registered by name
     (find-or-create), and components that need per-instance views keep
@@ -24,13 +25,16 @@ val set_clock : (unit -> int) -> unit
 (** Restore the default deterministic logical clock (1 us per reading). *)
 val use_logical_clock : unit -> unit
 
-(** Read the clock (advances the logical clock by one tick). *)
+(** Read the clock (advances the logical clock by one tick).  Every
+    reading also drives the rolling-window machinery: crossing a window
+    boundary snapshots the registry (see {!window_series}). *)
 val now_us : unit -> int
 
 (** Jump the logical clock forward [n] microseconds without a reading —
     how deterministic components model waiting (client RPC timeouts and
     retry backoff, injected transport latency).  No effect on a clock
-    installed with {!set_clock}. *)
+    installed with {!set_clock}.  A jump larger than the whole rolling
+    window expires every open slot. *)
 val advance : int -> unit
 
 (** {1 Counters} *)
@@ -68,7 +72,7 @@ val histogram_stats : histogram -> int * int * int * int
     observations fall (e.g. [percentile h 99.] is p99), read from
     quarter-octave geometric buckets: within 25% relative error, never
     understating, exact at the observed maximum.  [0] before any
-    observation. *)
+    observation; [p] is clamped to [0..100]. *)
 val percentile : histogram -> float -> int
 
 (** {1 Registry snapshot} *)
@@ -77,6 +81,18 @@ val percentile : histogram -> float -> int
     sorted by key.  Histograms expand to [.count]/[.sum]/[.min]/[.max]
     lines.  This is the content of [/mnt/help/stats]. *)
 val stats_text : unit -> string
+
+(** Prometheus-style text exposition of the whole registry, sorted by
+    family: counters as [name_total], gauges bare, histograms as
+    cumulative [name_bucket{le="..."}] plus [name_sum]/[name_count],
+    and a [name_window] summary family carrying p50/p95/p99 over the
+    most recently closed rolling-window slot (whole-run percentiles
+    before the first slot closes).  Dots in registry names become
+    underscores.  Derived only from the registry and the logical-clock
+    windows — never from GC or wall-clock state — so two identically
+    scripted sessions produce byte-identical text.  This is the content
+    of [/mnt/help/metrics]. *)
+val metrics_text : unit -> string
 
 (** Current value of a registered counter or gauge by name. *)
 val find_value : string -> int option
@@ -87,6 +103,41 @@ val find_value : string -> int option
     {!histogram_stats}). *)
 val find_prefix : string -> (string * int) list
 
+(** {1 Request context and head sampling}
+
+    The serving layer allocates a request id per RPC at scheduler
+    submit time and decides {e then} — head sampling — whether the
+    request's spans are recorded.  The verdict is a pure function of
+    [(seed, id)], so a same-seed rerun samples exactly the same
+    requests; ids restart from 1 at {!reset}, so scripted sessions
+    allocate identical ids on every run. *)
+
+(** Allocate the next request id (1, 2, 3, ...). *)
+val request_id : unit -> int
+
+(** [sample id] is the deterministic head-sampling verdict for a
+    request id under the current [(seed, rate)]: rate 0 samples
+    nothing, rate 1 everything (the default — right for an interactive
+    session), rate [n] roughly one request in [n]. *)
+val sample : int -> bool
+
+(** Set the sampling seed and/or rate (rate is clamped to [>= 0]).
+    {!reset} restores seed 0, rate 1. *)
+val set_sampling : ?seed:int -> ?rate:int -> unit -> unit
+
+(** Current [(seed, rate)]. *)
+val sampling : unit -> int * int
+
+(** [with_request ~reqid name f] runs [f] inside a span as
+    {!with_span}, additionally tagging every span recorded during [f]
+    — the whole nested tree — with [reqid] (see {!request_text}). *)
+val with_request :
+  reqid:int -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** The request id spans are currently being tagged with (0 outside any
+    {!with_request}). *)
+val current_request : unit -> int
+
 (** {1 Spans} *)
 
 type span = {
@@ -94,6 +145,7 @@ type span = {
   sp_start : int;  (** clock reading at entry, microseconds *)
   sp_dur : int;  (** duration in microseconds *)
   sp_depth : int;  (** nesting depth at entry, 0 = top level *)
+  sp_req : int;  (** owning request id, 0 = none *)
   sp_args : (string * string) list;
 }
 
@@ -123,6 +175,25 @@ val pending_spans : unit -> int
     [/mnt/help/trace] is a drain. *)
 val drain : unit -> span list * int
 
+(** Like {!drain} but non-destructive: the ring and the drop tally are
+    left untouched.  Reading [/mnt/help/trace/last] is a peek. *)
+val peek : unit -> span list * int
+
+(** {1 Per-request span trees} *)
+
+(** Distinct request ids with at least one span still buffered, in
+    order of first appearance (oldest request first). *)
+val requests : unit -> int list
+
+(** All buffered spans tagged with the request id, sorted into preorder
+    (by start time, parents before children). *)
+val request_spans : int -> span list
+
+(** The request's span tree rendered as {!spans_text}; [None] when no
+    buffered span carries the id (never sampled, or already evicted or
+    drained).  This is the content of [/mnt/help/trace/<reqid>]. *)
+val request_text : int -> string option
+
 (** {1 Exporters} *)
 
 (** Human-readable, one span per line ([start +dur name k=v ...]),
@@ -135,10 +206,90 @@ val spans_text : ?dropped:int -> span list -> string
     events. *)
 val spans_json : span list -> string
 
+(** {1 Rolling windows}
+
+    Time — whatever clock is active — is divided into fixed-width
+    epochs; the first reading past a boundary snapshots the whole
+    registry, and a bounded ring of recent snapshots turns any counter
+    into a per-slot rate and any histogram into per-slot quantiles by
+    differencing consecutive snapshots.  Windows are pure views over
+    the registry: nothing is double-counted, and an idle period simply
+    produces no snapshots.  Snapshot count is bounded by the slot
+    count; a clock jump past the whole window expires every old slot
+    (counted on [trace.window.rolls] as boundary crossings). *)
+
+(** Set the slot width in microseconds and/or the number of retained
+    slots (both clamped to [>= 1]), and restart the window from the
+    current clock reading.  {!reset} restores the defaults (65536 us,
+    16 slots). *)
+val window_configure : ?width:int -> ?slots:int -> unit -> unit
+
+val window_width : unit -> int
+val window_slots : unit -> int
+
+(** Per-slot deltas of a counter or gauge, oldest first, as
+    [(slot, delta)] where [slot * width] is the slot's start time.
+    Empty until two boundary crossings have been observed. *)
+val window_series : string -> (int * int) list
+
+(** Per-slot histogram quantiles, oldest first:
+    [(slot, count, p50, p95, p99)].  Quantiles of an empty slot are 0;
+    delta quantiles are clamped to the highest occupied bucket bound
+    (the exact observed max is not known per-slot). *)
+val window_quantiles : string -> (int * int * int * int * int) list
+
+(** Per-slot GC activity, oldest first:
+    [(slot, minor_words, major_collections)].  The only window data
+    derived from the process rather than the registry — reported here
+    and deliberately kept out of {!metrics_text}. *)
+val window_gc : unit -> (int * int * int) list
+
+(** {1 Alerts}
+
+    A small threshold-watch table over the ledger, evaluated only when
+    read.  A rule is one line:
+
+    {v name: source op threshold v}
+
+    where [source] is [value(metric)] (current counter/gauge value),
+    [rate(metric)] (last closed window slot's delta), or [pNN(metric)]
+    (histogram percentile over the last closed slot, whole-run before
+    one closes), and [op] is [>], [>=], [<] or [<=].  The rendered
+    table is the content of [/mnt/help/alerts]. *)
+
+type alert
+
+(** Parse one rule line; [Error] carries a human-readable reason. *)
+val parse_alert : string -> (alert, string) result
+
+(** Install a rule, replacing any rule with the same name. *)
+val add_alert : alert -> unit
+
+(** [parse_alert] + [add_alert] in one step. *)
+val install_alert : string -> (alert, string) result
+
+(** The installed rules rendered back to their line form, in table
+    order — each line round-trips through {!parse_alert}. *)
+val alert_rules : unit -> string list
+
+(** One line per rule: [name ok|firing current source op threshold],
+    preceded by a [#] header line.  This is the content of
+    [/mnt/help/alerts]. *)
+val alerts_text : unit -> string
+
+(** The rule lines [Session.boot] installs: p99 RPC latency,
+    backpressure stalls, journal drops, span drops. *)
+val default_alerts : string list
+
+(** Install {!default_alerts}. *)
+val install_default_alerts : unit -> unit
+
 (** {1 Reset}
 
-    Zero every registered instrument, empty the ring, and restart the
-    logical clock.  Registrations survive (handles held by modules stay
-    valid).  [Session.boot] resets so each session starts a fresh
-    ledger. *)
+    Zero every registered instrument, empty the ring, restart the
+    logical clock and the request-id allocator, restore default
+    sampling (seed 0, rate 1) and window geometry, clear the alert
+    table, and re-seed the window baseline snapshot.  Registrations
+    survive (handles held by modules stay valid).  [Session.boot]
+    resets so each session starts a fresh ledger. *)
 val reset : unit -> unit
