@@ -8,6 +8,7 @@ dune build
 dune runtest
 dune exec bench/main.exe -- trace-smoke
 dune exec bench/main.exe -- search-smoke
+dune exec bench/main.exe -- index-smoke
 dune exec bench/main.exe -- fault-smoke
 dune exec bench/main.exe -- pool-smoke
 dune exec bench/main.exe -- e13-smoke

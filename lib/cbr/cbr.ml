@@ -208,7 +208,34 @@ let uses_of p ~file ~line ~name =
                 p.C_symbols.p_occs
               |> List.sort_uniq compare))
 
-let grep_count ns ~cwd files pattern =
+(* Candidate selection for the textual queries: the trigram index
+   prunes the unit list before any file is read.  A unit that lacks a
+   required trigram of the needle cannot contain it, so the count (and
+   the analysis below) is unchanged — only the work shrinks. *)
+let select_units ?search ~cwd files needle =
+  match search with
+  | None -> files
+  | Some ix ->
+      let q = Index.plan_literal needle in
+      if not (Index.query_useful q) then files
+      else begin
+        let abs f =
+          if starts_with "/" f then Vfs.normalize f
+          else Vfs.normalize (cwd ^ "/" ^ f)
+        in
+        let pairs = List.map (fun f -> (f, abs f)) files in
+        let keep = Index.prune ix q (List.map snd pairs) in
+        let mem = Hashtbl.create 64 in
+        List.iter (fun p -> Hashtbl.replace mem p ()) keep;
+        List.filter_map
+          (fun (f, a) -> if Hashtbl.mem mem a then Some f else None)
+          pairs
+      end
+
+let grep_count ?search ns ~cwd files pattern =
+  let files =
+    if pattern = "" then files else select_units ?search ~cwd files pattern
+  in
   List.fold_left
     (fun acc file ->
       let abs =
@@ -221,6 +248,19 @@ let grep_count ns ~cwd files pattern =
           else
             acc + Hsearch.count_matching_lines (Hsearch.Literal pattern) content)
     0 files
+
+(* [uses] at corpus scale: any unit referencing [name] contains it
+   textually, so the trigram index selects the units worth analyzing
+   (the anchor unit is always kept).  With the synthetic corpora this
+   turns a whole-program analysis into a couple of units; results are
+   identical because occurrences can only come from units that mention
+   the identifier (headers are spliced into whichever candidate
+   includes them, and [uses_of] deduplicates positions). *)
+let uses_at ?search ?index ns ~cwd files ~file ~line ~name =
+  let units = select_units ?search ~cwd files name in
+  let units = if List.mem file units then units else file :: units in
+  let p = analyze ?index ns ~cwd units in
+  uses_of p ~file ~line ~name
 
 (* ------------------------------------------------------------------ *)
 (* Native tools                                                        *)

@@ -47,8 +47,27 @@ val uses_of : program -> file:string -> line:int -> name:string ->
   (string * int) list
 
 (** Count plain text-match lines, what [grep] would report (experiment
-    E4 compares this against {!uses_of}). *)
-val grep_count : Vfs.t -> cwd:string -> string list -> string -> int
+    E4 compares this against {!uses_of}).  With [?search], the trigram
+    index selects candidate units first; files the planner rules out
+    are never read, and the count is unchanged. *)
+val grep_count :
+  ?search:Index.t -> Vfs.t -> cwd:string -> string list -> string -> int
+
+(** [uses_at ... files ~file ~line ~name] — {!analyze} then {!uses_of}
+    in one step.  With [?search], only units that textually contain
+    [name] (plus the anchor [file]) are analyzed: a reference to an
+    identifier is itself text, so the pruned program yields the same
+    sorted positions while reading a fraction of the corpus. *)
+val uses_at :
+  ?search:Index.t ->
+  ?index:index ->
+  Vfs.t ->
+  cwd:string ->
+  string list ->
+  file:string ->
+  line:int ->
+  name:string ->
+  (string * int) list
 
 (** Register [/bin/cpp] and [/bin/rcc] natives and write the
     [/help/cbr] tool scripts ([stf], [decl], [uses], [src], [mk] is

@@ -276,6 +276,13 @@ let attach t ?(col : Hcol.t option) win =
 
 let nth_column t i = List.nth_opt t.cols i
 
+(* Every open body buffer is a document of the namespace's trigram
+   index; edits only flag it dirty there (re-tokenized lazily on the
+   next indexed query, never on the keystroke). *)
+let index_buffer t ~name win =
+  let name = if name = "" then "win" ^ string_of_int (Hwin.id win) else name in
+  Index.add_buffer (Index.of_ns t.namespace) ~name (Htext.buffer (Hwin.body win))
+
 let new_window t ?(name = "") ?(body = "") () =
   let id = alloc_id t in
   let tag_text = if name = "" then "" else name ^ " Close! Get!" in
@@ -283,9 +290,11 @@ let new_window t ?(name = "") ?(body = "") () =
   Buffer0.clean (Htext.buffer (Hwin.body win));
   Hashtbl.replace t.wins id win;
   attach t win;
+  index_buffer t ~name win;
   win
 
 let close_window t win =
+  Index.remove_buffer (Index.of_ns t.namespace) (Htext.buffer (Hwin.body win));
   Hashtbl.remove t.wins (Hwin.id win);
   (match column_of t win with Some c -> Hcol.remove c win | None -> ());
   (match t.cursel with
@@ -302,6 +311,7 @@ let errors_window t =
       let win = Hwin.create ~id ~tag_text:"Errors Close!" (Buffer0.create "") in
       Hashtbl.replace t.wins id win;
       attach t win;
+      index_buffer t ~name:"Errors" win;
       win
 
 (* Program-written content is not an unsaved user edit: windows filled

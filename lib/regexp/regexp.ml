@@ -183,6 +183,7 @@ type t = {
   rx_literal : string;  (* required literal substring of every match *)
   rx_lit_skip : int array;  (* Horspool table for rx_literal; [||] if short *)
   rx_has_bol : bool;
+  rx_plain : bool;  (* analysis-free: no prefix, no usable literal *)
   mutable rx_dfa : dfa option;  (* built on demand, shared via the LRU *)
 }
 
@@ -344,6 +345,7 @@ let compile_uncached pat =
     rx_literal = literal;
     rx_lit_skip = lit_skip;
     rx_has_bol = has_bol;
+    rx_plain = prefix = "" && String.length literal < 2;
     rx_dfa = None;
   }
 
@@ -1136,6 +1138,11 @@ let search re s pos =
         | Some j ->
             m_skip := !m_skip + (j - pos);
             if scan_string re s j then sweep_search re s j else None
+      else if re.rx_plain then
+        (* the analyses produced nothing to prune with: an existence
+           pre-pass over the DFA would only rescan what the one-pass
+           sweep is about to scan anyway, so go straight to the sweep *)
+        sweep_search re s pos
       else if scan_string re s pos then sweep_search re s pos
       else None
     in

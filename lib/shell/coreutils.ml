@@ -155,6 +155,30 @@ let grep proc args =
                 end)
               (lines data)
           in
+          (* Corpus-scale candidate selection: the trigram index rules
+             out files that cannot contain a match before they are
+             read.  Unsound under -v (non-matching files print every
+             line) and -i (the index stores original case), so those
+             fall back to the full scan; pruned files are exactly the
+             ones that would have produced no output and no error. *)
+          let prune files =
+            if invert || nocase || List.length files < 2 then files
+            else
+              let q = Index.plan re in
+              if not (Index.query_useful q) then files
+              else begin
+                let pairs = List.map (fun f -> (f, abspath proc f)) files in
+                let idx = Index.of_ns (Rc.proc_ns proc) in
+                let keep = Index.prune idx q (List.map snd pairs) in
+                let mem = Hashtbl.create 16 in
+                List.iter (fun p -> Hashtbl.replace mem p ()) keep;
+                (* unreadable paths survive [prune], so error reporting
+                   is untouched *)
+                List.filter_map
+                  (fun (f, a) -> if Hashtbl.mem mem a then Some f else None)
+                  pairs
+              end
+          in
           (match files with
           | [] -> scan None (Rc.proc_stdin proc)
           | [ f ] ->
@@ -169,7 +193,7 @@ let grep proc args =
                     (read_file_or_fail proc f (fun d ->
                          scan (Some f) d;
                          0)))
-                files);
+                (prune files));
           if !matched then 0 else 1)
 
 (* sed: the small subset the paper's scripts use: 'Nq' (quit after N

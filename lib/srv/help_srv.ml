@@ -40,6 +40,12 @@ let filesystem help =
   let parse_path = function
     | [] -> `Root
     | [ "index" ] -> `Index
+    (* like trace/, the children live under a path whose head is
+       itself a readable file (the window list) and are reached by
+       direct walk *)
+    | [ "index"; "stats" ] -> `Ixstats
+    | [ "index"; "postings" ] -> `Ixpostings
+    | [ "index"; "rebuild" ] -> `Ixrebuild
     | [ "stats" ] -> `Stats
     | [ "metrics" ] -> `Metrics
     | [ "alerts" ] -> `Alerts
@@ -76,6 +82,14 @@ let filesystem help =
         stat_of ~name:"index" ~dir:false
           ~length:(String.length (index_text help))
           (now ())
+    | `Ixstats ->
+        stat_of ~name:"stats" ~dir:false
+          ~length:(String.length (Index.stats_text (Index.of_ns ns)))
+          (now ())
+    | `Ixpostings ->
+        (* sized at open: the posting table moves under queries *)
+        stat_of ~name:"postings" ~dir:false ~length:0 (now ())
+    | `Ixrebuild -> stat_of ~name:"rebuild" ~dir:false ~length:0 (now ())
     | `Stats ->
         stat_of ~name:"stats" ~dir:false
           ~length:(String.length (Trace.stats_text ()))
@@ -147,8 +161,9 @@ let filesystem help =
         List.map
           (fun n -> stat_of ~name:n ~dir:false ~length:0 (now ()))
           [ "tag"; "body"; "bodyapp"; "ctl" ]
-    | `Index | `Stats | `Metrics | `Alerts | `Trace | `TraceLast | `TraceReq _
-    | `Newctl | `Tag _ | `Body _ | `Bodyapp _ | `Ctl _ ->
+    | `Index | `Ixstats | `Ixpostings | `Ixrebuild | `Stats | `Metrics
+    | `Alerts | `Trace | `TraceLast | `TraceReq _ | `Newctl | `Tag _ | `Body _
+    | `Bodyapp _ | `Ctl _ ->
         err Vfs.Enotdir
   in
   (* Fixed string semantics don't fit tag/body/ctl writes, which must
@@ -283,9 +298,23 @@ let filesystem help =
       of_close = (fun () -> ());
     }
   in
+  let rebuild_file () =
+    {
+      Vfs.of_read = (fun ~off:_ ~count:_ -> "");
+      of_write =
+        (fun ~off:_ data ->
+          (* any write rebuilds; content is ignored *)
+          Index.rebuild (Index.of_ns ns);
+          String.length data);
+      of_close = (fun () -> ());
+    }
+  in
   let fs_open path _mode ~trunc =
     match parse_path path with
     | `Index -> string_file (index_text help)
+    | `Ixstats -> string_file (Index.stats_text (Index.of_ns ns))
+    | `Ixpostings -> string_file (Index.postings_text (Index.of_ns ns))
+    | `Ixrebuild -> rebuild_file ()
     | `Stats ->
         (* the registry snapshot, one metric per line: the whole
            observability ledger through the paper's own interface *)

@@ -793,6 +793,9 @@ let default_alerts =
     "backpressure: rate(nine.backpressure.stalls) > 1000";
     "journal-drops: value(nine.journal.dropped) > 0";
     "span-drops: rate(trace.spans.dropped) > 100000";
+    (* a healthy index re-tokenizes a handful of dirty documents per
+       query; a sustained storm means staleness tracking is thrashing *)
+    "index-thrash: rate(index.stale.reindexed) > 10000";
   ]
 
 let install_default_alerts () =

@@ -1,0 +1,186 @@
+(* The trigram index: planner soundness, staleness under edits, and
+   the generation-counter contract (unchanged generation => zero
+   re-tokenizations). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let re = Regexp.compile
+
+(* ------------------------------------------------------------------ *)
+(* Planner                                                             *)
+
+let planner_basics () =
+  check_bool "a long literal is useful" true
+    (Index.query_useful (Index.plan_literal "counter42"));
+  check_bool "a two-byte literal is not" false
+    (Index.query_useful (Index.plan_literal "ab"));
+  check_bool "a bare class falls back" false
+    (Index.query_useful (Index.plan (re "[a-z]+")));
+  check_bool "runs across operators still contribute" true
+    (Index.query_useful (Index.plan (re "line [0-9]+ of")));
+  check_bool "alternation of literals is useful" true
+    (Index.query_useful (Index.plan (re "alpha|bravo")));
+  check_bool "alternation with a short branch falls back" false
+    (Index.query_useful (Index.plan (re "alpha|ab")));
+  check_bool "plus requires its body once" true
+    (Index.query_useful (Index.plan (re "(abc)+")));
+  check_string "query rendering"
+    "(AND abc bcd)"
+    (Index.query_text (Index.plan_literal "abcd"))
+
+(* ------------------------------------------------------------------ *)
+(* Files: pruning equals the linear scan, at rest and under edits      *)
+
+let mk_tree () =
+  let ns = Vfs.create () in
+  Vfs.mkdir_p ns "/src";
+  let files =
+    List.init 6 (fun i -> Printf.sprintf "/src/f%d.txt" i)
+  in
+  List.iteri
+    (fun i p ->
+      Vfs.write_file ns p
+        (Printf.sprintf "alpha %d\nbravo %d\nneedle%d here\n" i i i))
+    files;
+  (ns, files)
+
+let same_results ix ns files pat =
+  ignore ns;
+  let r = re pat in
+  Index.hits_text (Index.grep ix r files)
+  = Index.hits_text (Index.grep_linear ix r files)
+
+let files_indexed_equals_linear () =
+  let ns, files = mk_tree () in
+  let ix = Index.create ns in
+  List.iter
+    (fun pat ->
+      check_bool ("indexed = linear: " ^ pat) true
+        (same_results ix ns files pat))
+    [ "needle3"; "alpha"; "bravo [0-9]"; "nothing-anywhere"; "[a-z]+ [0-9]+" ];
+  (* candidate selection actually pruned something *)
+  let docs, _, posts = Index.sizes ix in
+  check_int "all files tokenized" 6 docs;
+  check_bool "postings exist" true (posts > 0);
+  (* edit one file: the next query must see the new text *)
+  Vfs.write_file ns "/src/f2.txt" "fresh needle9 text\n";
+  check_bool "after edit: indexed = linear" true
+    (same_results ix ns files "needle9");
+  let hits = Index.grep ix (re "needle9") files in
+  check_int "edited file found" 1 (List.length hits);
+  (* remove a file: pruned scans and linear scans agree on the gap *)
+  Vfs.remove ns "/src/f4.txt";
+  check_bool "after remove: indexed = linear" true
+    (same_results ix ns files "needle4")
+
+let generation_counters () =
+  let ns, files = mk_tree () in
+  let ix = Index.create ns in
+  ignore (Index.grep ix (re "alpha") files);
+  let r0 = Index.reindexed ix in
+  (* no namespace mutation between queries: nothing may re-tokenize *)
+  ignore (Index.grep ix (re "bravo") files);
+  ignore (Index.grep ix (re "needle2") files);
+  check_int "unchanged generation => zero re-tokenizations" r0
+    (Index.reindexed ix);
+  (* one edit, many queries: exactly one re-tokenization *)
+  Vfs.write_file ns "/src/f1.txt" "bravo rewritten\n";
+  ignore (Index.grep ix (re "bravo") files);
+  ignore (Index.grep ix (re "bravo") files);
+  check_int "one edit => one re-tokenization" (r0 + 1) (Index.reindexed ix)
+
+let rebuild_control () =
+  let ns, files = mk_tree () in
+  let ix = Index.create ns in
+  ignore (Index.grep ix (re "alpha") files);
+  let _, _, posts = Index.sizes ix in
+  Index.rebuild ix;
+  let _, _, posts' = Index.sizes ix in
+  check_int "rebuild drops the postings" 0 posts';
+  check_bool "and the next query rebuilds them" true
+    (same_results ix ns files "needle1"
+    && (let _, _, p = Index.sizes ix in p = posts))
+
+(* ------------------------------------------------------------------ *)
+(* Buffers: the qcheck edit-script property                            *)
+
+let patterns =
+  [ "abc"; "abcd"; "bc ab"; "cab|bac"; "a[ab]c"; "zzzz"; "ab+c" ]
+
+(* Ops: insert a small string drawn from a 4-letter alphabet, or
+   delete a range.  Positions are taken modulo the live length. *)
+let ops_gen =
+  QCheck.make
+    ~print:
+      QCheck.Print.(
+        list (pair int (pair int (option (string)))))
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (pair (int_range 0 10000)
+           (pair (int_range 0 12)
+              (option (string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; ' ' ]) (int_range 1 8))))))
+
+let apply_op buf (pos, (len, ins)) =
+  let n = Buffer0.length buf in
+  let pos = if n = 0 then 0 else pos mod (n + 1) in
+  (match ins with
+  | Some s -> Buffer0.insert buf pos s
+  | None -> Buffer0.delete buf pos (min len (n - pos)));
+  Buffer0.commit buf
+
+let prop_buffer_edits =
+  QCheck.Test.make
+    ~name:"indexed buffer search equals linear search under any edit script"
+    ~count:60 ops_gen (fun ops ->
+      let ns = Vfs.create () in
+      let ix = Index.create ns in
+      let buf = Buffer0.create "abc abd cab\nbac abcd\n" in
+      Index.add_buffer ix ~name:"scratch" buf;
+      List.for_all
+        (fun op ->
+          apply_op buf op;
+          List.for_all
+            (fun pat ->
+              let r = re pat in
+              Index.hits_text (Index.grep_buffers ix r)
+              = Index.hits_text (Index.grep_buffers_linear ix r))
+            patterns)
+        ops)
+
+let buffer_generations () =
+  let ns = Vfs.create () in
+  let ix = Index.create ns in
+  let buf = Buffer0.create "abc abd\n" in
+  Index.add_buffer ix ~name:"b" buf;
+  ignore (Index.grep_buffers ix (re "abc"));
+  let r0 = Index.reindexed ix in
+  ignore (Index.grep_buffers ix (re "abd"));
+  check_int "clean buffer is not re-tokenized" r0 (Index.reindexed ix);
+  Buffer0.insert buf 0 "xyz ";
+  Buffer0.commit buf;
+  ignore (Index.grep_buffers ix (re "xyz"));
+  check_int "dirty buffer re-tokenizes once" (r0 + 1) (Index.reindexed ix);
+  Index.remove_buffer ix buf;
+  check_int "closed buffer leaves no hits" 0
+    (List.length (Index.grep_buffers ix (re "abc")))
+
+let () =
+  Alcotest.run "index"
+    [
+      ( "planner",
+        [ Alcotest.test_case "trigram extraction" `Quick planner_basics ] );
+      ( "files",
+        [
+          Alcotest.test_case "indexed grep equals linear" `Quick
+            files_indexed_equals_linear;
+          Alcotest.test_case "generation counters" `Quick generation_counters;
+          Alcotest.test_case "rebuild control" `Quick rebuild_control;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "buffer generations" `Quick buffer_generations;
+          QCheck_alcotest.to_alcotest prop_buffer_edits;
+        ] );
+    ]
