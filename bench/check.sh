@@ -10,6 +10,7 @@ dune exec bench/main.exe -- trace-smoke
 dune exec bench/main.exe -- search-smoke
 dune exec bench/main.exe -- index-smoke
 dune exec bench/main.exe -- fault-smoke
+dune exec bench/main.exe -- wal-smoke
 dune exec bench/main.exe -- pool-smoke
 dune exec bench/main.exe -- e13-smoke
 dune exec bench/main.exe -- gc-smoke

@@ -22,6 +22,7 @@ let j_e11 : (string * float) list ref = ref []  (* search ns/op + ratios *)
 let j_e12 : (string * float) list ref = ref []  (* pool load figures *)
 let j_e13 : (string * float) list ref = ref []  (* serving-core figures *)
 let j_e14 : (string * float) list ref = ref []  (* indexed-search figures *)
+let j_e15 : (string * float) list ref = ref []  (* durability figures *)
 
 let j7 name v = j_e7 := (name, v) :: !j_e7
 let j10 name v = j_e10 := (name, v) :: !j_e10
@@ -29,6 +30,7 @@ let j11 name v = j_e11 := (name, v) :: !j_e11
 let j12 name v = j_e12 := (name, v) :: !j_e12
 let j13 name v = j_e13 := (name, v) :: !j_e13
 let j14 name v = j_e14 := (name, v) :: !j_e14
+let j15 name v = j_e15 := (name, v) :: !j_e15
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -70,10 +72,10 @@ let write_json path =
   in
   let rates = cache_hit_rates () in
   Printf.fprintf oc
-    "{\n  \"schema\": \"help-bench-6\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
+    "{\n  \"schema\": \"help-bench-7\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
      \"e10_ms\": {\n%s\n  },\n  \"search\": {\n%s\n  },\n  \
      \"pool\": {\n%s\n  },\n  \"e13\": {\n%s\n  },\n  \
-     \"index\": {\n%s\n  },\n  \
+     \"index\": {\n%s\n  },\n  \"wal\": {\n%s\n  },\n  \
      \"cache_hit_rates\": {\n%s\n  }\n}\n"
     (table (List.rev !j_e7))
     (table (List.rev !j_e10))
@@ -81,14 +83,15 @@ let write_json path =
     (table (List.rev !j_e12))
     (table (List.rev !j_e13))
     (table (List.rev !j_e14))
+    (table (List.rev !j_e15))
     (table ~fmt:(format_of_string "%.4f") rates);
   close_out oc;
   Printf.printf
     "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d pool rows, %d \
-     e13 rows, %d index rows, %d hit-rates)\n"
+     e13 rows, %d index rows, %d wal rows, %d hit-rates)\n"
     path (List.length !j_e7) (List.length !j_e10) (List.length !j_e11)
     (List.length !j_e12) (List.length !j_e13) (List.length !j_e14)
-    (List.length rates)
+    (List.length !j_e15) (List.length rates)
 
 (* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
@@ -1883,6 +1886,247 @@ let index_smoke () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* E15: durable sessions.  A write-ahead log of the public driving ops
+   plus content-addressed snapshots make the session a pure function
+   of (boot parameters, op prefix): kill it anywhere — including
+   mid-record — recover, re-drive what the crash threw away, and the
+   screen and /mnt/help/stats must come back byte-identical to the
+   uninterrupted run.  Measures recovery latency, full-log replay, and
+   how much digest sharing shrinks the incremental snapshot. *)
+
+(* The scripted workload: gestures, typing, namespace writes and
+   draws — the whole logged vocabulary except the destructive ops the
+   script needs to keep its own needles alive. *)
+let wal_script : (Session.t -> unit) list =
+  [
+    (fun t -> Session.point_at t (Session.win t "help/Boot") "Exit");
+    (fun t -> Session.write_file t "/tmp/notes" "draft one\n");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.type_text t "k");
+    (fun t -> Session.sweep t (Session.win t "/help/edit/stf") "Pattern");
+    (fun t -> Session.append_file t "/tmp/notes" "draft two\n");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.point_at t (Session.win t "/help/edit/stf") "Text");
+    (fun t -> Session.mkdir t "/tmp/proj");
+    (fun t -> Session.write_file t "/tmp/proj/a.txt" "alpha\n");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.sweep t (Session.win t "help/Boot") "Exit");
+    (fun t -> Session.append_file t "/tmp/proj/a.txt" "beta\n");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.remove_file t "/tmp/notes");
+    (fun t -> Session.write_file t "/tmp/proj/a.txt" "alpha\nbeta\ngamma\n");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.point_at t (Session.win t "help/Boot") "Exit");
+  ]
+
+let wal_checkpoint_every = 6
+
+let wal_reference () =
+  (* warm-up boot: the regexp-compile LRU is process-global, and the
+     byte-compared runs must all see it equally warm *)
+  ignore (Session.boot ());
+  let store = Wal.create_store () in
+  let t = Session.boot ~wal:store ~checkpoint_every:wal_checkpoint_every () in
+  let cuts =
+    List.map
+      (fun op ->
+        op t;
+        Wal.log_pos store)
+      wal_script
+  in
+  (store, cuts, t)
+
+let wal_finish t =
+  (* explicit sequencing: a tuple would evaluate right-to-left and read
+     the stats before the final draw is logged *)
+  let d = Session.dump t in
+  let s = Vfs.read_file t.Session.ns "/mnt/help/stats" in
+  (d, s)
+
+(* Crash at log byte [pos], recover, re-drive the ops the crash threw
+   away (everything after the last op whose record fully precedes the
+   cut).  Returns the recovered session and the recover() latency. *)
+let wal_recover_at store cuts pos =
+  let t0 = Sys.time () in
+  let t =
+    Session.recover ~checkpoint_every:wal_checkpoint_every
+      (Wal.truncate_log store pos)
+  in
+  let dt_us = (Sys.time () -. t0) *. 1e6 in
+  let rec todo i = function
+    | [] -> []
+    | c :: rest ->
+        if c <= pos then todo (i + 1) rest
+        else List.filteri (fun j _ -> j >= i) wal_script
+  in
+  List.iter (fun op -> op t) (todo 0 cuts);
+  (t, dt_us)
+
+let e15_durability ~quick () =
+  section "E15" "durable sessions: WAL + content-addressed snapshots";
+  let store, cuts, t = wal_reference () in
+  let d_ref, s_ref = wal_finish t in
+  row "reference run: %d script ops, %d records, %d bytes of log, %d \
+       snapshots\n"
+    (List.length wal_script)
+    (ix_stat s_ref "wal.records")
+    (Wal.log_pos store)
+    (List.length (Wal.snapshots store));
+  (* the fault schedule: every op boundary, and (full mode) a torn cut
+     three bytes into every scripted record.  Points stay within the
+     scripted log: the measurement reads after the last cut (the stats
+     fetch in wal_finish) advance the trace clock without leaving log
+     records, so later cuts are unreproducible by design.  Cuts before
+     the initial checkpoint have no snapshot to recover from, so torn
+     points start at the first snapshot's position. *)
+  let last_cut = List.nth cuts (List.length cuts - 1) in
+  let sn0 =
+    match List.rev (Wal.snapshots store) with
+    | sn :: _ -> Wal.sn_log_pos sn
+    | [] -> 0
+  in
+  let points =
+    cuts
+    @
+    if quick then []
+    else
+      List.filter
+        (fun p -> p < last_cut)
+        (List.map (fun p -> p + 3) (sn0 :: cuts))
+  in
+  let times = ref [] in
+  let identical = ref true in
+  List.iter
+    (fun pos ->
+      let t2, us = wal_recover_at store cuts pos in
+      let d, s = wal_finish t2 in
+      if d <> d_ref || s <> s_ref then begin
+        identical := false;
+        row "DIVERGED at cut %d (screen %b, stats %b)\n" pos (d = d_ref)
+          (s = s_ref)
+      end;
+      (* the latency histogram is recovery-only bookkeeping; feed it
+         only after the byte comparisons are done *)
+      (match !(t2.Session.wal) with
+      | Some a -> Wal.set_recovery_us a (int_of_float us)
+      | None -> ());
+      times := us :: !times)
+    points;
+  let times = List.sort compare !times in
+  let n = List.length times in
+  let mean = List.fold_left ( +. ) 0. times /. float_of_int n in
+  let pct p = List.nth times (min (n - 1) (p * n / 100)) in
+  row "%d crash points (boundaries%s): screens and stats %s\n" n
+    (if quick then "" else " + torn records")
+    (if !identical then "byte-identical after recovery" else "DIVERGED");
+  row "recover: mean %.1f ms, p99 %.1f ms, max %.1f ms\n" (mean /. 1000.)
+    (pct 99 /. 1000.)
+    (List.nth times (n - 1) /. 1000.);
+  j15 "crash points" (float_of_int n);
+  j15 "identical" (if !identical then 1. else 0.);
+  j15 "log bytes" (float_of_int (Wal.log_pos store));
+  j15 "snapshots" (float_of_int (List.length (Wal.snapshots store)));
+  j15 "recover ms mean" (mean /. 1000.);
+  j15 "recover ms p99" (pct 99 /. 1000.);
+  if not !identical then failwith "E15: recovery diverged";
+  (* full-log replay, decoupled from recovery: decode every record,
+     then re-drive them through the public wrappers on a fresh boot *)
+  let t0 = Sys.time () in
+  let ops, torn = Wal.ops_after store ~pos:0 in
+  let decode_ms = (Sys.time () -. t0) *. 1000. in
+  let tr = Session.boot () in
+  let t0 = Sys.time () in
+  List.iter (fun (_, op) -> Session.apply tr op) ops;
+  let replay_ms = (Sys.time () -. t0) *. 1000. in
+  row "full-log replay: %d ops decoded in %.2f ms (torn %d), re-driven in \
+       %.1f ms\n"
+    (List.length ops) decode_ms torn replay_ms;
+  j15 "replay ops" (float_of_int (List.length ops));
+  j15 "decode ms" decode_ms;
+  j15 "replay ms" replay_ms;
+  (* content addressing: a small edit between two checkpoints must cost
+     roughly the edit, not the session *)
+  Session.checkpoint t;
+  Session.write_file t "/tmp/proj/a.txt" "alpha\nbeta\ngamma\ndelta\n";
+  Session.checkpoint t;
+  (match Wal.snapshots store with
+  | sn :: _ ->
+      let total = Wal.sn_total_bytes sn and fresh = Wal.sn_new_bytes sn in
+      row "snapshot after a one-line edit: %d bytes logical, %d new (%.1f%% \
+           shared)\n"
+        total fresh
+        (100. *. float_of_int (total - fresh) /. float_of_int (max 1 total));
+      j15 "snapshot total bytes" (float_of_int total);
+      j15 "snapshot new bytes" (float_of_int fresh);
+      if fresh * 4 > total then
+        failwith "E15: snapshot sharing bought less than 4x"
+  | [] -> failwith "E15: no snapshot")
+
+(* ------------------------------------------------------------------ *)
+(* wal-smoke: the durability gate.  Crash the scripted session at
+   three fault-schedule points (an early boundary, a torn mid-record
+   cut, the very end of the log), recover each, and require screens
+   and /mnt/help/stats byte-identical to the uninterrupted run, zero
+   leaked fids, a verifiable journal, and well-formed wal counters.
+   Exits nonzero on any failure so check.sh can gate on it. *)
+
+let wal_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let store, cuts, t = wal_reference () in
+  let d_ref, s_ref = wal_finish t in
+  let ref_fids = Nine.Server.fid_count t.Session.srv in
+  let a_ref =
+    match !(t.Session.wal) with Some a -> a | None -> assert false
+  in
+  check "wal.records counter equals the op count"
+    (ix_stat s_ref "wal.records" = Wal.op_count a_ref);
+  check "wal counters well-formed"
+    (ix_stat s_ref "wal.bytes" > 0
+    && ix_stat s_ref "wal.snapshots" >= 1
+    && ix_stat s_ref "wal.journal.entries" > 0);
+  check "journal verifies"
+    (match Wal.verify_journal store with
+    | () -> true
+    | exception Wal.Corrupt _ -> false);
+  (* crash points stop at the last scripted cut: the measurement reads
+     after it (the stats fetch in wal_finish) advance the trace clock
+     without leaving log records, so cuts beyond the script are not
+     reproducible — by design, not by accident *)
+  let points =
+    [
+      ("early boundary", List.nth cuts 1);
+      ("torn mid-record", List.nth cuts (List.length cuts / 2) + 3);
+      ("end of script", List.nth cuts (List.length cuts - 1));
+    ]
+  in
+  List.iter
+    (fun (label, pos) ->
+      let t2, _ = wal_recover_at store cuts pos in
+      let d, s = wal_finish t2 in
+      check (Printf.sprintf "screen byte-identical after crash at %s" label)
+        (d = d_ref);
+      check (Printf.sprintf "stats byte-identical after crash at %s" label)
+        (s = s_ref);
+      check
+        (Printf.sprintf "zero leaked fids after crash at %s" label)
+        (Nine.Server.fid_count t2.Session.srv = ref_fids))
+    points;
+  match List.rev !failed with
+  | [] ->
+      Printf.printf
+        "wal-smoke: ok (%d crash points recovered byte-identical, %d wal \
+         records, %d snapshots, journal verified, fids stable at %d)\n"
+        (List.length points)
+        (ix_stat s_ref "wal.records")
+        (List.length (Wal.snapshots store))
+        ref_fids;
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "wal-smoke FAIL: %s\n" f) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* gc-smoke: the allocation-regression gate.  Re-measures the E13
    minor-allocation-per-RPC at smoke scale and fails if it regressed
    more than 25% against the ledgered baseline in BENCH_results.json
@@ -2168,7 +2412,7 @@ let doc_lint () =
   in
   let metric_prefixes =
     [ "nine."; "help."; "cbr."; "regexp."; "metrics."; "rc."; "vfs.";
-      "trace."; "index." ]
+      "trace."; "index."; "wal." ]
   in
   let is_metric t =
     List.exists
@@ -2265,6 +2509,7 @@ let () =
   if Array.exists (fun a -> a = "search-smoke") Sys.argv then search_smoke ();
   if Array.exists (fun a -> a = "index-smoke") Sys.argv then index_smoke ();
   if Array.exists (fun a -> a = "fault-smoke") Sys.argv then fault_smoke ();
+  if Array.exists (fun a -> a = "wal-smoke") Sys.argv then wal_smoke ();
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json_path =
     let n = Array.length Sys.argv in
@@ -2289,6 +2534,7 @@ let () =
   e12_pool ();
   e13_serving ();
   e14_index ~quick ();
+  e15_durability ~quick ();
   if not quick then begin
     e10_scale ();
     microbenches ()

@@ -98,6 +98,15 @@ let used_bottom t ~h =
       max acc (g.g_y + 1 + body_used))
     1 gs
 
+(* Snapshot support: expose and reinstate the raw entry list.  Restore
+   must not normalize — the saved rows already satisfy the stacking
+   invariants, and re-deriving them could disagree with the captured
+   screen. *)
+let entries_list t = List.map (fun e -> (e.win, e.y, e.shown)) t.entries
+
+let set_entries t es =
+  t.entries <- List.map (fun (win, y, shown) -> { win; y; shown }) es
+
 let at_row t ~h y =
   List.find_opt (fun g -> y >= g.g_y && y < g.g_y + g.g_h) (geoms t ~h)
 

@@ -62,5 +62,15 @@ val used_bottom : t -> h:int -> int
 (** The visible window covering screen row [y], with its geometry. *)
 val at_row : t -> h:int -> int -> geom option
 
+(** {1 Snapshot support} *)
+
+(** The raw entry list, tab-tower order: window, tag row, shown flag. *)
+val entries_list : t -> (Hwin.t * int * bool) list
+
+(** Reinstate a saved entry list verbatim — no normalization, the rows
+    are trusted to satisfy the stacking invariants they were captured
+    under. *)
+val set_entries : t -> (Hwin.t * int * bool) list -> unit
+
 (** Is the window currently visible (has at least its tag on screen)? *)
 val visible : t -> h:int -> Hwin.t -> bool

@@ -41,6 +41,14 @@ type t = {
   mutable place : Hplace.strategy;
   mutable gesture_hook : gesture -> unit;
   mutable exec_hook : string -> unit;
+  mutable event_hook : event -> unit;
+      (* fires before each accepted event is processed — the WAL's tap *)
+  indexed : (int, string) Hashtbl.t;
+      (* window id -> trigram-index doc name, for the windows this
+         instance registered ({!index_buffer}); snapshot/restore needs
+         it because registration is not derivable from window state
+         (Open windows are searched through their shared file buffer,
+         not registered) *)
   mutable mx : int;
   mutable my : int;
   mutable held : button list;
@@ -124,6 +132,8 @@ let create ?(w = default_w) ?(h = default_h) ?(place = Hplace.Refined) ns sh =
     place;
     gesture_hook = ignore;
     exec_hook = ignore;
+    event_hook = ignore;
+    indexed = Hashtbl.create 8;
     mx = 0;
     my = 0;
     held = [];
@@ -145,6 +155,7 @@ let height t = t.h
 let set_place t s = t.place <- s
 let place_strategy t = t.place
 let on_gesture t f = t.gesture_hook <- f
+let on_event t f = t.event_hook <- f
 let on_exec t f = t.exec_hook <- f
 let running t = t.alive
 let columns t = t.cols
@@ -281,6 +292,7 @@ let nth_column t i = List.nth_opt t.cols i
    next indexed query, never on the keystroke). *)
 let index_buffer t ~name win =
   let name = if name = "" then "win" ^ string_of_int (Hwin.id win) else name in
+  Hashtbl.replace t.indexed (Hwin.id win) name;
   Index.add_buffer (Index.of_ns t.namespace) ~name (Htext.buffer (Hwin.body win))
 
 let new_window t ?(name = "") ?(body = "") () =
@@ -295,6 +307,7 @@ let new_window t ?(name = "") ?(body = "") () =
 
 let close_window t win =
   Index.remove_buffer (Index.of_ns t.namespace) (Htext.buffer (Hwin.body win));
+  Hashtbl.remove t.indexed (Hwin.id win);
   Hashtbl.remove t.wins (Hwin.id win);
   (match column_of t win with Some c -> Hcol.remove c win | None -> ());
   (match t.cursel with
@@ -956,7 +969,8 @@ let type_char t c =
   | None -> ()
 
 let event t ev =
-  if t.alive then
+  if t.alive then begin
+    t.event_hook ev;
     match ev with
     | Move (x, y) ->
         let d = abs (x - t.mx) + abs (y - t.my) in
@@ -972,6 +986,7 @@ let event t ev =
     | Type s ->
         t.gesture_hook (G_key (String.length s));
         String.iter (type_char t) s
+  end
 
 let events t evs = List.iter (event t) evs
 
@@ -1181,3 +1196,283 @@ let draw_stats t =
   let bd, bf, bc, bw, bk = t.stats_base in
   let d, f, c, w, k = draw_ledger () in
   (d - bd, f - bf, c - bc, w - bw, k - bk)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore
+
+   The WAL's structural capture: everything a [t] holds that boot does
+   not deterministically recreate — buffers, windows, columns, the
+   interaction registers — serialized with lib/trace's Codec.  Buffer
+   text is cut at rope leaves and handed to [put] so unchanged leaves
+   are shared across snapshots by content digest.  Undo/redo logs are
+   deliberately not captured: a recovered session starts with clean
+   history, which the durability harness works around by never crossing
+   a snapshot boundary with Undo. *)
+
+let button_code = function Left -> 0 | Middle -> 1 | Right -> 2
+let button_of_code = function 0 -> Left | 1 -> Middle | _ -> Right
+
+let place_code = function
+  | Hplace.Refined -> 0
+  | Hplace.Naive_top -> 1
+  | Hplace.Cover_half -> 2
+  | Hplace.Bottom_quarter -> 3
+
+let place_of_code = function
+  | 0 -> Hplace.Refined
+  | 1 -> Hplace.Naive_top
+  | 2 -> Hplace.Cover_half
+  | _ -> Hplace.Bottom_quarter
+
+let sorted_wins t =
+  List.sort
+    (fun a b -> compare (Hwin.id a) (Hwin.id b))
+    (Hashtbl.fold (fun _ w acc -> w :: acc) t.wins [])
+
+let snapshot t ~put =
+  let b = Buffer.create 1024 in
+  Codec.w_int b 1 (* snapshot format version *);
+  (* Distinct body buffers in a stable order (windows by id, then the
+     shared-file table by path); sharing is by physical identity, so a
+     file open in two windows restores as one buffer again. *)
+  let bufs = ref [] and nbufs = ref 0 in
+  let buf_id buf =
+    match List.find_opt (fun (b0, _) -> b0 == buf) !bufs with
+    | Some (_, i) -> i
+    | None ->
+        let i = !nbufs in
+        incr nbufs;
+        bufs := (buf, i) :: !bufs;
+        i
+  in
+  let wins = sorted_wins t in
+  List.iter (fun w -> ignore (buf_id (Htext.buffer (Hwin.body w)))) wins;
+  let paths =
+    List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.buffers [])
+  in
+  List.iter (fun p -> ignore (buf_id (Hashtbl.find t.buffers p))) paths;
+  let ordered =
+    List.map fst (List.sort (fun (_, i) (_, j) -> compare i j) !bufs)
+  in
+  Codec.w_int b !nbufs;
+  List.iter
+    (fun buf ->
+      Codec.w_str b (Buffer0.name buf);
+      Codec.w_bool b (Buffer0.dirty buf);
+      Codec.w_int b (Buffer0.length buf);
+      let keys =
+        List.rev
+          (Rope.fold_chunks (Buffer0.text buf) ~init:[] ~f:(fun acc leaf ->
+               put leaf :: acc))
+      in
+      Codec.w_list b Codec.w_str keys)
+    ordered;
+  Codec.w_int b (List.length paths);
+  List.iter
+    (fun p ->
+      Codec.w_str b p;
+      Codec.w_int b (buf_id (Hashtbl.find t.buffers p)))
+    paths;
+  Codec.w_int b (List.length wins);
+  List.iter
+    (fun w ->
+      Codec.w_int b (Hwin.id w);
+      let tag = Hwin.tag w and body = Hwin.body w in
+      Codec.w_str b (Htext.string tag);
+      Codec.w_int b (Htext.org tag);
+      let q0, q1 = Htext.sel tag in
+      Codec.w_int b q0;
+      Codec.w_int b q1;
+      Codec.w_int b (buf_id (Htext.buffer body));
+      Codec.w_int b (Htext.org body);
+      let p0, p1 = Htext.sel body in
+      Codec.w_int b p0;
+      Codec.w_int b p1)
+    wins;
+  Codec.w_int b (List.length t.cols);
+  List.iter
+    (fun col ->
+      Codec.w_int b (Hcol.x col);
+      Codec.w_int b (Hcol.w col);
+      let es = Hcol.entries_list col in
+      Codec.w_int b (List.length es);
+      List.iter
+        (fun (w, y, shown) ->
+          Codec.w_int b (Hwin.id w);
+          Codec.w_int b y;
+          Codec.w_bool b shown)
+        es)
+    t.cols;
+  let expanded_idx =
+    match t.expanded with
+    | None -> -1
+    | Some c ->
+        let rec find i = function
+          | [] -> -1
+          | c' :: _ when c' == c -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 t.cols
+  in
+  Codec.w_int b expanded_idx;
+  Codec.w_int b t.next_id;
+  Codec.w_str b t.snarf;
+  Codec.w_int b (place_code t.place);
+  Codec.w_int b t.mx;
+  Codec.w_int b t.my;
+  Codec.w_list b (fun b bt -> Codec.w_int b (button_code bt)) t.held;
+  Codec.w_bool b t.chord;
+  Codec.w_bool b t.alive;
+  Codec.w_int b t.auto_count;
+  (match t.cursel with
+  | None -> Codec.w_int b (-1)
+  | Some (w, ht) ->
+      Codec.w_int b (Hwin.id w);
+      Codec.w_int b (if ht == Hwin.tag w then 0 else 1));
+  (match t.drag with
+  | None -> Codec.w_int b 0
+  | Some (D_select (w, ht, a)) ->
+      Codec.w_int b 1;
+      Codec.w_int b (Hwin.id w);
+      Codec.w_int b (if ht == Hwin.tag w then 0 else 1);
+      Codec.w_int b a
+  | Some (D_exec (w, ht, a)) ->
+      Codec.w_int b 2;
+      Codec.w_int b (Hwin.id w);
+      Codec.w_int b (if ht == Hwin.tag w then 0 else 1);
+      Codec.w_int b a
+  | Some (D_window w) ->
+      Codec.w_int b 3;
+      Codec.w_int b (Hwin.id w));
+  let regs =
+    List.sort compare
+      (Hashtbl.fold (fun id name acc -> (id, name) :: acc) t.indexed [])
+  in
+  Codec.w_int b (List.length regs);
+  List.iter
+    (fun (id, name) ->
+      Codec.w_int b id;
+      Codec.w_str b name)
+    regs;
+  Buffer.contents b
+
+let restore t ~get s =
+  let d = Codec.reader s in
+  if Codec.r_int d <> 1 then
+    invalid_arg "Help.restore: unknown snapshot version";
+  (* Unhook the current windows from the trigram index before dropping
+     them; registrations are rebuilt from the captured table below, in
+     the same (window-id) order the original session made them. *)
+  Hashtbl.iter
+    (fun id _name ->
+      match Hashtbl.find_opt t.wins id with
+      | Some w ->
+          Index.remove_buffer (Index.of_ns t.namespace)
+            (Htext.buffer (Hwin.body w))
+      | None -> ())
+    t.indexed;
+  Hashtbl.reset t.indexed;
+  Hashtbl.reset t.wins;
+  Hashtbl.reset t.buffers;
+  let nbufs = Codec.r_int d in
+  let bufs = Array.make (max nbufs 1) (Buffer0.create "") in
+  for i = 0 to nbufs - 1 do
+    let name = Codec.r_str d in
+    let dirty = Codec.r_bool d in
+    let len = Codec.r_int d in
+    let keys = Codec.r_list d Codec.r_str in
+    let text = String.concat "" (List.map get keys) in
+    if String.length text <> len then
+      invalid_arg "Help.restore: buffer length mismatch";
+    let buf = Buffer0.create ~name text in
+    if dirty then Buffer0.taint buf else Buffer0.clean buf;
+    bufs.(i) <- buf
+  done;
+  let npaths = Codec.r_int d in
+  for _ = 1 to npaths do
+    let p = Codec.r_str d in
+    let i = Codec.r_int d in
+    Hashtbl.replace t.buffers p bufs.(i)
+  done;
+  let nwins = Codec.r_int d in
+  for _ = 1 to nwins do
+    let id = Codec.r_int d in
+    let tag_text = Codec.r_str d in
+    let torg = Codec.r_int d in
+    let tq0 = Codec.r_int d in
+    let tq1 = Codec.r_int d in
+    let bi = Codec.r_int d in
+    let borg = Codec.r_int d in
+    let bq0 = Codec.r_int d in
+    let bq1 = Codec.r_int d in
+    let w = Hwin.create ~id ~tag_text bufs.(bi) in
+    Htext.set_org (Hwin.tag w) torg;
+    Htext.set_sel (Hwin.tag w) tq0 tq1;
+    Htext.set_org (Hwin.body w) borg;
+    Htext.set_sel (Hwin.body w) bq0 bq1;
+    Hashtbl.replace t.wins id w
+  done;
+  let win_of id =
+    match Hashtbl.find_opt t.wins id with
+    | Some w -> w
+    | None -> invalid_arg "Help.restore: unknown window id"
+  in
+  let ht_of w which = if which = 0 then Hwin.tag w else Hwin.body w in
+  let ncols = Codec.r_int d in
+  let cols = ref [] in
+  for _ = 1 to ncols do
+    let cx = Codec.r_int d in
+    let cw = Codec.r_int d in
+    let col = Hcol.create ~x:cx ~w:cw in
+    let n = Codec.r_int d in
+    let es = ref [] in
+    for _ = 1 to n do
+      let id = Codec.r_int d in
+      let y = Codec.r_int d in
+      let shown = Codec.r_bool d in
+      es := (win_of id, y, shown) :: !es
+    done;
+    Hcol.set_entries col (List.rev !es);
+    cols := col :: !cols
+  done;
+  t.cols <- List.rev !cols;
+  let expanded_idx = Codec.r_int d in
+  t.expanded <-
+    (if expanded_idx < 0 then None else List.nth_opt t.cols expanded_idx);
+  t.next_id <- Codec.r_int d;
+  t.snarf <- Codec.r_str d;
+  t.place <- place_of_code (Codec.r_int d);
+  t.mx <- Codec.r_int d;
+  t.my <- Codec.r_int d;
+  t.held <- Codec.r_list d (fun d -> button_of_code (Codec.r_int d));
+  t.chord <- Codec.r_bool d;
+  t.alive <- Codec.r_bool d;
+  t.auto_count <- Codec.r_int d;
+  (match Codec.r_int d with
+  | -1 -> t.cursel <- None
+  | id ->
+      let w = win_of id in
+      t.cursel <- Some (w, ht_of w (Codec.r_int d)));
+  (match Codec.r_int d with
+  | 0 -> t.drag <- None
+  | 1 ->
+      let w = win_of (Codec.r_int d) in
+      let ht = ht_of w (Codec.r_int d) in
+      t.drag <- Some (D_select (w, ht, Codec.r_int d))
+  | 2 ->
+      let w = win_of (Codec.r_int d) in
+      let ht = ht_of w (Codec.r_int d) in
+      t.drag <- Some (D_exec (w, ht, Codec.r_int d))
+  | 3 -> t.drag <- Some (D_window (win_of (Codec.r_int d)))
+  | _ -> invalid_arg "Help.restore: bad drag tag");
+  let nregs = Codec.r_int d in
+  for _ = 1 to nregs do
+    let id = Codec.r_int d in
+    let name = Codec.r_str d in
+    Hashtbl.replace t.indexed id name;
+    Index.add_buffer
+      (Index.of_ns t.namespace)
+      ~name
+      (Htext.buffer (Hwin.body (win_of id)))
+  done;
+  t.render <- None

@@ -49,6 +49,11 @@ val on_gesture : t -> (gesture -> unit) -> unit
     with the command text. *)
 val on_exec : t -> (string -> unit) -> unit
 
+(** Hook called with every accepted event before it is processed —
+    the write-ahead log's tap on session input.  Events arriving after
+    [Exit] are ignored and not reported. *)
+val on_event : t -> (event -> unit) -> unit
+
 (** Where external commands run.  By default they run on the local
     shell; {!set_executor} redirects them — the paper's sketch of
     running applications on the CPU server while help stays on the
@@ -152,3 +157,24 @@ val errors_window : t -> Hwin.t
 
 (** Report an error as help does: append to the Errors window. *)
 val report : t -> string -> unit
+
+(** {1 Snapshot / restore}
+
+    Durability support (lib/wal): capture and rebuild everything a
+    session holds that boot does not deterministically recreate —
+    buffers, windows, columns, and the interaction registers (mouse,
+    selection, drag, snarf).  Buffer text is cut at rope leaves and
+    stored through [put] under content digests, so leaves unchanged
+    since the previous snapshot are shared.  Hooks, the executor, and
+    undo/redo history are not captured: a restored session keeps its
+    boot-installed hooks and starts with clean history. *)
+
+(** [snapshot t ~put] serializes the UI state; [put chunk] must return
+    a stable key for [chunk]. *)
+val snapshot : t -> put:(string -> string) -> string
+
+(** [restore t ~get s] replaces the UI state with [snapshot] output,
+    re-registering restored windows with the trigram index in their
+    original order and invalidating the render cache ([None] until the
+    next draw, which repaints in full). *)
+val restore : t -> get:(string -> string) -> string -> unit

@@ -389,6 +389,7 @@ module Pool = struct
   let pending p = Sched.pending p.sched
   let record_journal p on = Sched.record_journal p.sched on
   let journal p = Sched.journal p.sched
+  let set_journal_sink p sink = Sched.set_journal_sink p.sched sink
   let step p = Sched.step p.sched
   let run p = Sched.run p.sched
   let transport c packet = Sched.transport c.sc packet

@@ -291,6 +291,12 @@ module Pool : sig
 
   (** The journal recorded so far, oldest first ([] if off). *)
   val journal : t -> (int * int * string) list
+
+  (** Install (or clear) a durability sink on the pool's scheduler:
+      it receives every dispatch record before the bounded ring can
+      evict it (see {!Sched.set_journal_sink}).  The WAL uses this to
+      persist the dispatch transcript without racing ring eviction. *)
+  val set_journal_sink : t -> (int * int * string -> unit) option -> unit
 end
 
 (** {1 Client} *)

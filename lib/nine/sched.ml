@@ -73,6 +73,10 @@ and t = {
   mutable journal : (int * int * string) array option;
   mutable j_head : int;
   mutable j_len : int;
+  (* durability sink: sees every dispatch record before the bounded
+     ring can evict it, so WAL persistence never loses an entry the
+     ring dropped under flood *)
+  mutable journal_sink : (int * int * string -> unit) option;
 }
 
 let trace_sampled = Trace.counter "nine.trace.sampled"
@@ -107,6 +111,7 @@ let create ?(max_queue = default_max_queue) ?(batch_limit = default_batch_limit)
     journal = None;
     j_head = 0;
     j_len = 0;
+    journal_sink = None;
   }
 
 let attach t ~id ~dispatch =
@@ -198,20 +203,36 @@ let journal t =
   | Some a ->
       List.init t.j_len (fun i -> a.((t.j_head + i) mod journal_cap))
 
+let set_journal_sink t sink = t.journal_sink <- sink
+
+(* The sink sees the record first, before the bounded ring has a chance
+   to evict anything — WAL persistence consumes entries ahead of
+   eviction, so a ring drop under flood loses only the debug copy.
+   With the ring enabled the stamp is a clock reading (one tick per
+   dispatch, as before); with only a sink it is the clock's current
+   position, so attaching durability does not perturb timestamps. *)
 let journal_record t c kind =
-  match t.journal with
-  | None -> ()
-  | Some a ->
-      let e = (Trace.now_us (), c.id, kind) in
-      if t.j_len = journal_cap then begin
-        a.(t.j_head) <- e;
-        t.j_head <- (t.j_head + 1) mod journal_cap;
-        Trace.incr journal_dropped
-      end
-      else begin
-        a.((t.j_head + t.j_len) mod journal_cap) <- e;
-        t.j_len <- t.j_len + 1
-      end
+  if t.journal <> None || t.journal_sink <> None then begin
+    let stamp =
+      match t.journal with
+      | Some _ -> Trace.now_us ()
+      | None -> Trace.logical_now ()
+    in
+    let e = (stamp, c.id, kind) in
+    (match t.journal_sink with Some sink -> sink e | None -> ());
+    match t.journal with
+    | None -> ()
+    | Some a ->
+        if t.j_len = journal_cap then begin
+          a.(t.j_head) <- e;
+          t.j_head <- (t.j_head + 1) mod journal_cap;
+          Trace.incr journal_dropped
+        end
+        else begin
+          a.((t.j_head + t.j_len) mod journal_cap) <- e;
+          t.j_len <- t.j_len + 1
+        end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Settling                                                            *)

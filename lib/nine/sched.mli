@@ -128,3 +128,12 @@ val transport : conn -> string -> string
 
 val record_journal : t -> bool -> unit
 val journal : t -> (int * int * string) list
+
+(** Install (or clear) a durability sink that receives every
+    [(clock, conn_id, kind)] dispatch record as it is made — before
+    the bounded ring can evict anything, so a consumer that persists
+    entries (the WAL) never loses one to a ring drop.  With the ring
+    off, sink records are stamped with the clock's current position
+    rather than a reading, so installing a sink does not perturb
+    timestamps. *)
+val set_journal_sink : t -> (int * int * string -> unit) option -> unit

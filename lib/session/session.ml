@@ -7,6 +7,8 @@ type t = {
   pool : Nine.Pool.t;
   metrics : Metrics.t;
   cpu : Cpu.t option;
+  wal : Wal.t option ref;
+  mutable in_op : bool;
 }
 
 let crash_pid = 176153
@@ -108,7 +110,66 @@ let plant_crash ns db =
       pr_frames = frames;
     }
 
-let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit () =
+(* ------------------------------------------------------------------ *)
+(* Durability plumbing (lib/wal)
+
+   The WAL records the session's public driving API: each wrapper below
+   logs its op (write-ahead, stamped with the logical clock) and then
+   runs the original entry point.  Replay re-invokes the same entry
+   point, so every derived effect — including read-side counters like
+   layout-cache hits — is reproduced by the code that produced it.  The
+   [in_op] guard keeps the raw-event tap ({!Help.on_event}) from also
+   logging the events a wrapper synthesizes. *)
+
+let logged t op f =
+  match !(t.wal) with
+  | Some a when Wal.recording a && not t.in_op ->
+      t.in_op <- true;
+      Wal.log a op;
+      Fun.protect ~finally:(fun () -> t.in_op <- false) f
+  | _ -> f ()
+
+(* The shell half of a snapshot: the global variables (functions and
+   natives are recreated by boot). *)
+let rc_snapshot sh =
+  let b = Buffer.create 256 in
+  Codec.w_list b
+    (fun b (k, v) ->
+      Codec.w_str b k;
+      Codec.w_list b Codec.w_str v)
+    (Rc.globals_list sh);
+  Buffer.contents b
+
+let rc_restore sh s =
+  let d = Codec.reader s in
+  Rc.replace_globals sh
+    (Codec.r_list d (fun d ->
+         let k = Codec.r_str d in
+         (k, Codec.r_list d Codec.r_str)))
+
+let checkpoint t =
+  match !(t.wal) with
+  | None -> ()
+  | Some a ->
+      Wal.begin_snapshot a;
+      let put = Wal.put a in
+      let vfs = Vfs.snapshot t.ns ~put in
+      let rc = rc_snapshot t.sh in
+      let help = Help.snapshot t.help ~put in
+      Wal.commit_snapshot a ~vfs ~rc ~help
+
+let install_wal t a =
+  t.wal := Some a;
+  Wal.set_on_checkpoint a (fun () -> checkpoint t);
+  Nine.Pool.set_journal_sink t.pool (Some (Wal.journal_entry a));
+  Help.on_event t.help (fun ev ->
+      if not t.in_op then
+        match !(t.wal) with
+        | Some a when Wal.recording a -> Wal.log a (Wal.O_event ev)
+        | _ -> ())
+
+let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit
+    ?wal:wal_store ?checkpoint_every () =
   (* each session starts a fresh observability ledger (and a fresh
      logical trace clock), so scripted sessions trace identically; the
      stock alert rules watch the serving layer from the first RPC *)
@@ -142,9 +203,14 @@ let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit () =
      10-30% fault rate a run of max_retries+1 consecutive faulted
      replies is otherwise reachable in a long session *)
   let max_retries = Option.map (fun _ -> 8) fault in
+  (* the WAL attachment is created after the mount, so the server gets a
+     cell it can read later: /mnt/help/wal appears once one exists *)
+  let wal_ref = ref None in
   let srv, pool =
     Help_srv.mount_multi ?wrap:(Option.map Fault.wrap fault) ?max_retries
-      ?max_queue ?batch_limit help
+      ?max_queue ?batch_limit
+      ~wal:(fun () -> !wal_ref)
+      help
   in
   (* run the user's profile *)
   let _ = Rc.run sh ~cwd:Corpus.home (". " ^ Corpus.home ^ "/lib/profile") in
@@ -179,7 +245,21 @@ let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit () =
       Some cpu
     end
   in
-  { ns; sh; help; db; srv; pool; metrics; cpu }
+  let t =
+    { ns; sh; help; db; srv; pool; metrics; cpu; wal = wal_ref; in_op = false }
+  in
+  (match wal_store with
+  | None -> ()
+  | Some store ->
+      let a = Wal.attach ?checkpoint_every ~recording:true store in
+      install_wal t a;
+      (* end boot with a logged draw, then the initial checkpoint:
+         snapshots always capture post-draw state, so recovery's
+         warm-up repaint reproduces the render signatures the
+         reference run held at the same point *)
+      ignore (logged t Wal.O_draw (fun () -> Help.draw t.help));
+      checkpoint t);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* More clients                                                        *)
@@ -202,7 +282,13 @@ let attach_client ?wrap ?max_retries ?(uname = "client") t =
 (* ------------------------------------------------------------------ *)
 (* Looking around                                                      *)
 
-let screen t = Help.draw t.help
+let screen t =
+  let scr = logged t Wal.O_draw (fun () -> Help.draw t.help) in
+  (match !(t.wal) with
+  | Some a when not t.in_op -> Wal.maybe_checkpoint a
+  | _ -> ());
+  scr
+
 let dump t = Screen.dump (screen t)
 
 let win t name =
@@ -256,12 +342,17 @@ let ensure_visible t w q =
   in
   go attempts
 
-let point_at t ?(off = 0) w needle =
+let point_at_raw t ~off w needle =
   let q = find_or_fail t w needle + off in
   let x, y = ensure_visible t w q in
   Help.events t.help [ Move (x, y); Press Left; Release Left ]
 
-let sweep t w needle =
+let point_at t ?(off = 0) w needle =
+  logged t
+    (Wal.O_point (Hwin.id w, needle, off))
+    (fun () -> point_at_raw t ~off w needle)
+
+let sweep_raw t w needle =
   let q0 = find_or_fail t w needle in
   let q1 = q0 + String.length needle in
   let x0, y0 = ensure_visible t w q0 in
@@ -269,12 +360,20 @@ let sweep t w needle =
   let x1, y1 = ensure_visible t w q1 in
   Help.events t.help [ Move (x1, y1); Release Left ]
 
-let exec_word t w needle =
+let sweep t w needle =
+  logged t (Wal.O_sweep (Hwin.id w, needle)) (fun () -> sweep_raw t w needle)
+
+let exec_word_raw t w needle =
   let q = find_or_fail t w needle in
   let x, y = ensure_visible t w q in
   Help.events t.help [ Move (x, y); Press Middle; Release Middle ]
 
-let exec_tag_word t w needle =
+let exec_word t w needle =
+  logged t
+    (Wal.O_exec_word (Hwin.id w, needle))
+    (fun () -> exec_word_raw t w needle)
+
+let exec_tag_word_raw t w needle =
   let tagtext = Hwin.tag_text w in
   let q =
     match Hstr.find tagtext ~sub:needle with
@@ -294,7 +393,12 @@ let exec_tag_word t w needle =
           Help.events t.help [ Move (x, y); Press Middle; Release Middle ]
       | None -> invalid_arg "Session: tag not visible")
 
-let exec_sweep t w needle =
+let exec_tag_word t w needle =
+  logged t
+    (Wal.O_exec_tag (Hwin.id w, needle))
+    (fun () -> exec_tag_word_raw t w needle)
+
+let exec_sweep_raw t w needle =
   let q0 = find_or_fail t w needle in
   let q1 = q0 + String.length needle in
   let x0, y0 = ensure_visible t w q0 in
@@ -303,9 +407,16 @@ let exec_sweep t w needle =
   (* release just past the last character *)
   Help.events t.help [ Move (x1 + 1, y1); Release Middle ]
 
+let exec_sweep t w needle =
+  logged t
+    (Wal.O_exec_sweep (Hwin.id w, needle))
+    (fun () -> exec_sweep_raw t w needle)
+
+(* Raw events reach the log through the [Help.on_event] tap, not a
+   wrapper: the tap also covers drivers that hold [t.help] directly. *)
 let type_text t s = Help.event t.help (Type s)
 
-let sweep_and_chord_cut t w needle =
+let sweep_and_chord_cut_raw t w needle =
   let q0 = find_or_fail t w needle in
   let q1 = q0 + String.length needle in
   let x0, y0 = ensure_visible t w q0 in
@@ -314,7 +425,12 @@ let sweep_and_chord_cut t w needle =
   Help.events t.help
     [ Move (x1, y1); Press Middle; Release Middle; Release Left ]
 
-let drag_window t w ~col ~y =
+let sweep_and_chord_cut t w needle =
+  logged t
+    (Wal.O_chord_cut (Hwin.id w, needle))
+    (fun () -> sweep_and_chord_cut_raw t w needle)
+
+let drag_window_raw t w ~col ~y =
   let _ = Help.draw t.help in
   match Help.cell_of t.help w `Tag 0 with
   | None -> invalid_arg "Session.drag_window: tag not visible"
@@ -326,7 +442,12 @@ let drag_window t w ~col ~y =
           Help.events t.help
             [ Move (x0, y0); Press Right; Move (dest_x, y); Release Right ])
 
-let click_tab t w =
+let drag_window t w ~col ~y =
+  logged t
+    (Wal.O_drag (Hwin.id w, col, y))
+    (fun () -> drag_window_raw t w ~col ~y)
+
+let click_tab_raw t w =
   match Help.column_of t.help w with
   | None -> invalid_arg "Session.click_tab: window not in a column"
   | Some col -> (
@@ -339,3 +460,120 @@ let click_tab t w =
       | Some i ->
           Help.events t.help
             [ Move (Hcol.x col, 1 + i); Press Left; Release Left ])
+
+let click_tab t w =
+  logged t (Wal.O_click_tab (Hwin.id w)) (fun () -> click_tab_raw t w)
+
+(* ------------------------------------------------------------------ *)
+(* Logged window controls and namespace writes *)
+
+let ctl t w cmd =
+  logged t
+    (Wal.O_ctl (Hwin.id w, cmd))
+    (fun () ->
+      match Help.ctl_command t.help w cmd with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Session.ctl: " ^ e))
+
+let reveal t w =
+  logged t
+    (Wal.O_reveal (Hwin.id w))
+    (fun () ->
+      match Help.column_of t.help w with
+      | Some col -> Hcol.reveal col ~h:(Help.height t.help) w
+      | None -> ())
+
+let write_file t path data =
+  logged t (Wal.O_write (path, data)) (fun () -> Vfs.write_file t.ns path data)
+
+let append_file t path data =
+  logged t
+    (Wal.O_append (path, data))
+    (fun () -> Vfs.append_file t.ns path data)
+
+let remove_file t path =
+  logged t (Wal.O_remove path) (fun () -> Vfs.remove t.ns path)
+
+let mkdir t path =
+  logged t (Wal.O_mkdir path) (fun () -> Vfs.mkdir_p t.ns path)
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+let win_by_id t id =
+  match Help.window_by_id t.help id with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Session: no window with id %d" id)
+
+let apply t op =
+  match op with
+  | Wal.O_event ev -> Help.event t.help ev
+  | Wal.O_point (id, needle, off) -> point_at t ~off (win_by_id t id) needle
+  | Wal.O_sweep (id, needle) -> sweep t (win_by_id t id) needle
+  | Wal.O_exec_word (id, needle) -> exec_word t (win_by_id t id) needle
+  | Wal.O_exec_sweep (id, needle) -> exec_sweep t (win_by_id t id) needle
+  | Wal.O_exec_tag (id, needle) -> exec_tag_word t (win_by_id t id) needle
+  | Wal.O_chord_cut (id, needle) ->
+      sweep_and_chord_cut t (win_by_id t id) needle
+  | Wal.O_drag (id, col, y) -> drag_window t (win_by_id t id) ~col ~y
+  | Wal.O_click_tab id -> click_tab t (win_by_id t id)
+  | Wal.O_ctl (id, cmd) -> ctl t (win_by_id t id) cmd
+  | Wal.O_reveal id -> reveal t (win_by_id t id)
+  | Wal.O_draw -> ignore (screen t)
+  | Wal.O_write (p, s) -> write_file t p s
+  | Wal.O_append (p, s) -> append_file t p s
+  | Wal.O_remove p -> remove_file t p
+  | Wal.O_mkdir p -> mkdir t p
+
+let recover ?w ?h ?place ?remote ?fault ?max_queue ?batch_limit
+    ?checkpoint_every store =
+  let sn =
+    match Wal.latest_snapshot store with
+    | Some sn -> sn
+    | None -> raise (Wal.Corrupt "recover: no snapshot in store")
+  in
+  (* A journal gap means a dispatch record was lost before the sink
+     persisted it; recovery refuses rather than silently diverging. *)
+  Wal.verify_journal store;
+  (* 1. re-run boot: mounts, tools, profile, mk — everything the
+     snapshot deliberately does not capture *)
+  let t = boot ?w ?h ?place ?remote ?fault ?max_queue ?batch_limit () in
+  let a = Wal.attach ?checkpoint_every ~recording:false store in
+  let get = Wal.chunk_get store in
+  (* 2. structural restore over the booted skeleton *)
+  Vfs.restore t.ns ~get (Wal.sn_vfs sn);
+  rc_restore t.sh (Wal.sn_rc sn);
+  Help.restore t.help ~get (Wal.sn_help sn);
+  (* 3. warm-up: a full repaint of the restored state rebuilds the
+     render and layout caches to exactly what the reference run held
+     after its checkpoint draw *)
+  ignore (Help.draw t.help);
+  (* 4. counters back to their captured values (wiping the boot's and
+     the warm-up's); from here the replay accounts like the original *)
+  Nine.Pool.set_journal_sink t.pool (Some (Wal.journal_entry a));
+  Trace.restore_state (Wal.sn_trace sn);
+  Wal.prime a sn;
+  (* 5. replay the tail in replay mode (count, don't re-append),
+     asserting per record that the logical clock agrees with the stamp
+     the original run laid down *)
+  let ops, torn = Wal.ops_after store ~pos:(Wal.sn_log_pos sn) in
+  t.wal := Some a;
+  List.iter
+    (fun (stamp, op) ->
+      if Trace.logical_now () <> stamp then
+        raise
+          (Wal.Corrupt
+             (Printf.sprintf
+                "replay clock divergence: record stamped %d, clock at %d"
+                stamp (Trace.logical_now ())));
+      Wal.log a op;
+      try apply t op
+      with Invalid_argument _ | Not_found | Vfs.Error _ ->
+        (* the original run saw the same deterministic failure after
+           logging; the partial effects match *)
+        ())
+    ops;
+  Wal.note_recovery a ~ops:(List.length ops) ~torn;
+  install_wal t a;
+  Wal.set_recording a true;
+  t

@@ -19,6 +19,13 @@ type t = {
       (** the [/mnt/help] connection pool; {!attach_client} adds seats *)
   metrics : Metrics.t;
   cpu : Cpu.t option;  (** the CPU server, when booted with [~remote:true] *)
+  wal : Wal.t option ref;
+      (** the write-ahead log attachment, when booted with [~wal] or
+          built by {!recover}; a cell because the [/mnt/help] server is
+          mounted before the attachment exists and reads it in-band *)
+  mutable in_op : bool;
+      (** reentrancy guard: a logged wrapper is on the stack, so the
+          raw-event tap must not log the events it synthesizes *)
 }
 
 (** The pid of the planted broken process (Sean's crash). *)
@@ -38,7 +45,16 @@ val crash_pid : int
     seeded schedule of reply faults exercises the client's retry paths.
     Because only idempotent kinds are faulted by default, a scripted
     session still converges to the fault-free screen state — with
-    [nine.fault.*] and [nine.retry.*] counters to show for it. *)
+    [nine.fault.*] and [nine.retry.*] counters to show for it.
+
+    [boot ~wal:store] attaches a write-ahead log: every public driving
+    operation is recorded in [store], the scheduler's dispatch journal
+    is persisted through the sink before the bounded ring can drop it,
+    and boot ends with a logged draw and an initial snapshot (so
+    {!recover} always has one).  [checkpoint_every] arms automatic
+    snapshots after that many ops, taken at the next logged draw.
+    Attaching a WAL is clock-transparent: the logical trace clock of a
+    logged run matches an unlogged one event for event. *)
 val boot :
   ?w:int ->
   ?h:int ->
@@ -47,8 +63,45 @@ val boot :
   ?fault:Fault.config ->
   ?max_queue:int ->
   ?batch_limit:int ->
+  ?wal:Wal.store ->
+  ?checkpoint_every:int ->
   unit ->
   t
+
+(** {1 Durability} *)
+
+(** Take a snapshot now: namespace tree, shell globals, and UI state
+    into the WAL's content-addressed chunk store, plus the full metrics
+    registry.  No-op without a WAL attachment. *)
+val checkpoint : t -> unit
+
+(** Rebuild a session from a WAL store after a crash: re-run boot with
+    the same parameters, restore the latest snapshot, then replay the
+    log tail in replay mode — each record's clock stamp is asserted
+    against the logical clock, so divergence fails loudly rather than
+    silently.  A torn final record (the crash landed mid-write) is
+    tolerated and counted; a journal-sidecar gap raises {!Wal.Corrupt}.
+    The recovered session resumes recording into the same store.  The
+    screens, [/mnt/help/stats], and the trace clock of the recovered
+    session are byte-identical to an uninterrupted run's (experiment
+    E15). *)
+val recover :
+  ?w:int ->
+  ?h:int ->
+  ?place:Hplace.strategy ->
+  ?remote:bool ->
+  ?fault:Fault.config ->
+  ?max_queue:int ->
+  ?batch_limit:int ->
+  ?checkpoint_every:int ->
+  Wal.store ->
+  t
+
+(** Apply one logged operation through the public wrappers — the replay
+    entry point, also usable by drivers that generate ops directly
+    (property tests).  @raise Invalid_argument on a dangling window
+    id. *)
+val apply : t -> Wal.op -> unit
 
 (** {1 More clients}
 
@@ -118,3 +171,16 @@ val click_tab : t -> Hwin.t -> unit
     points at the tag of a window, presses the right button, drags the
     window to where it is desired, and releases the button". *)
 val drag_window : t -> Hwin.t -> col:int -> y:int -> unit
+
+(** {1 Logged window controls and namespace writes}
+
+    Driver-level mutations outside the gesture vocabulary, wrapped so a
+    WAL attachment records them.  @raise Invalid_argument from {!ctl}
+    on a command the control language rejects. *)
+
+val ctl : t -> Hwin.t -> string -> unit
+val reveal : t -> Hwin.t -> unit
+val write_file : t -> string -> string -> unit
+val append_file : t -> string -> string -> unit
+val remove_file : t -> string -> unit
+val mkdir : t -> string -> unit

@@ -66,6 +66,14 @@ let set_global sh name v =
   Hashtbl.replace sh.globals name v
 let get_global sh name = Hashtbl.find_opt sh.globals name
 
+let globals_list sh =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.globals [])
+
+let replace_globals sh gs =
+  Hashtbl.reset sh.globals;
+  List.iter (fun (k, v) -> Hashtbl.replace sh.globals k v) gs;
+  env_mutated sh
+
 type result = { r_out : string; r_err : string; r_status : int }
 
 (* ------------------------------------------------------------------ *)

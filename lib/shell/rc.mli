@@ -37,6 +37,14 @@ val register : t -> string -> native -> unit
 val set_global : t -> string -> string list -> unit
 val get_global : t -> string -> string list option
 
+(** All global variables, sorted by name — the shell half of a session
+    snapshot (functions and natives are recreated by boot). *)
+val globals_list : t -> (string * string list) list
+
+(** Replace the whole global table (snapshot restore).  Bumps the
+    environment generation once. *)
+val replace_globals : t -> (string * string list) list -> unit
+
 (** Monotonic shell-environment generation: bumped by every global
     variable assignment (including [$path]), function definition and
     native registration — everything that can change what a command

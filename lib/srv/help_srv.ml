@@ -28,13 +28,18 @@ let stat_of ~name ~dir ~length now =
   { Vfs.st_name = name; st_dir = dir; st_length = length; st_mtime = now;
     st_version = 0 }
 
-let filesystem help =
+let filesystem ?(wal = fun () -> None) help =
   let ns = Help.ns help in
   let now () = Vfs.now ns in
   let win id =
     match Help.window_by_id help id with
     | Some w -> w
     | None -> err Vfs.Enonexist
+  in
+  (* the session attaches its WAL after the mount, so the tree reads
+     the cell on every access: wal/ appears once an attachment exists *)
+  let the_wal () =
+    match wal () with Some a -> a | None -> err Vfs.Enonexist
   in
   let body_text w = Htext.string (Hwin.body w) in
   let parse_path = function
@@ -59,6 +64,9 @@ let filesystem help =
         match int_of_string_opt rid with
         | Some r -> `TraceReq r
         | None -> err Vfs.Enonexist)
+    | [ "wal" ] -> `WalDir
+    | [ "wal"; "stats" ] -> `Wstats
+    | [ "wal"; "checkpoint" ] -> `Wcheckpoint
     | [ id ] -> (
         match int_of_string_opt id with
         | Some id -> `Win id
@@ -113,6 +121,16 @@ let filesystem help =
         match Trace.request_text r with
         | Some _ -> stat_of ~name:(string_of_int r) ~dir:false ~length:0 (now ())
         | None -> err Vfs.Enonexist)
+    | `WalDir ->
+        let _ = the_wal () in
+        stat_of ~name:"wal" ~dir:true ~length:2 (now ())
+    | `Wstats ->
+        stat_of ~name:"stats" ~dir:false
+          ~length:(String.length (Wal.stats_text (the_wal ())))
+          (now ())
+    | `Wcheckpoint ->
+        let _ = the_wal () in
+        stat_of ~name:"checkpoint" ~dir:false ~length:0 (now ())
     | `New -> stat_of ~name:"new" ~dir:true ~length:1 (now ())
     | `Newctl -> stat_of ~name:"ctl" ~dir:false ~length:0 (now ())
     | `Win id ->
@@ -150,11 +168,22 @@ let filesystem help =
              (now ())
         :: stat_of ~name:"trace" ~dir:false ~length:0 (now ())
         :: stat_of ~name:"new" ~dir:true ~length:1 (now ())
-        :: List.map
-             (fun w ->
-               stat_of ~name:(string_of_int (Hwin.id w)) ~dir:true ~length:4
-                 (now ()))
-             (Help.windows help)
+        :: ((match wal () with
+            | Some _ -> [ stat_of ~name:"wal" ~dir:true ~length:2 (now ()) ]
+            | None -> [])
+           @ List.map
+               (fun w ->
+                 stat_of ~name:(string_of_int (Hwin.id w)) ~dir:true ~length:4
+                   (now ()))
+               (Help.windows help))
+    | `WalDir ->
+        let a = the_wal () in
+        [
+          stat_of ~name:"stats" ~dir:false
+            ~length:(String.length (Wal.stats_text a))
+            (now ());
+          stat_of ~name:"checkpoint" ~dir:false ~length:0 (now ());
+        ]
     | `New -> [ stat_of ~name:"ctl" ~dir:false ~length:0 (now ()) ]
     | `Win id ->
         let _ = win id in
@@ -162,8 +191,8 @@ let filesystem help =
           (fun n -> stat_of ~name:n ~dir:false ~length:0 (now ()))
           [ "tag"; "body"; "bodyapp"; "ctl" ]
     | `Index | `Ixstats | `Ixpostings | `Ixrebuild | `Stats | `Metrics
-    | `Alerts | `Trace | `TraceLast | `TraceReq _ | `Newctl | `Tag _ | `Body _
-    | `Bodyapp _ | `Ctl _ ->
+    | `Alerts | `Trace | `TraceLast | `TraceReq _ | `Wstats | `Wcheckpoint
+    | `Newctl | `Tag _ | `Body _ | `Bodyapp _ | `Ctl _ ->
         err Vfs.Enotdir
   in
   (* Fixed string semantics don't fit tag/body/ctl writes, which must
@@ -309,6 +338,17 @@ let filesystem help =
       of_close = (fun () -> ());
     }
   in
+  let wal_checkpoint_file a =
+    {
+      Vfs.of_read = (fun ~off:_ ~count:_ -> "");
+      of_write =
+        (fun ~off:_ data ->
+          (* any write snapshots now; content is ignored *)
+          Wal.force_checkpoint a;
+          String.length data);
+      of_close = (fun () -> ());
+    }
+  in
   let fs_open path _mode ~trunc =
     match parse_path path with
     | `Index -> string_file (index_text help)
@@ -340,12 +380,17 @@ let filesystem help =
         match Trace.request_text r with
         | Some text -> string_file text
         | None -> err Vfs.Enonexist)
+    | `Wstats ->
+        (* the durability ledger: log and snapshot totals, chunk
+           sharing, last-recovery statistics *)
+        string_file (Wal.stats_text (the_wal ()))
+    | `Wcheckpoint -> wal_checkpoint_file (the_wal ())
     | `Newctl -> newctl_file ()
     | `Tag id -> tag_file id ~trunc
     | `Body id -> body_file id ~trunc
     | `Bodyapp id -> bodyapp_file id
     | `Ctl id -> ctl_file id
-    | `Root | `New | `Win _ -> err Vfs.Eisdir
+    | `Root | `New | `Win _ | `WalDir -> err Vfs.Eisdir
   in
   let fs_create _path ~dir:_ = err Vfs.Eperm in
   let fs_remove path =
@@ -438,10 +483,10 @@ let install_glue sh =
   Rc.register sh "/bin/help/parse" parse_native;
   Rc.register sh "/bin/help/buf" buf_native
 
-let mount_multi ?wrap ?max_retries ?max_queue ?batch_limit help =
+let mount_multi ?wrap ?max_retries ?max_queue ?batch_limit ?wal help =
   let ns = Help.ns help in
   let sh = Help.shell help in
-  let fs = filesystem help in
+  let fs = filesystem ?wal help in
   let srv, pool =
     Nine.serve_mount_pool ?wrap ?max_retries ?max_queue ?batch_limit
       ~uname:"help" ns "/mnt/help" fs

@@ -20,6 +20,13 @@
     /mnt/help/trace/NNN    the span tree of sampled request NNN; these
                            two are reached by walking through [trace],
                            which remains a file (they are not listed)
+    /mnt/help/wal/stats    the durability ledger: log and snapshot
+                           totals, chunk sharing, last-recovery
+                           statistics (see {!Wal.stats_text}); the wal
+                           directory exists only while a write-ahead
+                           log is attached
+    /mnt/help/wal/checkpoint
+                           any write takes a snapshot now
     /mnt/help/new/ctl      opening it creates a window; reading it
                            returns the new window's number
     /mnt/help/N/tag        read/write the tag line
@@ -57,18 +64,22 @@ val mount :
     own connection carries uname "help").  [Session.attach_client] is
     the usual caller.  [?max_queue] and [?batch_limit] tune the pool's
     cooperative scheduler (see [Nine.Pool.create]) — benches serving
-    thousands of seats raise them. *)
+    thousands of seats raise them.  [?wal] supplies the session's
+    write-ahead log attachment; it is a thunk because the attachment is
+    created after the mount — the tree reads it on every access, so
+    [wal/] appears as soon as one exists. *)
 val mount_multi :
   ?wrap:((string -> string) -> string -> string) ->
   ?max_retries:int ->
   ?max_queue:int ->
   ?batch_limit:int ->
+  ?wal:(unit -> Wal.t option) ->
   Help.t ->
   Nine.Server.t * Nine.Pool.t
 
 (** The raw filesystem (pre-9P), for tests that want to poke it
     directly. *)
-val filesystem : Help.t -> Vfs.filesystem
+val filesystem : ?wal:(unit -> Wal.t option) -> Help.t -> Vfs.filesystem
 
 (** Register only the glue natives ([help/parse], [help/buf]) on some
     other shell — e.g. the CPU server's, whose [/mnt/help] is the

@@ -26,6 +26,12 @@ let now_us () =
   !tick_hook t;
   t
 
+(* The logical clock's current position without a reading: no advance,
+   no window tick.  The WAL stamps records with this, so logging an
+   operation is clock-transparent — a session with a log attached keeps
+   the same timestamps as one without. *)
+let logical_now () = !logical
+
 (* Model waiting (a client timeout, retry backoff, injected latency) by
    jumping the logical clock forward.  An injected wall clock keeps its
    own time, so this is a no-op under [set_clock]; the window check only
@@ -838,3 +844,193 @@ let reset () =
   w_slots := default_window_slots;
   w_epoch := 0;
   w_snaps := [ take_snap 0 ]
+
+(* ------------------------------------------------------------------ *)
+(* State capture                                                       *)
+
+(* Everything a recovered session needs to continue the crashed
+   session's ledger exactly: the clock position, request-id allocator,
+   sampling, window geometry and epoch, every instrument's value, the
+   alert table, and the retained window snapshots.  The span ring is
+   deliberately NOT captured — spans are debug traffic, and recovery
+   restarts with an empty ring (depth 0, nothing buffered).
+
+   [sn_minor] is a float (GC minor words); it round-trips through
+   [string_of_float]/[float_of_string], which is exact for the values
+   [Gc.quick_stat] produces. *)
+
+let state_version = 1
+
+let w_hist_payload b (count, sum, mn, mx) (bkts : int array) =
+  Codec.w_int b count;
+  Codec.w_int b sum;
+  Codec.w_int b mn;
+  Codec.w_int b mx;
+  (* sparse buckets: (index, occupancy) pairs *)
+  let occupied = ref [] in
+  Array.iteri (fun i v -> if v <> 0 then occupied := (i, v) :: !occupied) bkts;
+  Codec.w_list b
+    (fun b (i, v) ->
+      Codec.w_int b i;
+      Codec.w_int b v)
+    (List.rev !occupied)
+
+let r_hist_payload d =
+  let count = Codec.r_int d in
+  let sum = Codec.r_int d in
+  let mn = Codec.r_int d in
+  let mx = Codec.r_int d in
+  let bkts = Array.make hist_buckets 0 in
+  List.iter
+    (fun (i, v) -> if i >= 0 && i < hist_buckets then bkts.(i) <- v)
+    (Codec.r_list d (fun d ->
+         let i = Codec.r_int d in
+         let v = Codec.r_int d in
+         (i, v)));
+  ((count, sum, mn, mx), bkts)
+
+let w_snap b sn =
+  Codec.w_int b sn.sn_at;
+  Codec.w_list b
+    (fun b (name, v) ->
+      Codec.w_str b name;
+      Codec.w_int b v)
+    sn.sn_scalars;
+  Codec.w_list b
+    (fun b (name, hs) ->
+      Codec.w_str b name;
+      w_hist_payload b (hs.hs_count, hs.hs_sum, 0, 0) hs.hs_b)
+    sn.sn_hists;
+  Codec.w_str b (string_of_float sn.sn_minor);
+  Codec.w_int b sn.sn_majors
+
+let r_snap d =
+  let at = Codec.r_int d in
+  let scalars =
+    Codec.r_list d (fun d ->
+        let name = Codec.r_str d in
+        let v = Codec.r_int d in
+        (name, v))
+  in
+  let hists =
+    Codec.r_list d (fun d ->
+        let name = Codec.r_str d in
+        let (count, sum, _, _), bkts = r_hist_payload d in
+        (name, { hs_count = count; hs_sum = sum; hs_b = bkts }))
+  in
+  let minor = float_of_string (Codec.r_str d) in
+  let majors = Codec.r_int d in
+  { sn_at = at; sn_scalars = scalars; sn_hists = hists;
+    sn_minor = minor; sn_majors = majors }
+
+let save_state () =
+  let b = Buffer.create 4096 in
+  Codec.w_int b state_version;
+  Codec.w_int b !logical;
+  Codec.w_int b !last_tick;
+  Codec.w_int b !next_req;
+  Codec.w_int b !cur_req;
+  Codec.w_int b !sample_seed;
+  Codec.w_int b !sample_rate;
+  Codec.w_int b !w_width;
+  Codec.w_int b !w_slots;
+  Codec.w_int b !w_epoch;
+  let entries =
+    Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) registry []
+    |> List.sort compare
+  in
+  Codec.w_list b
+    (fun b (name, inst) ->
+      Codec.w_str b name;
+      match inst with
+      | Counter c ->
+          Codec.w_int b 0;
+          Codec.w_int b c.c_v
+      | Gauge g ->
+          Codec.w_int b 1;
+          Codec.w_int b g.g_v
+      | Histogram h ->
+          Codec.w_int b 2;
+          w_hist_payload b (h.h_count, h.h_sum, h.h_min, h.h_max) h.h_b)
+    entries;
+  Codec.w_list b Codec.w_str (alert_rules ());
+  Codec.w_list b w_snap !w_snaps;
+  Buffer.contents b
+
+let restore_state s =
+  let d = Codec.reader s in
+  let v = Codec.r_int d in
+  if v <> state_version then
+    invalid_arg (Printf.sprintf "Trace.restore_state: version %d" v);
+  let logical' = Codec.r_int d in
+  let last_tick' = Codec.r_int d in
+  let next_req' = Codec.r_int d in
+  let cur_req' = Codec.r_int d in
+  let seed' = Codec.r_int d in
+  let rate' = Codec.r_int d in
+  let width' = Codec.r_int d in
+  let slots' = Codec.r_int d in
+  let epoch' = Codec.r_int d in
+  let entries =
+    Codec.r_list d (fun d ->
+        let name = Codec.r_str d in
+        match Codec.r_int d with
+        | 0 -> (name, `C (Codec.r_int d))
+        | 1 -> (name, `G (Codec.r_int d))
+        | 2 -> (name, `H (r_hist_payload d))
+        | k ->
+            invalid_arg
+              (Printf.sprintf "Trace.restore_state: instrument kind %d" k))
+  in
+  let alerts = Codec.r_list d Codec.r_str in
+  let snaps = Codec.r_list d r_snap in
+  (* decode succeeded in full; now mutate *)
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | Counter c -> c.c_v <- 0
+      | Gauge g -> g.g_v <- 0
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- 0;
+          h.h_max <- 0;
+          Array.fill h.h_b 0 hist_buckets 0)
+    registry;
+  List.iter
+    (fun (name, payload) ->
+      match payload with
+      | `C v -> (counter name).c_v <- v
+      | `G v -> (gauge name).g_v <- v
+      | `H ((count, sum, mn, mx), bkts) ->
+          let h = histogram name in
+          h.h_count <- count;
+          h.h_sum <- sum;
+          h.h_min <- mn;
+          h.h_max <- mx;
+          Array.blit bkts 0 h.h_b 0 hist_buckets)
+    entries;
+  let cap = Array.length !ring in
+  Array.fill !ring 0 cap None;
+  ring_head := 0;
+  ring_len := 0;
+  ring_dropped := 0;
+  depth := 0;
+  logical := logical';
+  last_tick := last_tick';
+  next_req := next_req';
+  cur_req := cur_req';
+  sample_seed := seed';
+  sample_rate := rate';
+  w_width := width';
+  w_slots := slots';
+  w_epoch := epoch';
+  alert_table := [];
+  List.iter
+    (fun l ->
+      match install_alert l with
+      | Ok _ -> ()
+      | Error e ->
+          invalid_arg (Printf.sprintf "Trace.restore_state: alert %S: %s" l e))
+    alerts;
+  w_snaps := snaps

@@ -30,6 +30,12 @@ val use_logical_clock : unit -> unit
     boundary snapshots the registry (see {!window_series}). *)
 val now_us : unit -> int
 
+(** The logical clock's current position, without a reading: no
+    advance, no window tick.  The WAL stamps records with this so that
+    attaching a log is clock-transparent — a session with a log keeps
+    the same timestamps as one without. *)
+val logical_now : unit -> int
+
 (** Jump the logical clock forward [n] microseconds without a reading —
     how deterministic components model waiting (client RPC timeouts and
     retry backoff, injected transport latency).  No effect on a clock
@@ -293,3 +299,21 @@ val install_default_alerts : unit -> unit
     survive (handles held by modules stay valid).  [Session.boot]
     resets so each session starts a fresh ledger. *)
 val reset : unit -> unit
+
+(** {1 State capture}
+
+    Crash recovery restores the ledger of the crashed session so the
+    recovered one continues it exactly: clock position, request-id
+    allocator, sampling, window geometry/epoch, every instrument's
+    value, the alert table, and the retained window snapshots.  The
+    span ring is deliberately not captured — recovery restarts with an
+    empty ring. *)
+
+(** Serialize the full ledger state ({!Codec} format). *)
+val save_state : unit -> string
+
+(** Restore a {!save_state} capture: decode in full first (raising
+    [Codec.Truncated] or [Invalid_argument] without touching anything
+    on a bad input), then overwrite the ledger.  Instruments absent
+    from the capture are zeroed; the span ring is emptied. *)
+val restore_state : string -> unit

@@ -73,11 +73,23 @@ let basename path =
 (* ------------------------------------------------------------------ *)
 (* Namespace: a root fs plus a mount table of union stacks             *)
 
+type rnode = {
+  mutable content : string;  (* regular files *)
+  mutable children : (string * rnode) list option;  (* Some -> directory *)
+  mutable mtime : int;
+  mutable version : int;
+}
+
 type t = {
   mutable clock : int;
   mutable mounts : (string list * filesystem list ref) list;
       (* longest prefixes first; each point is a union stack *)
   mutable root : filesystem option;  (* set right after creation *)
+  mutable ram : rnode option;
+      (* the root RAM tree behind [root]; kept addressable so snapshot
+         and restore can capture and rebuild it exactly (content,
+         mtime, version, child order) without going through the
+         filesystem record *)
   mutable mutations : int;
       (* bumped on every namespace mutation (writes, creates, removes,
          mounts) but not on reads or opens — unlike [clock], so it is a
@@ -105,13 +117,6 @@ let mutated t = t.mutations <- t.mutations + 1
 (* ------------------------------------------------------------------ *)
 (* RAM file system                                                     *)
 
-type rnode = {
-  mutable content : string;  (* regular files *)
-  mutable children : (string * rnode) list option;  (* Some -> directory *)
-  mutable mtime : int;
-  mutable version : int;
-}
-
 let rnode_stat name node =
   {
     st_name = name;
@@ -124,10 +129,7 @@ let rnode_stat name node =
     st_version = node.version;
   }
 
-let ramfs t =
-  let root =
-    { content = ""; children = Some []; mtime = t.clock; version = 0 }
-  in
+let ramfs_over t root =
   let rec walk node = function
     | [] -> node
     | comp :: rest -> (
@@ -219,10 +221,18 @@ let ramfs t =
   in
   { fs_stat; fs_open; fs_create; fs_remove; fs_readdir }
 
+let ramfs t =
+  ramfs_over t
+    { content = ""; children = Some []; mtime = t.clock; version = 0 }
+
 let create () =
-  let t = { clock = 0; mounts = []; root = None; mutations = 0 } in
-  let root = ramfs t in
+  let t = { clock = 0; mounts = []; root = None; ram = None; mutations = 0 } in
+  let node =
+    { content = ""; children = Some []; mtime = t.clock; version = 0 }
+  in
+  let root = ramfs_over t node in
   t.root <- Some root;
+  t.ram <- Some node;
   t.mounts <- [ ([], ref [ root ]) ];
   t
 
@@ -496,12 +506,32 @@ let readdir t path =
 let subtree t prefix =
   let prefix = split_path prefix in
   let full rest = join_path (prefix @ rest) in
+  (* A subtree's openfile and create paths are driven directly by
+     consumers that bypass the namespace wrappers — most importantly the
+     9P server, which calls [fs_open]/[fs_create]/[of_write] on the
+     exported record.  Each mutation must still bump [t.mutations], or
+     caches keyed on [generation] (the trigram index above all) keep
+     serving state that a remote client has already changed. *)
+  let bump () =
+    tick t;
+    mutated t
+  in
   {
     fs_stat = (fun rest -> stat t (full rest));
     fs_open =
-      (fun rest mode ~trunc -> open_raw t (full rest) mode ~trunc);
+      (fun rest mode ~trunc ->
+        if trunc then bump ();
+        let f = open_raw t (full rest) mode ~trunc in
+        {
+          f with
+          of_write =
+            (fun ~off data ->
+              bump ();
+              f.of_write ~off data);
+        });
     fs_create =
       (fun rest ~dir ->
+        bump ();
         let stack, r = resolve t (full rest) in
         let rec create_in = function
           | [] -> err Eperm
@@ -566,3 +596,95 @@ let read_all h =
   in
   loop ();
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+
+(* Capture and rebuild the root RAM tree exactly — content, mtime,
+   version, child order — plus the namespace clock and mutation
+   counter.  File contents are not embedded: they are cut into
+   fixed-size chunks handed to [put], which stores each chunk under a
+   content digest and returns the key; the snapshot records only the
+   keys.  Unchanged chunks therefore cost nothing across consecutive
+   snapshots (the WAL's content-addressed store deduplicates them).
+   The mount table is NOT captured: recovery re-runs [Session.boot],
+   which recreates every mount, then restores the RAM tree over it. *)
+
+let chunk_size = 8192
+
+let w_content b ~put s =
+  Codec.w_int b (String.length s);
+  let n = (String.length s + chunk_size - 1) / chunk_size in
+  Codec.w_int b n;
+  for i = 0 to n - 1 do
+    let off = i * chunk_size in
+    let len = min chunk_size (String.length s - off) in
+    Codec.w_str b (put (String.sub s off len))
+  done
+
+let r_content d ~get =
+  let total = Codec.r_int d in
+  let n = Codec.r_int d in
+  let b = Buffer.create total in
+  for _ = 1 to n do
+    Buffer.add_string b (get (Codec.r_str d))
+  done;
+  let s = Buffer.contents b in
+  if String.length s <> total then
+    err (Eio "snapshot chunk length mismatch");
+  s
+
+let rec w_rnode b ~put node =
+  Codec.w_int b node.mtime;
+  Codec.w_int b node.version;
+  match node.children with
+  | None ->
+      Codec.w_int b 0;
+      w_content b ~put node.content
+  | Some kids ->
+      Codec.w_int b 1;
+      Codec.w_list b
+        (fun b (name, child) ->
+          Codec.w_str b name;
+          w_rnode b ~put child)
+        kids
+
+let rec r_rnode d ~get =
+  let mtime = Codec.r_int d in
+  let version = Codec.r_int d in
+  match Codec.r_int d with
+  | 0 ->
+      let content = r_content d ~get in
+      { content; children = None; mtime; version }
+  | _ ->
+      let kids =
+        Codec.r_list d (fun d ->
+            let name = Codec.r_str d in
+            (name, r_rnode d ~get))
+      in
+      { content = ""; children = Some kids; mtime; version }
+
+let snapshot t ~put =
+  match t.ram with
+  | None -> invalid_arg "Vfs.snapshot: no RAM root"
+  | Some root ->
+      let b = Buffer.create 4096 in
+      Codec.w_int b t.clock;
+      Codec.w_int b t.mutations;
+      w_rnode b ~put root;
+      Buffer.contents b
+
+let restore t ~get s =
+  match t.ram with
+  | None -> invalid_arg "Vfs.restore: no RAM root"
+  | Some root ->
+      let d = Codec.reader s in
+      let clock = Codec.r_int d in
+      let mutations = Codec.r_int d in
+      let fresh = r_rnode d ~get in
+      root.content <- fresh.content;
+      root.children <- fresh.children;
+      root.mtime <- fresh.mtime;
+      root.version <- fresh.version;
+      t.clock <- clock;
+      t.mutations <- mutations

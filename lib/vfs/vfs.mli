@@ -136,3 +136,24 @@ val close : handle -> unit
 
 (** Read everything from the current position. *)
 val read_all : handle -> string
+
+(** {1 Snapshot / restore}
+
+    Durability support: capture and rebuild the root RAM tree exactly
+    (content, mtime, version, child order) plus the namespace clock and
+    mutation counter.  File contents are cut into fixed-size chunks and
+    handed to [put], which stores each chunk under a content digest and
+    returns the key; the snapshot holds only keys, so chunks unchanged
+    since the previous snapshot cost nothing.  The mount table is not
+    captured — recovery re-runs the boot sequence, which recreates
+    every mount, then restores the RAM tree over it. *)
+
+(** [snapshot t ~put] serializes the RAM tree; [put chunk] must return
+    a stable key for [chunk] (typically its digest). *)
+val snapshot : t -> put:(string -> string) -> string
+
+(** [restore t ~get s] rebuilds the RAM tree from [snapshot] output;
+    [get key] must return the chunk stored under [key].  Bypasses the
+    operation counters and does not tick the clock — the clock and
+    generation are restored to their captured values. *)
+val restore : t -> get:(string -> string) -> string -> unit

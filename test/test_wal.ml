@@ -1,0 +1,311 @@
+(* Durability: op-log round trips, torn tails, journal gaps, snapshot
+   chunk sharing, crash recovery that converges byte-for-byte, and the
+   two boot-hygiene regressions (index generation bumps, Trace.reset
+   clearing window baselines) that motivated the subsystem. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* The regexp-compile LRU is process-global; warm it once so the first
+   byte-compared boot does not pay misses later boots would not. *)
+let warmed = lazy (ignore (Session.boot ()))
+let warm () = Lazy.force warmed
+
+(* ------------------------------------------------------------------ *)
+(* Op log *)
+
+let all_ops =
+  [
+    Wal.O_event (Help.Move (3, 4));
+    Wal.O_event (Help.Press Help.Left);
+    Wal.O_event (Help.Release Help.Middle);
+    Wal.O_event (Help.Key 'q');
+    Wal.O_event (Help.Type "hello\nworld");
+    Wal.O_point (7, "needle", 2);
+    Wal.O_sweep (1, "a b");
+    Wal.O_exec_word (2, "mk");
+    Wal.O_exec_sweep (3, "mk clean");
+    Wal.O_exec_tag (4, "Put!");
+    Wal.O_chord_cut (5, "cut me");
+    Wal.O_drag (6, 1, 9);
+    Wal.O_click_tab 8;
+    Wal.O_ctl (9, "show 12");
+    Wal.O_reveal 10;
+    Wal.O_draw;
+    Wal.O_write ("/tmp/f", "contents\n");
+    Wal.O_append ("/tmp/f", "more");
+    Wal.O_remove "/tmp/f";
+    Wal.O_mkdir "/tmp/d";
+  ]
+
+let log_roundtrip () =
+  Trace.reset ();
+  let st = Wal.create_store () in
+  let a = Wal.attach ~recording:true st in
+  List.iter (Wal.log a) all_ops;
+  let ops, torn = Wal.ops_after st ~pos:0 in
+  check_int "no torn tail" 0 torn;
+  check_bool "every op decodes to itself" true
+    (List.map snd ops = all_ops);
+  check_int "op_count counts" (List.length all_ops) (Wal.op_count a);
+  (* clock stamps are non-decreasing *)
+  let stamps = List.map fst ops in
+  check_bool "stamps non-decreasing" true
+    (List.for_all2 ( <= ) stamps (List.tl stamps @ [ max_int ]))
+
+let torn_tail_tolerated () =
+  Trace.reset ();
+  let st = Wal.create_store () in
+  let a = Wal.attach ~recording:true st in
+  Wal.log a Wal.O_draw;
+  let cut = Wal.log_pos st in
+  Wal.log a (Wal.O_write ("/tmp/x", "data"));
+  (* a crash landed mid-frame: every strictly-partial prefix of the
+     final record decodes to one good op plus one torn tail *)
+  for n = cut + 1 to Wal.log_pos st - 1 do
+    let ops, torn = Wal.ops_after (Wal.truncate_log st n) ~pos:0 in
+    check_int "good prefix survives" 1 (List.length ops);
+    check_int "tail counted torn" 1 torn
+  done;
+  (* a clean cut is not torn *)
+  let ops, torn = Wal.ops_after (Wal.truncate_log st cut) ~pos:0 in
+  check_int "clean cut: one op" 1 (List.length ops);
+  check_int "clean cut: no tear" 0 torn
+
+let replay_mode_counts_without_appending () =
+  Trace.reset ();
+  let st = Wal.create_store () in
+  let a = Wal.attach ~recording:false st in
+  Wal.log a Wal.O_draw;
+  Wal.log a (Wal.O_mkdir "/tmp/d");
+  check_int "nothing appended" 0 (Wal.log_pos st);
+  check_int "ops still counted" 2 (Wal.op_count a);
+  check_bool "wal.records still accounted" true
+    (Trace.find_value "wal.records" = Some 2)
+
+let journal_gap_is_loud () =
+  Trace.reset ();
+  let st = Wal.create_store () in
+  let a = Wal.attach ~recording:true st in
+  List.iter (fun i -> Wal.journal_entry a (i, 1, "Tread")) [ 10; 11; 12 ];
+  Wal.verify_journal st;
+  Wal.drop_journal_entry st ~seq:2;
+  check_bool "gap raises Corrupt" true
+    (match Wal.verify_journal st with
+    | exception Wal.Corrupt _ -> true
+    | () -> false)
+
+let chunks_shared_across_snapshots () =
+  Trace.reset ();
+  let st = Wal.create_store () in
+  let a = Wal.attach ~recording:true st in
+  let big = String.concat "" (List.init 200 (fun i -> string_of_int i)) in
+  Wal.begin_snapshot a;
+  let k1 = Wal.put a big in
+  let _ = Wal.put a "small" in
+  Wal.commit_snapshot a ~vfs:"v1" ~rc:"r" ~help:"h";
+  Wal.begin_snapshot a;
+  let k2 = Wal.put a big in
+  let _ = Wal.put a "other" in
+  Wal.commit_snapshot a ~vfs:"v2" ~rc:"r" ~help:"h";
+  check_str "same content, same key" k1 k2;
+  check_int "stored once" 3 (Wal.chunk_count st);
+  match Wal.snapshots st with
+  | [ sn2; sn1 ] ->
+      check_bool "first snapshot pays for everything" true
+        (Wal.sn_new_bytes sn1 = Wal.sn_total_bytes sn1);
+      check_bool "second snapshot pays only the delta" true
+        (Wal.sn_new_bytes sn2 < Wal.sn_total_bytes sn2);
+      check_bool "shared chunk readable" true (Wal.chunk_get st k1 = big)
+  | _ -> Alcotest.fail "expected two snapshots"
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery through the session *)
+
+let script : (Session.t -> unit) list =
+  [
+    (fun t -> Session.point_at t (Session.win t "help/Boot") "Exit");
+    (fun t -> Session.write_file t "/tmp/a" "hello, wal\n");
+    (fun t -> Session.type_text t "x");
+    (fun t -> ignore (Session.dump t));
+    (fun t -> Session.sweep t (Session.win t "/help/edit/stf") "Pattern");
+    (fun t -> Session.append_file t "/tmp/a" "more\n");
+    (fun t -> ignore (Session.dump t));
+  ]
+
+let finish t =
+  (Session.dump t, Vfs.read_file t.Session.ns "/mnt/help/stats")
+
+let reference =
+  lazy
+    (warm ();
+     let store = Wal.create_store () in
+     let t = Session.boot ~wal:store ~checkpoint_every:4 () in
+     let cuts =
+       List.map
+         (fun op ->
+           op t;
+           Wal.log_pos store)
+         script
+     in
+     let d, s = finish t in
+     (store, cuts, d, s))
+
+let recover_from_cut pos =
+  let store, cuts, d_ref, s_ref = Lazy.force reference in
+  let t = Session.recover ~checkpoint_every:4 (Wal.truncate_log store pos) in
+  (* re-drive the ops the crash threw away: everything after the last
+     op whose record fully precedes the cut *)
+  let rec todo i = function
+    | [] -> []
+    | c :: rest -> if c <= pos then todo (i + 1) rest else List.filteri (fun j _ -> j >= i) script
+  in
+  List.iter (fun op -> op t) (todo 0 cuts);
+  let d, s = finish t in
+  (d = d_ref, s = s_ref)
+
+let recovery_converges () =
+  let store, cuts, _, _ = Lazy.force reference in
+  ignore store;
+  (* one clean boundary and one torn mid-record cut *)
+  let mid = List.nth cuts 2 + 3 in
+  List.iter
+    (fun pos ->
+      let d_ok, s_ok = recover_from_cut pos in
+      check_bool (Printf.sprintf "screen converges at cut %d" pos) true d_ok;
+      check_bool (Printf.sprintf "stats converge at cut %d" pos) true s_ok)
+    [ List.nth cuts 1; mid ]
+
+let recovery_refuses_journal_gap () =
+  let store, _, _, _ = Lazy.force reference in
+  let crashed = Wal.truncate_log store (Wal.log_pos store) in
+  check_bool "journal intact verifies" true
+    (match Wal.verify_journal crashed with () -> true);
+  Wal.drop_journal_entry crashed ~seq:2;
+  check_bool "recover raises Corrupt on the gap" true
+    (match Session.recover ~checkpoint_every:4 crashed with
+    | exception Wal.Corrupt _ -> true
+    | _ -> false)
+
+let wal_files_in_band () =
+  warm ();
+  let store = Wal.create_store () in
+  let t = Session.boot ~wal:store ~checkpoint_every:0 () in
+  let snaps0 = List.length (Wal.snapshots store) in
+  let stats = Vfs.read_file t.Session.ns "/mnt/help/wal/stats" in
+  check_bool "wal/stats names the ledger" true
+    (String.length stats > 0
+    && String.sub stats 0 13 = "wal.log.bytes");
+  Vfs.write_file t.Session.ns "/mnt/help/wal/checkpoint" "now\n";
+  check_int "writing checkpoint snapshots now" (snaps0 + 1)
+    (List.length (Wal.snapshots store));
+  (* without an attachment the directory is absent *)
+  let t2 = Session.boot () in
+  check_bool "no wal, no wal/" true
+    (match Vfs.read_file t2.Session.ns "/mnt/help/wal/stats" with
+    | exception Vfs.Error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Property: a crash anywhere in the log recovers and converges *)
+
+let prop_any_cut_recovers =
+  QCheck.Test.make ~name:"recovery converges from any cut position" ~count:8
+    (QCheck.make QCheck.Gen.(int_range 0 1_000_000))
+    (fun r ->
+      let store, _, _, _ = Lazy.force reference in
+      let pos = r mod (Wal.log_pos store + 1) in
+      let d_ok, s_ok = recover_from_cut pos in
+      d_ok && s_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regressions *)
+
+(* Index staleness: every mutating path — remove, and writes arriving
+   through a subtree view (the 9P server's route) — must bump the
+   namespace generation, or pruned grep serves hits from deleted or
+   stale text. *)
+let index_fresh_after_mutations () =
+  let ns = Vfs.create () in
+  Vfs.mkdir_p ns "/src";
+  let files = List.init 4 (fun i -> Printf.sprintf "/src/f%d.txt" i) in
+  List.iteri
+    (fun i p -> Vfs.write_file ns p (Printf.sprintf "alpha%d needle\n" i))
+    files;
+  let ix = Index.create ns in
+  let re = Regexp.compile "needle" in
+  let same () =
+    Index.hits_text (Index.grep ix re files)
+    = Index.hits_text (Index.grep_linear ix re files)
+  in
+  check_bool "baseline agrees" true (same ());
+  Vfs.remove ns "/src/f2.txt";
+  check_bool "after remove: indexed = linear" true (same ());
+  check_int "removed file yields no hits" 3
+    (List.length (Index.grep ix re files));
+  (* a subtree view mutates: create, truncating open, plain write *)
+  let sub = Vfs.subtree ns "/src" in
+  sub.Vfs.fs_create [ "f9.txt" ] ~dir:false;
+  let f = sub.Vfs.fs_open [ "f9.txt" ] Vfs.Write ~trunc:false in
+  ignore (f.Vfs.of_write ~off:0 "subtree needle\n");
+  f.Vfs.of_close ();
+  let files = files @ [ "/src/f9.txt" ] in
+  check_bool "after subtree write: indexed = linear" true
+    (Index.hits_text (Index.grep ix re files)
+    = Index.hits_text (Index.grep_linear ix re files));
+  let g = Vfs.generation ns in
+  let f = sub.Vfs.fs_open [ "f9.txt" ] Vfs.Write ~trunc:true in
+  f.Vfs.of_close ();
+  check_bool "truncating open bumps generation" true (Vfs.generation ns > g)
+
+(* Boot hygiene: Trace.reset must clear rolling-window baselines and
+   alert latches, or the second boot's /mnt/help/metrics inherits the
+   first boot's deltas. *)
+let fresh_boots_report_identically () =
+  warm ();
+  (* two further boots, beyond the warm-up, must agree byte-for-byte *)
+  let m1 =
+    let t = Session.boot () in
+    Vfs.read_file t.Session.ns "/mnt/help/metrics"
+  in
+  let m2 =
+    let t = Session.boot () in
+    Vfs.read_file t.Session.ns "/mnt/help/metrics"
+  in
+  check_str "metrics byte-identical across fresh boots" m1 m2
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "every op round-trips" `Quick log_roundtrip;
+          Alcotest.test_case "torn tail tolerated, clean cut distinguished"
+            `Quick torn_tail_tolerated;
+          Alcotest.test_case "replay mode counts without appending" `Quick
+            replay_mode_counts_without_appending;
+          Alcotest.test_case "journal gap raises Corrupt" `Quick
+            journal_gap_is_loud;
+          Alcotest.test_case "snapshots share unchanged chunks" `Quick
+            chunks_shared_across_snapshots;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash+recover converges byte-for-byte" `Slow
+            recovery_converges;
+          Alcotest.test_case "recovery refuses a journal gap" `Slow
+            recovery_refuses_journal_gap;
+          Alcotest.test_case "wal/{stats,checkpoint} served in-band" `Slow
+            wal_files_in_band;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_any_cut_recovers ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "index stays fresh across mutating paths" `Quick
+            index_fresh_after_mutations;
+          Alcotest.test_case "fresh boots report identical metrics" `Slow
+            fresh_boots_report_identically;
+        ] );
+    ]
