@@ -23,6 +23,7 @@ let j_e12 : (string * float) list ref = ref []  (* pool load figures *)
 let j_e13 : (string * float) list ref = ref []  (* serving-core figures *)
 let j_e14 : (string * float) list ref = ref []  (* indexed-search figures *)
 let j_e15 : (string * float) list ref = ref []  (* durability figures *)
+let j_e16 : (string * float) list ref = ref []  (* guide/manual figures *)
 
 let j7 name v = j_e7 := (name, v) :: !j_e7
 let j10 name v = j_e10 := (name, v) :: !j_e10
@@ -31,6 +32,7 @@ let j12 name v = j_e12 := (name, v) :: !j_e12
 let j13 name v = j_e13 := (name, v) :: !j_e13
 let j14 name v = j_e14 := (name, v) :: !j_e14
 let j15 name v = j_e15 := (name, v) :: !j_e15
+let j16 name v = j_e16 := (name, v) :: !j_e16
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -72,10 +74,11 @@ let write_json path =
   in
   let rates = cache_hit_rates () in
   Printf.fprintf oc
-    "{\n  \"schema\": \"help-bench-7\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
+    "{\n  \"schema\": \"help-bench-8\",\n  \"e7_ns_per_op\": {\n%s\n  },\n  \
      \"e10_ms\": {\n%s\n  },\n  \"search\": {\n%s\n  },\n  \
      \"pool\": {\n%s\n  },\n  \"e13\": {\n%s\n  },\n  \
      \"index\": {\n%s\n  },\n  \"wal\": {\n%s\n  },\n  \
+     \"guide\": {\n%s\n  },\n  \
      \"cache_hit_rates\": {\n%s\n  }\n}\n"
     (table (List.rev !j_e7))
     (table (List.rev !j_e10))
@@ -84,14 +87,15 @@ let write_json path =
     (table (List.rev !j_e13))
     (table (List.rev !j_e14))
     (table (List.rev !j_e15))
+    (table ~fmt:(format_of_string "%.1f") (List.rev !j_e16))
     (table ~fmt:(format_of_string "%.4f") rates);
   close_out oc;
   Printf.printf
     "\nwrote %s (%d e7 rows, %d e10 rows, %d search rows, %d pool rows, %d \
-     e13 rows, %d index rows, %d wal rows, %d hit-rates)\n"
+     e13 rows, %d index rows, %d wal rows, %d guide rows, %d hit-rates)\n"
     path (List.length !j_e7) (List.length !j_e10) (List.length !j_e11)
     (List.length !j_e12) (List.length !j_e13) (List.length !j_e14)
-    (List.length !j_e15) (List.length rates)
+    (List.length !j_e15) (List.length !j_e16) (List.length rates)
 
 (* ------------------------------------------------------------------ *)
 (* E1: the interaction ledger of the worked example                    *)
@@ -2316,6 +2320,141 @@ let obs_smoke () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* guide-smoke: the executable-documentation gate.  A scripted user
+   opens the manual and browses it by mouse alone — index, help(1),
+   through SEE ALSO to helpfs(4) and on to nine(5) — composing and
+   running one documented invocation per visited page along the way.
+   The whole session must replay byte-identical across two fresh
+   boots, and the WAL op log must contain zero keyboard events: the
+   manual is mouse-complete. *)
+
+let guide_script () =
+  let store = Wal.create_store () in
+  let t = Session.boot ~wal:store () in
+  let shots = Buffer.create 8192 in
+  let shot () =
+    Buffer.add_string shots (Session.dump t);
+    Buffer.add_char shots '\n'
+  in
+  let stf = Session.win t "/help/guide/stf" in
+  (* middle-click `guide`: the index window *)
+  Session.exec_word t stf "guide";
+  shot ();
+  (* middle-sweep `guide help`: the help(1) page *)
+  Session.exec_sweep t stf "guide help";
+  let help_pg = Session.win t "/help/guide/help" in
+  shot ();
+  (* SEE ALSO lines are guide commands: hop to helpfs(4) *)
+  Session.exec_sweep t help_pg "guide helpfs";
+  let helpfs_pg = Session.win t "/help/guide/helpfs" in
+  (* select a RUN line, click run in the tag: a composed invocation
+     executes into a fresh output window *)
+  Session.point_at t helpfs_pg "cat /mnt/help/stats";
+  Session.exec_tag_word t helpfs_pg "run";
+  shot ();
+  (* a second hop and a second run, on nine(5) *)
+  Session.exec_sweep t helpfs_pg "guide nine";
+  let nine_pg = Session.win t "/help/guide/nine" in
+  Session.point_at t nine_pg "cat /mnt/help/index";
+  Session.exec_tag_word t nine_pg "run";
+  shot ();
+  (store, t, Buffer.contents shots)
+
+let guide_smoke () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
+  let store, t, shots = guide_script () in
+  let _, t2, shots2 = guide_script () in
+  check "screens byte-identical across two fresh boots" (shots = shots2);
+  check "zero keystrokes in the gesture metrics"
+    ((Metrics.total t.Session.metrics).Metrics.keys = 0
+    && (Metrics.total t2.Session.metrics).Metrics.keys = 0);
+  let ops, _ = Wal.ops_after store ~pos:0 in
+  check "zero keyboard events in the op log"
+    (not
+       (List.exists
+          (fun (_, op) ->
+            match op with
+            | Wal.O_event (Help.Key _ | Help.Type _) -> true
+            | _ -> false)
+          ops));
+  let c name = Option.value ~default:0 (Trace.find_value name) in
+  check "four pages visited" (c "guide.pages" = 4);
+  check "two invocations run" (c "guide.invocations" = 2);
+  check "six guide commands clicked" (c "guide.clicks" = 6);
+  let r = Rc.run t2.Session.sh "cat /mnt/help/guide/nine" in
+  check "model served in-band"
+    (r.Rc.r_status = 0 && Hstr.contains r.Rc.r_out ~sub:"name nine");
+  match List.rev !failed with
+  | [] ->
+      Printf.printf
+        "guide-smoke: ok (4 screens byte-identical across two boots, %d \
+         pages visited, %d invocations run, 0 keyboard events among %d \
+         logged ops)\n"
+        (c "guide.pages") (c "guide.invocations") (List.length ops);
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "guide-smoke FAIL: %s\n" f) fs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* E16: the manual as an application — the model's totals and the
+   gesture cost of browsing it. *)
+
+let e16_guide () =
+  section "E16" "executable documentation: the manual browsed by mouse";
+  let pages = Guide.pages () in
+  let invs =
+    List.fold_left (fun a p -> a + List.length p.Guide.p_invocations) 0 pages
+  in
+  let composable =
+    List.fold_left
+      (fun a p ->
+        a
+        + List.length
+            (List.filter
+               (fun i -> Guide.synopsis_command i <> None)
+               p.Guide.p_invocations))
+      0 pages
+  in
+  let verbs =
+    List.fold_left (fun a p -> a + List.length p.Guide.p_verbs) 0 pages
+  in
+  let sees =
+    List.fold_left (fun a p -> a + List.length p.Guide.p_see) 0 pages
+  in
+  row "manual: %d pages, %d synopsis entries (%d composable), %d documented \
+       verbs, %d cross-references\n"
+    (List.length pages) invs composable verbs sees;
+  let t = Session.boot () in
+  let stf = Session.win t "/help/guide/stf" in
+  Session.exec_word t stf "guide";
+  Session.exec_sweep t stf "guide help";
+  let help_pg = Session.win t "/help/guide/help" in
+  Session.exec_sweep t help_pg "guide helpfs";
+  let helpfs_pg = Session.win t "/help/guide/helpfs" in
+  Session.point_at t helpfs_pg "cat /mnt/help/stats";
+  Session.exec_tag_word t helpfs_pg "run";
+  let m = Metrics.total t.Session.metrics in
+  let c name = Option.value ~default:0 (Trace.find_value name) in
+  row "browse: index, help(1), a SEE ALSO hop to helpfs(4), one composed run\n";
+  row "gestures: %d clicks, %d keys, %d cells of travel; %d pages opened, %d \
+       invocations run\n"
+    m.Metrics.clicks m.Metrics.keys m.Metrics.travel (c "guide.pages")
+    (c "guide.invocations");
+  row "keyboard untouched: %s\n"
+    (if m.Metrics.keys = 0 then "yes (reproduced)" else "NO");
+  j16 "pages" (float_of_int (List.length pages));
+  j16 "synopsis_entries" (float_of_int invs);
+  j16 "synopsis_composable" (float_of_int composable);
+  j16 "verbs" (float_of_int verbs);
+  j16 "cross_references" (float_of_int sees);
+  j16 "browse_clicks" (float_of_int m.Metrics.clicks);
+  j16 "browse_keys" (float_of_int m.Metrics.keys);
+  j16 "browse_pages" (float_of_int (c "guide.pages"));
+  j16 "browse_invocations" (float_of_int (c "guide.invocations"))
+
+(* ------------------------------------------------------------------ *)
 (* doc-lint: the documentation gate.  Two classes of drift are caught:
    an interface file without its top-level doc comment, and a doc/*.md
    (or README.md) reference that no longer resolves — a repo path that
@@ -2412,7 +2551,7 @@ let doc_lint () =
   in
   let metric_prefixes =
     [ "nine."; "help."; "cbr."; "regexp."; "metrics."; "rc."; "vfs.";
-      "trace."; "index."; "wal." ]
+      "trace."; "index."; "wal."; "guide." ]
   in
   let is_metric t =
     List.exists
@@ -2490,10 +2629,102 @@ let doc_lint () =
       in
       links 0)
     docs;
+  (* 3. the executable manual: every doc/NAME.N.md is embedded and in
+     sync, every page parses clean into a non-empty model, and every
+     SYNOPSIS entry composes into an invocation that actually resolves
+     against a booted session — an undocumented flag, a stale
+     cross-reference or an unrunnable synopsis fails the build *)
+  List.iter
+    (fun (file, embedded) ->
+      incr checked;
+      let path = Filename.concat "doc" file in
+      if not (Sys.file_exists path) then
+        fail "guide: embedded page %s has no doc/ source" file
+      else if read_file path <> embedded then
+        fail "guide: doc/%s differs from the embedded copy (dune build)" file)
+    Guide.sources;
+  Sys.readdir "doc" |> Array.to_list |> List.sort compare
+  |> List.iter (fun f ->
+         match String.split_on_char '.' f with
+         | [ _; sec; "md" ] when all_digits sec ->
+             if not (List.mem_assoc f Guide.sources) then
+               fail "guide: doc/%s is a man page but not embedded (add it to \
+                     lib/guide/dune)" f
+         | _ -> ());
+  let t = Session.boot () in
+  let guide_pages = Guide.pages () in
+  let page_names = List.map (fun p -> p.Guide.p_name) guide_pages in
+  List.iter
+    (fun p ->
+      let pname = p.Guide.p_name in
+      List.iter (fun w -> fail "guide: %s" w) p.Guide.p_warnings;
+      if p.Guide.p_invocations = [] then
+        fail "guide: %s(%d) has no runnable SYNOPSIS" pname p.Guide.p_section;
+      List.iter
+        (fun inv ->
+          incr checked;
+          match Guide.synopsis_command inv with
+          | None ->
+              fail "guide: %s: `%s` does not compose (an argument has no \
+                    default)" pname (Guide.invocation_text inv)
+          | Some cmd ->
+              let words =
+                String.split_on_char ' ' cmd |> List.filter (fun w -> w <> "")
+              in
+              if
+                (not (Help.builtin (List.hd words)))
+                && Rc.resolve t.Session.sh ~cwd:"/help/guide" (List.hd words)
+                   = None
+              then fail "guide: %s: `%s` does not resolve to a command" pname cmd;
+              List.iter
+                (fun w ->
+                  if
+                    String.length w > 0 && w.[0] = '/'
+                    && not (Vfs.exists t.Session.ns w)
+                  then fail "guide: %s: `%s` names missing file %s" pname cmd w)
+                (List.tl words))
+        p.Guide.p_invocations;
+      List.iter
+        (fun (name, sec) ->
+          incr checked;
+          if not (List.mem name page_names) then
+            fail "guide: %s: SEE ALSO %s(%d) has no page" pname name sec)
+        p.Guide.p_see)
+    guide_pages;
+  (* the documented command verbs are exactly the clickable scripts *)
+  let verbs_of page =
+    match List.find_opt (fun p -> p.Guide.p_name = page) guide_pages with
+    | None ->
+        fail "guide: no %s page" page;
+        []
+    | Some p ->
+        List.sort_uniq compare (List.map (fun v -> v.Guide.v_name) p.Guide.p_verbs)
+  in
+  List.iter
+    (fun (tool, page) ->
+      incr checked;
+      let scripts =
+        Vfs.readdir t.Session.ns ("/help/" ^ tool)
+        |> List.map (fun st -> st.Vfs.st_name)
+        |> List.filter (fun f -> f <> "stf")
+        |> List.sort_uniq compare
+      in
+      if verbs_of page <> scripts then
+        fail "guide: %s(1) COMMANDS [%s] drifted from /help/%s scripts [%s]"
+          page
+          (String.concat " " (verbs_of page))
+          tool (String.concat " " scripts))
+    [ ("mail", "mail"); ("guide", "guide") ];
+  incr checked;
+  if verbs_of "help" <> List.sort_uniq compare Help.builtins then
+    fail "guide: help(1) BUILT-IN COMMANDS drifted from Help.builtins";
   match List.rev !failed with
   | [] ->
-      Printf.printf "doc-lint: ok (%d interfaces, %d references across %d docs)\n"
-        (List.length mlis) !checked (List.length docs);
+      Printf.printf
+        "doc-lint: ok (%d interfaces, %d references across %d docs, %d man \
+         pages runnable)\n"
+        (List.length mlis) !checked (List.length docs)
+        (List.length guide_pages);
       exit 0
   | fs ->
       List.iter (fun f -> Printf.printf "doc-lint FAIL: %s\n" f) fs;
@@ -2510,6 +2741,7 @@ let () =
   if Array.exists (fun a -> a = "index-smoke") Sys.argv then index_smoke ();
   if Array.exists (fun a -> a = "fault-smoke") Sys.argv then fault_smoke ();
   if Array.exists (fun a -> a = "wal-smoke") Sys.argv then wal_smoke ();
+  if Array.exists (fun a -> a = "guide-smoke") Sys.argv then guide_smoke ();
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let json_path =
     let n = Array.length Sys.argv in
@@ -2535,6 +2767,7 @@ let () =
   e13_serving ();
   e14_index ~quick ();
   e15_durability ~quick ();
+  e16_guide ();
   if not quick then begin
     e10_scale ();
     microbenches ()

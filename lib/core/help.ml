@@ -623,6 +623,17 @@ let run_external t win cmd =
   if res.Rc.r_out <> "" then report t res.Rc.r_out;
   if res.Rc.r_err <> "" then report t res.Rc.r_err
 
+(* The capitalized command words [execute] handles itself rather than
+   handing to the shell — the dispatch below must cover exactly this
+   list (doc-lint holds doc/help.1.md to it too). *)
+let builtins =
+  [
+    "Open"; "Cut"; "Paste"; "Snarf"; "New"; "Exit"; "Undo"; "Redo"; "Write";
+    "Pattern"; "Text"; "Close!"; "Get!"; "Put!"; "Split!";
+  ]
+
+let builtin w = List.mem w builtins
+
 let execute_inner t win cmdtext =
   let cmd = String.trim cmdtext in
   if cmd <> "" && t.alive then begin

@@ -112,6 +112,14 @@ val ctl_command : t -> Hwin.t -> string -> (unit, string) result
 
 (** {1 Execution} *)
 
+(** The capitalized command words {!execute} runs itself (never the
+    shell), in dispatch order; [builtin w] tests membership.  The
+    guide's [-run] mode uses this to report rather than mis-run a
+    built-in. *)
+val builtins : string list
+
+val builtin : string -> bool
+
 (** Execute command text in the context of a window, as a middle-button
     sweep would.  Exposed for tests and for the server's loopback. *)
 val execute : t -> Hwin.t -> string -> unit

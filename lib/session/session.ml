@@ -182,6 +182,8 @@ let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit
   Mk.install sh;
   Cbr.install sh;
   Mail.install sh;
+  Ed.install sh;
+  Guide.install ~builtins:Help.builtins sh;
   let db = Db.create () in
   Db.install sh db;
   (* environment the profile expects *)
@@ -222,7 +224,7 @@ let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit
   Hwin.set_tag boot_win "help/Boot";
   List.iter
     (fun tool -> ignore (Help.open_file help ~dir:"/" ("/help/" ^ tool ^ "/stf")))
-    [ "edit"; "cbr"; "db"; "mail" ];
+    [ "edit"; "cbr"; "db"; "mail"; "guide" ];
   (* optionally, run applications on a CPU server over the 9P link *)
   let cpu =
     if not remote then None
@@ -232,6 +234,8 @@ let boot ?w ?h ?place ?(remote = false) ?fault ?max_queue ?batch_limit
         Mk.install csh;
         Cbr.install csh;
         Mail.install csh;
+        Ed.install csh;
+        Guide.install ~builtins:Help.builtins csh;
         Db.install csh db;
         Help_srv.install_glue csh;
         Rc.set_global csh "home" [ Corpus.home ];

@@ -488,6 +488,17 @@ let cmp proc args =
       | exception Vfs.Error e -> fail proc (Printf.sprintf "cmp: %s" (Vfs.error_message e)))
   | _ -> fail proc "usage: cmp file1 file2"
 
+(* rc(1)'s documented file mode: run a script file in the current
+   process, so its variable assignments stick. *)
+let rc_tool proc args =
+  match List.tl args with
+  | [ f ] ->
+      read_file_or_fail proc f (fun src ->
+          let out, st = Rc.run_in proc src in
+          Buffer.add_string (Rc.proc_out proc) out;
+          st)
+  | _ -> fail proc "usage: rc file"
+
 let basename_tool proc args =
   match List.tl args with
   | [ p ] ->
@@ -520,4 +531,5 @@ let install sh =
   reg "tail" tail;
   reg "tee" tee;
   reg "tr" tr;
-  reg "cmp" cmp
+  reg "cmp" cmp;
+  reg "rc" rc_tool

@@ -64,6 +64,10 @@ let filesystem ?(wal = fun () -> None) help =
         match int_of_string_opt rid with
         | Some r -> `TraceReq r
         | None -> err Vfs.Enonexist)
+    (* the manual: guide is the page index, pages are reached by
+       direct walk through it — the trace/ arrangement again *)
+    | [ "guide" ] -> `Guide
+    | [ "guide"; pg ] -> `GuidePage pg
     | [ "wal" ] -> `WalDir
     | [ "wal"; "stats" ] -> `Wstats
     | [ "wal"; "checkpoint" ] -> `Wcheckpoint
@@ -121,6 +125,17 @@ let filesystem ?(wal = fun () -> None) help =
         match Trace.request_text r with
         | Some _ -> stat_of ~name:(string_of_int r) ~dir:false ~length:0 (now ())
         | None -> err Vfs.Enonexist)
+    | `Guide ->
+        stat_of ~name:"guide" ~dir:false
+          ~length:(String.length (Guide.index_text ()))
+          (now ())
+    | `GuidePage pg -> (
+        match Guide.find pg with
+        | Some p ->
+            stat_of ~name:pg ~dir:false
+              ~length:(String.length (Guide.page_text p))
+              (now ())
+        | None -> err Vfs.Enonexist)
     | `WalDir ->
         let _ = the_wal () in
         stat_of ~name:"wal" ~dir:true ~length:2 (now ())
@@ -167,6 +182,9 @@ let filesystem ?(wal = fun () -> None) help =
              ~length:(String.length (Trace.alerts_text ()))
              (now ())
         :: stat_of ~name:"trace" ~dir:false ~length:0 (now ())
+        :: stat_of ~name:"guide" ~dir:false
+             ~length:(String.length (Guide.index_text ()))
+             (now ())
         :: stat_of ~name:"new" ~dir:true ~length:1 (now ())
         :: ((match wal () with
             | Some _ -> [ stat_of ~name:"wal" ~dir:true ~length:2 (now ()) ]
@@ -191,8 +209,9 @@ let filesystem ?(wal = fun () -> None) help =
           (fun n -> stat_of ~name:n ~dir:false ~length:0 (now ()))
           [ "tag"; "body"; "bodyapp"; "ctl" ]
     | `Index | `Ixstats | `Ixpostings | `Ixrebuild | `Stats | `Metrics
-    | `Alerts | `Trace | `TraceLast | `TraceReq _ | `Wstats | `Wcheckpoint
-    | `Newctl | `Tag _ | `Body _ | `Bodyapp _ | `Ctl _ ->
+    | `Alerts | `Trace | `TraceLast | `TraceReq _ | `Guide | `GuidePage _
+    | `Wstats | `Wcheckpoint | `Newctl | `Tag _ | `Body _ | `Bodyapp _
+    | `Ctl _ ->
         err Vfs.Enotdir
   in
   (* Fixed string semantics don't fit tag/body/ctl writes, which must
@@ -379,6 +398,14 @@ let filesystem ?(wal = fun () -> None) help =
     | `TraceReq r -> (
         match Trace.request_text r with
         | Some text -> string_file text
+        | None -> err Vfs.Enonexist)
+    | `Guide ->
+        (* the manual's index — the same model guide(1) renders as
+           windows, one name/section/title line per page *)
+        string_file (Guide.index_text ())
+    | `GuidePage pg -> (
+        match Guide.find pg with
+        | Some p -> string_file (Guide.page_text p)
         | None -> err Vfs.Enonexist)
     | `Wstats ->
         (* the durability ledger: log and snapshot totals, chunk

@@ -1,0 +1,299 @@
+(* The guide: man pages parsed into a clickable model, rendered as
+   windows, served in-band, and driven entirely by mouse. *)
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec f i = i + n <= m && (String.sub hay i n = needle || f (i + 1)) in
+  n = 0 || f 0
+
+let page_of text = Guide.parse ~file:"test" text
+
+let wrap synopsis =
+  "# TESTPAGE(9)\n\n## NAME\n\ntestpage \xe2\x80\x94 a synthetic page\n\n\
+   ## SYNOPSIS\n\n" ^ synopsis ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parser units                                                        *)
+
+let parser_tests =
+  [
+    Alcotest.test_case "title, name and section" `Quick (fun () ->
+        let p = page_of (wrap "`foo`") in
+        check_str "name" "testpage" p.Guide.p_name;
+        check_int "section" 9 p.Guide.p_section;
+        check_str "title" "a synthetic page" p.Guide.p_title;
+        Alcotest.(check (list string)) "no warnings" [] p.Guide.p_warnings);
+    Alcotest.test_case "synopsis grammar" `Quick (fun () ->
+        let p =
+          page_of (wrap "`foo -a bar` *x* *[y ...]* \xc2\xb7 `foo` *z*")
+        in
+        Alcotest.(check int) "two entries" 2 (List.length p.Guide.p_invocations);
+        let i1 = List.nth p.Guide.p_invocations 0 in
+        check_str "cmd" "foo" i1.Guide.i_cmd;
+        check_bool "items" true
+          (i1.Guide.i_items
+          = [
+              Guide.S_flag "-a"; Guide.S_lit "bar"; Guide.S_arg "x";
+              Guide.S_opt "y ...";
+            ]);
+        let i2 = List.nth p.Guide.p_invocations 1 in
+        check_bool "second" true (i2.Guide.i_items = [ Guide.S_arg "z" ]));
+    Alcotest.test_case "drift warns, never raises" `Quick (fun () ->
+        let p = page_of (wrap "`$path` \xc2\xb7 *orphan*") in
+        check_int "no invocations" 0 (List.length p.Guide.p_invocations);
+        check_int "two warnings" 2 (List.length p.Guide.p_warnings));
+    Alcotest.test_case "only the first paragraph is machine-read" `Quick
+      (fun () ->
+        let p = page_of (wrap "`foo`\n\n(prose mentioning `$path` freely)") in
+        check_int "one entry" 1 (List.length p.Guide.p_invocations);
+        Alcotest.(check (list string)) "no warnings" [] p.Guide.p_warnings);
+    Alcotest.test_case "command sections explode multi-name entries" `Quick
+      (fun () ->
+        let text =
+          wrap "`foo`"
+          ^ "\n## COMMANDS\n\n`a`, `b`\n: Both of them.\n\n`s` */re/*\n\
+             : Substitute.\n"
+        in
+        let p = page_of text in
+        let names = List.map (fun v -> v.Guide.v_name) p.Guide.p_verbs in
+        check_bool "names" true (names = [ "a"; "b"; "s" ]);
+        let s = List.nth p.Guide.p_verbs 2 in
+        check_bool "args" true (s.Guide.v_args = [ "/re/" ]);
+        check_str "desc" "Substitute." s.Guide.v_desc);
+    Alcotest.test_case "see also references" `Quick (fun () ->
+        let text =
+          wrap "`foo`" ^ "\n## SEE ALSO\n\nhelp(1), nine(5), help(1) again.\n"
+        in
+        let p = page_of text in
+        check_bool "deduped, ordered" true
+          (p.Guide.p_see = [ ("help", 1); ("nine", 5) ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Round trip: synopsis_string is the inverse of parse                 *)
+
+let inv_gen =
+  let open QCheck.Gen in
+  let word =
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (list_size (int_range 1 6)
+         (map Char.chr (int_range (Char.code 'a') (Char.code 'z'))))
+  in
+  let span_item =
+    oneof
+      [
+        map (fun w -> Guide.S_flag ("-" ^ w)) word;
+        map (fun w -> Guide.S_lit w) word;
+      ]
+  in
+  let ital_item =
+    oneof
+      [
+        map (fun w -> Guide.S_arg w) word;
+        map (fun w -> Guide.S_opt (w ^ " ...")) word;
+      ]
+  in
+  let inv =
+    map2
+      (fun cmd (spans, itals) -> { Guide.i_cmd = cmd; i_items = spans @ itals })
+      word
+      (pair (list_size (int_range 0 3) span_item)
+         (list_size (int_range 0 2) ital_item))
+  in
+  list_size (int_range 1 3) inv
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"generated SYNOPSIS lines round-trip" ~count:300
+    (QCheck.make
+       ~print:(fun invs ->
+         String.concat " \xc2\xb7 " (List.map Guide.synopsis_string invs))
+       inv_gen)
+    (fun invs ->
+      let line =
+        String.concat " \xc2\xb7 " (List.map Guide.synopsis_string invs)
+      in
+      let p = page_of (wrap line) in
+      p.Guide.p_warnings = [] && p.Guide.p_invocations = invs)
+
+(* ------------------------------------------------------------------ *)
+(* The embedded manual                                                 *)
+
+let manual_tests =
+  [
+    Alcotest.test_case "every page parses warning-free and clickable" `Quick
+      (fun () ->
+        let ps = Guide.pages () in
+        check_int "eight pages" 8 (List.length ps);
+        List.iter
+          (fun p ->
+            Alcotest.(check (list string))
+              (p.Guide.p_name ^ " warnings")
+              [] p.Guide.p_warnings;
+            check_bool (p.Guide.p_name ^ " named") true
+              (p.Guide.p_name <> "" && p.Guide.p_title <> ""
+             && p.Guide.p_section > 0);
+            check_bool (p.Guide.p_name ^ " has invocations") true
+              (p.Guide.p_invocations <> []);
+            List.iter
+              (fun inv ->
+                check_bool
+                  (p.Guide.p_name ^ ": " ^ Guide.invocation_text inv
+                 ^ " composes")
+                  true
+                  (Guide.synopsis_command inv <> None))
+              p.Guide.p_invocations)
+          ps);
+    Alcotest.test_case "help page documents exactly the built-ins" `Quick
+      (fun () ->
+        match Guide.find "help" with
+        | None -> Alcotest.fail "no help page"
+        | Some p ->
+            let names =
+              List.sort_uniq compare
+                (List.map (fun v -> v.Guide.v_name) p.Guide.p_verbs)
+            in
+            check_bool "same set" true
+              (names = List.sort_uniq compare Help.builtins));
+    Alcotest.test_case "model spot checks" `Quick (fun () ->
+        (match Guide.find "mk" with
+        | Some p ->
+            check_bool "mk -modified documented" true
+              (List.exists
+                 (fun i -> List.mem (Guide.S_flag "-modified") i.Guide.i_items)
+                 p.Guide.p_invocations)
+        | None -> Alcotest.fail "no mk page");
+        (match Guide.find "mail" with
+        | Some p ->
+            check_bool "mail verbs are the scripts" true
+              (List.map (fun v -> v.Guide.v_name) p.Guide.p_verbs
+              = [ "headers"; "messages"; "delete"; "reread"; "send" ])
+        | None -> Alcotest.fail "no mail page");
+        match Guide.find "guide" with
+        | Some p ->
+            check_bool "guide sees helpfs(4)" true
+              (List.mem ("helpfs", 4) p.Guide.p_see);
+            check_bool "served files documented" true
+              (List.mem "/mnt/help/guide" p.Guide.p_files)
+        | None -> Alcotest.fail "no guide page");
+    Alcotest.test_case "embedded sources match doc/ on disk" `Quick (fun () ->
+        (* the build embeds doc/*.md; the lint gate re-checks this from
+           the repo root, the test from the build sandbox is skipped
+           when the files are not around *)
+        List.iter
+          (fun (file, embedded) ->
+            let path = "../doc/" ^ file in
+            if Sys.file_exists path then begin
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let disk = really_input_string ic n in
+              close_in ic;
+              check_bool (file ^ " in sync") true (disk = embedded)
+            end)
+          Guide.sources);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The windowed application, driven by mouse                           *)
+
+let counter name =
+  match Trace.find_value name with Some v -> v | None -> 0
+
+let session_tests =
+  [
+    Alcotest.test_case "guide tool is on the boot screen" `Quick (fun () ->
+        let t = Session.boot () in
+        let stf = Session.win t "/help/guide/stf" in
+        check_bool "stf lists the pages" true
+          (contains (Htext.string (Hwin.body stf)) "guide help"));
+    Alcotest.test_case "browse and run without the keyboard" `Quick (fun () ->
+        let t = Session.boot () in
+        check_int "no pages yet" 0 (counter "guide.pages");
+        let stf = Session.win t "/help/guide/stf" in
+        (* middle-click `guide`: the index window *)
+        Session.exec_word t stf "guide";
+        let index = Session.win t "/help/guide/index" in
+        check_bool "index lists every page" true
+          (contains (Htext.string (Hwin.body index)) "guide helpfs");
+        (* middle-sweep `guide help`: the help(1) page *)
+        Session.exec_sweep t stf "guide help";
+        let help_pg = Session.win t "/help/guide/help" in
+        let body () = Htext.string (Hwin.body help_pg) in
+        check_bool "RUN composed" true (contains (body ()) " New");
+        check_bool "COMMANDS listed" true (contains (body ()) "Split!");
+        (* SEE ALSO is itself a guide command: hop to helpfs(4) *)
+        Session.exec_sweep t help_pg "guide helpfs";
+        let helpfs_pg = Session.win t "/help/guide/helpfs" in
+        let hbody = Htext.string (Hwin.body helpfs_pg) in
+        check_bool "helpfs RUN" true (contains hbody "cat /mnt/help/stats");
+        (* select a RUN line, click run in the tag: output window *)
+        Session.point_at t helpfs_pg "cat /mnt/help/stats";
+        Session.exec_tag_word t helpfs_pg "run";
+        let out = Session.win t "/help/guide/out" in
+        let obody = Htext.string (Hwin.body out) in
+        check_bool "echoed" true (contains obody "% cat /mnt/help/stats");
+        check_bool "ran" true (contains obody "guide.pages");
+        (* the ledger saw all of it *)
+        check_int "pages" 3 (counter "guide.pages");
+        check_int "invocations" 1 (counter "guide.invocations");
+        check_int "clicks" 4 (counter "guide.clicks");
+        check_int "keys" 0 (Metrics.total t.Session.metrics).Metrics.keys);
+    Alcotest.test_case "a page is refreshed in place, not duplicated" `Quick
+      (fun () ->
+        let t = Session.boot () in
+        let stf = Session.win t "/help/guide/stf" in
+        Session.exec_sweep t stf "guide help";
+        let n1 = List.length (Help.windows t.Session.help) in
+        Session.exec_sweep t stf "guide help";
+        let n2 = List.length (Help.windows t.Session.help) in
+        check_int "same window count" n1 n2;
+        check_int "both visits counted" 2 (counter "guide.pages"));
+    Alcotest.test_case "a built-in RUN line is reported, not mis-run" `Quick
+      (fun () ->
+        let t = Session.boot () in
+        let stf = Session.win t "/help/guide/stf" in
+        Session.exec_sweep t stf "guide help";
+        let pg = Session.win t "/help/guide/help" in
+        Session.point_at t pg " New";
+        Session.exec_tag_word t pg "run";
+        let out = Session.win t "/help/guide/out" in
+        check_bool "notes the built-in" true
+          (contains (Htext.string (Hwin.body out)) "built-in"));
+    Alcotest.test_case "the model is served in-band" `Quick (fun () ->
+        let t = Session.boot () in
+        let r = Rc.run t.Session.sh "cat /mnt/help/guide" in
+        check_int "index status" 0 r.Rc.r_status;
+        check_bool "index line" true (contains r.Rc.r_out "help\t1\t");
+        let r = Rc.run t.Session.sh "cat /mnt/help/guide/mk" in
+        check_int "page status" 0 r.Rc.r_status;
+        check_bool "name line" true (contains r.Rc.r_out "name mk");
+        check_bool "invocation line" true
+          (contains r.Rc.r_out "invocation mk -modified");
+        let r = Rc.run t.Session.sh "cat /mnt/help/guide/nosuch" in
+        check_bool "unknown page errors" true (r.Rc.r_status <> 0));
+    Alcotest.test_case "two scripted sessions render identically" `Quick
+      (fun () ->
+        let drive () =
+          let t = Session.boot () in
+          let stf = Session.win t "/help/guide/stf" in
+          Session.exec_word t stf "guide";
+          Session.exec_sweep t stf "guide ed";
+          let pg = Session.win t "/help/guide/ed" in
+          Session.exec_sweep t pg "guide help";
+          Session.dump t
+        in
+        check_str "byte-identical" (drive ()) (drive ()));
+  ]
+
+let () =
+  Alcotest.run "guide"
+    [
+      ("parser", parser_tests);
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+      ("manual", manual_tests);
+      ("session", session_tests);
+    ]
